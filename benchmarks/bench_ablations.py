@@ -1,0 +1,183 @@
+"""E15 — ablations of the design choices DESIGN.md calls out.
+
+Three ablations:
+
+* **A1 — remove the adversary's legalizing injection.**  The Figure 2
+  scheduler's diagonal delivery is what makes frontier starvation legal;
+  an ablated adversary that skips it produces executions the axiom checker
+  *rejects* for progress violations.  This is the negative control showing
+  the lower bound genuinely needs the long unreliable edges.
+* **A2 — FMMB activation probability.**  The Θ(1/c²) activation constant
+  trades round cost against collision probability; sweep it and record
+  rounds-to-completion and solve rate.
+* **A3 — contention scheduler service bias.**  Diverting service slots to
+  unreliable senders injects more duplicate/old traffic; sweep the bias
+  and verify BMMB's completion degrades only mildly (quantity of
+  unreliability, again, is not the lever).
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BMMBNode,
+    ContentionScheduler,
+    GreyZoneAdversary,
+    RandomSource,
+    check_axioms,
+    random_geometric_network,
+    run_fmmb,
+    run_standard,
+)
+from repro.analysis.tables import render_table
+from repro.core.fmmb import FMMBConfig
+from repro.ids import MessageAssignment
+from repro.mac.messages import MessageInstance
+from repro.topology import line_network
+from repro.topology.adversarial import parallel_lines_network
+
+FACK = 20.0
+FPROG = 1.0
+
+
+class AblatedGreyZoneAdversary(GreyZoneAdversary):
+    """Figure 2 adversary without the legalizing diagonal injection."""
+
+    def on_bcast(self, instance: MessageInstance) -> None:
+        ctx = self.ctx
+        assert ctx is not None
+        mid = getattr(instance.payload, "mid", None)
+        plan = self._frontier_plan(instance.sender, mid)
+        if plan is None:
+            self._instant(instance)
+            return
+        next_node, _diagonal = plan
+        t = instance.bcast_time
+        for receiver in sorted(ctx.dual.reliable_neighbors(instance.sender)):
+            when = t + ctx.fack if receiver == next_node else t
+            ctx.deliver_at(instance, receiver, when)
+            self._note_holder(mid, receiver)
+        # Ablation: no diagonal injection.
+        ctx.ack_at(instance, t + ctx.fack)
+
+
+def run_figure2(ablated: bool, depth: int = 8):
+    net = parallel_lines_network(depth)
+    adversary = (
+        AblatedGreyZoneAdversary(net) if ablated else GreyZoneAdversary(net)
+    )
+    result = run_standard(
+        net.dual,
+        net.assignment,
+        lambda _: BMMBNode(),
+        adversary,
+        FACK,
+        FPROG,
+    )
+    certificate = check_axioms(result.instances, net.dual, FACK, FPROG)
+    return result, certificate
+
+
+def bench_ablation_adversary_injection(benchmark, report):
+    full, full_cert = run_figure2(ablated=False)
+    ablated, ablated_cert = run_figure2(ablated=True)
+    rows = [
+        {
+            "variant": "full adversary (with injection)",
+            "completion": full.completion_time,
+            "axiom-clean": full_cert.ok,
+            "violations": len(full_cert.violations),
+        },
+        {
+            "variant": "ablated (no injection)",
+            "completion": ablated.completion_time,
+            "axiom-clean": ablated_cert.ok,
+            "violations": len(ablated_cert.violations),
+        },
+    ]
+    assert full_cert.ok
+    assert not ablated_cert.ok  # starvation without the injection is illegal
+    assert any("progress violation" in v for v in ablated_cert.violations)
+    report(
+        "E15-A1 Negative control: starving without the diagonal injection "
+        "violates the progress bound",
+        render_table(rows),
+    )
+    benchmark.pedantic(run_figure2, args=(False,), rounds=3, iterations=1)
+
+
+def run_fmmb_with_activation(activation: float, seed: int = 0):
+    rng = RandomSource(seed, f"e15a2-{activation}")
+    dual = random_geometric_network(
+        30, side=2.5, c=1.6, grey_edge_probability=0.4, rng=rng
+    )
+    assignment = MessageAssignment.one_each(dual.nodes[:3])
+    config = FMMBConfig(activation_probability=activation)
+    return run_fmmb(dual, assignment, fprog=FPROG, seed=seed, config=config)
+
+
+def bench_ablation_fmmb_activation(benchmark, report):
+    rows = []
+    for activation in (0.05, 0.2, 0.4, 0.8):
+        results = [run_fmmb_with_activation(activation, seed) for seed in range(3)]
+        rows.append(
+            {
+                "activation p": activation,
+                "solve rate": sum(r.solved for r in results) / len(results),
+                "rounds mean": sum(r.total_rounds for r in results) / len(results),
+                "mis valid rate": sum(r.mis_valid for r in results) / len(results),
+            }
+        )
+    # The default Θ(1/c²) ≈ 0.39 region solves reliably.
+    mid = [row for row in rows if row["activation p"] in (0.2, 0.4)]
+    assert all(row["solve rate"] == 1.0 for row in mid)
+    report(
+        "E15-A2 FMMB activation-probability ablation (default ~0.39 = 1/c^2)",
+        render_table(rows),
+    )
+    benchmark.pedantic(run_fmmb_with_activation, args=(0.4,), rounds=3, iterations=1)
+
+
+def run_contention_bias(bias: float, seed: int = 0):
+    rng = RandomSource(seed, f"e15a3-{bias}")
+    from repro.topology import with_r_restricted_unreliable
+    from repro.topology.generators import line_graph
+
+    dual = with_r_restricted_unreliable(
+        line_graph(20), r=3, probability=0.6, rng=rng.child("t")
+    )
+    scheduler = ContentionScheduler(
+        rng.child("s"), unreliable_service_bias=bias
+    )
+    result = run_standard(
+        dual,
+        MessageAssignment.single_source(0, 4),
+        lambda _: BMMBNode(),
+        scheduler,
+        FACK,
+        FPROG,
+        keep_instances=False,
+    )
+    assert result.solved
+    return result
+
+
+def bench_ablation_contention_bias(benchmark, report):
+    rows = []
+    times = []
+    for bias in (0.0, 0.25, 0.5, 0.9):
+        result = run_contention_bias(bias)
+        times.append(result.completion_time)
+        rows.append(
+            {
+                "unreliable service bias": bias,
+                "completion": result.completion_time,
+                "rcv events": result.rcv_count,
+            }
+        )
+    # More unreliable traffic, mildly slower at worst: quantity isn't the lever.
+    assert max(times) <= 3.0 * min(times)
+    report(
+        "E15-A3 Contention-scheduler unreliable-service bias ablation",
+        render_table(rows),
+    )
+    benchmark.pedantic(run_contention_bias, args=(0.5,), rounds=3, iterations=1)

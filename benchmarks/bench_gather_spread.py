@@ -1,0 +1,142 @@
+"""E8 — §4.3 Lemma 4.6 and §4.4 Lemmas 4.7–4.8: gather and spread.
+
+Claims: gathering delivers every message to an MIS node in
+``O(c²·(k + log n))`` rounds; spreading pipelines the messages over the
+overlay ``H`` to all nodes in ``O((D_H + k)·log n)`` rounds.
+
+Regeneration: (a) sweep k at fixed topology and check gather rounds grow
+~linearly in k within the budget; (b) sweep the network depth at fixed k
+and check spread rounds grow with ``D_H`` within the budget.
+"""
+
+from __future__ import annotations
+
+from repro import RandomSource, grey_zone_network, random_geometric_network
+from repro.analysis.fitting import linear_fit
+from repro.analysis.tables import render_table
+from repro.core.fmmb.config import FMMBConfig
+from repro.core.fmmb.gather import gather_messages
+from repro.core.fmmb.mis import build_mis, require_valid_mis
+from repro.core.fmmb.overlay import build_overlay, overlay_diameter
+from repro.core.fmmb.spread import spread_messages
+from repro.ids import MessageAssignment
+from repro.mac.rounds import RandomRoundScheduler
+from repro.runtime.validate import required_deliveries
+from repro.topology.geometric import cluster_line_positions
+
+
+def setup(n: int, side: float, seed: int):
+    rng = RandomSource(seed, f"e8-{n}-{side}")
+    dual = random_geometric_network(
+        n, side=side, c=1.6, grey_edge_probability=0.4, rng=rng.child("net")
+    )
+    scheduler = RandomRoundScheduler(rng.child("rounds"))
+    mis = build_mis(dual, scheduler, rng.child("mis")).mis
+    require_valid_mis(dual, mis)
+    return rng, dual, scheduler, mis
+
+
+def setup_clusters(clusters: int, seed: int):
+    """Deterministic elongated grey-zone network: depth grows with clusters."""
+    rng = RandomSource(seed, f"e8-clusters-{clusters}")
+    positions = cluster_line_positions(clusters, nodes_per_cluster=4)
+    dual = grey_zone_network(
+        positions, c=1.6, grey_edge_probability=0.3, rng=rng.child("net")
+    )
+    scheduler = RandomRoundScheduler(rng.child("rounds"))
+    mis = build_mis(dual, scheduler, rng.child("mis")).mis
+    require_valid_mis(dual, mis)
+    return rng, dual, scheduler, mis
+
+
+def run_gather(n, side, k, seed=0):
+    rng, dual, scheduler, mis = setup(n, side, seed)
+    assignment = MessageAssignment.one_each(dual.nodes[:k])
+    result = gather_messages(
+        dual, mis, assignment.messages, scheduler, rng.child("g"), k=k
+    )
+    return dual, mis, assignment, result
+
+
+def bench_gather_rounds_vs_k(benchmark, report):
+    cfg = FMMBConfig()
+    rows = []
+    series = []
+    for k in (2, 4, 8, 16):
+        dual, mis, assignment, result = run_gather(40, 3.0, k)
+        assert result.complete
+        budget = 3 * cfg.gather_periods(dual.n, k)
+        assert result.rounds_used <= budget
+        series.append((k, float(result.rounds_used)))
+        rows.append(
+            {
+                "k": k,
+                "periods": result.periods_used,
+                "rounds": result.rounds_used,
+                "budget 3*c^2*(k+log n)": budget,
+            }
+        )
+    fit = linear_fit([x for x, _ in series], [y for _, y in series])
+    rows.append({"k": "fit slope", "rounds": fit.slope})
+    report(
+        "E8a Gather (Lemma 4.6): rounds grow ~linearly in k within budget",
+        render_table(rows),
+    )
+    benchmark.extra_info["gather_slope"] = fit.slope
+    benchmark.pedantic(run_gather, args=(40, 3.0, 8), rounds=3, iterations=1)
+
+
+def run_spread(clusters, k, seed=0):
+    rng, dual, scheduler, mis = setup_clusters(clusters, seed)
+    assignment = MessageAssignment.one_each(dual.nodes[:k])
+    gather = gather_messages(
+        dual, mis, assignment.messages, scheduler, rng.child("g"), k=k
+    )
+    assert gather.complete
+    overlay = build_overlay(dual, mis)
+    d_h = overlay_diameter(overlay)
+    required = required_deliveries(dual, assignment)
+    delivered = {
+        (node, m.mid) for node, msgs in assignment.messages.items() for m in msgs
+    }
+    result = spread_messages(
+        dual,
+        mis,
+        gather.owned,
+        scheduler,
+        rng.child("s"),
+        k=k,
+        overlay_diam=d_h,
+        required=required,
+        already_delivered=delivered,
+    )
+    return dual, d_h, result
+
+
+def bench_spread_rounds_vs_depth(benchmark, report):
+    cfg = FMMBConfig()
+    rows = []
+    for clusters in (4, 8, 16, 32):
+        dual, d_h, result = run_spread(clusters, k=3)
+        assert result.complete
+        per_phase = 3 * cfg.spread_periods_per_phase(dual.n)
+        budget = cfg.spread_phase_budget(d_h, 3, dual.n) * per_phase
+        assert result.rounds_used <= budget
+        rows.append(
+            {
+                "n": dual.n,
+                "D": dual.diameter(),
+                "D_H": d_h,
+                "phases": result.phases_used,
+                "rounds": result.rounds_used,
+                "budget (D_H+k+slack)*3*periods": budget,
+            }
+        )
+    # Deeper overlays need more phases.
+    assert rows[-1]["D_H"] > rows[0]["D_H"]
+    assert rows[-1]["rounds"] > rows[0]["rounds"]
+    report(
+        "E8b Spread (Lemmas 4.7-4.8): rounds grow with overlay depth within budget",
+        render_table(rows),
+    )
+    benchmark.pedantic(run_spread, args=(16, 3), rounds=3, iterations=1)

@@ -1,0 +1,112 @@
+"""E14 — §5 future work: leader election and consensus on the same stack.
+
+The paper's conclusion proposes studying leader election and consensus in
+the dual-graph abstract MAC setting.  This bench runs the package's
+FloodMax and flood-consensus extensions across topologies and schedulers,
+checks their postconditions (max-id leader per component; agreement +
+validity), and records completion-time scaling with the diameter.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ContentionScheduler,
+    RandomSource,
+    UniformDelayScheduler,
+    WorstCaseAckScheduler,
+    line_network,
+)
+from repro.analysis.fitting import linear_fit
+from repro.analysis.tables import render_table
+from repro.core.consensus import FloodConsensusNode, consensus_reached
+from repro.core.leader import FloodMaxNode, elected_correctly
+from repro.runtime.runner import run_protocol
+
+FACK = 20.0
+FPROG = 1.0
+
+
+def run_leader(n: int, scheduler_kind: str, seed: int = 0):
+    rng = RandomSource(seed, f"e14-{n}-{scheduler_kind}")
+    dual = line_network(n)
+    scheduler = {
+        "uniform": lambda: UniformDelayScheduler(rng.child("s")),
+        "contention": lambda: ContentionScheduler(rng.child("s")),
+        "worstcase": lambda: WorstCaseAckScheduler(),
+    }[scheduler_kind]()
+    run = run_protocol(dual, lambda _: FloodMaxNode(), scheduler, FACK, FPROG)
+    assert run.quiesced
+    assert elected_correctly(dual, run.automata)
+    return dual, run
+
+
+def bench_leader_election(benchmark, report):
+    rows = []
+    series = []
+    for n in (8, 16, 32, 64):
+        dual, run = run_leader(n, "uniform")
+        series.append((dual.diameter(), run.end_time))
+        rows.append(
+            {
+                "n": n,
+                "D": dual.diameter(),
+                "scheduler": "uniform",
+                "stabilized at": run.end_time,
+                "broadcasts": run.broadcast_count,
+            }
+        )
+    for kind in ("contention", "worstcase"):
+        dual, run = run_leader(16, kind)
+        rows.append(
+            {
+                "n": 16,
+                "D": dual.diameter(),
+                "scheduler": kind,
+                "stabilized at": run.end_time,
+                "broadcasts": run.broadcast_count,
+            }
+        )
+    fit = linear_fit([x for x, _ in series], [y for _, y in series])
+    assert fit.r_squared > 0.9  # stabilization scales with the diameter
+    rows.append({"n": "fit", "scheduler": "slope/D", "stabilized at": fit.slope})
+    report(
+        "E14a Leader election (FloodMax) on the abstract MAC layer",
+        render_table(rows),
+    )
+    benchmark.extra_info["slope_per_hop"] = fit.slope
+    benchmark.pedantic(run_leader, args=(32, "uniform"), rounds=3, iterations=1)
+
+
+def run_consensus(n: int, seed: int = 0):
+    rng = RandomSource(seed, f"e14c-{n}")
+    dual = line_network(n)
+    run = run_protocol(
+        dual,
+        lambda v: FloodConsensusNode(f"v{v}"),
+        UniformDelayScheduler(rng.child("s")),
+        FACK,
+        FPROG,
+    )
+    assert run.quiesced
+    assert consensus_reached(dual, run.automata)
+    return dual, run
+
+
+def bench_consensus(benchmark, report):
+    rows = []
+    for n in (6, 12, 24):
+        dual, run = run_consensus(n)
+        rows.append(
+            {
+                "n": n,
+                "decided": f"v{max(dual.nodes)}",
+                "stabilized at": run.end_time,
+                "broadcasts": run.broadcast_count,
+                "broadcasts = n^2": run.broadcast_count == n * n,
+            }
+        )
+    report(
+        "E14b Flood consensus: agreement + validity via n-proposal flooding",
+        render_table(rows),
+    )
+    benchmark.pedantic(run_consensus, args=(12,), rounds=3, iterations=1)

@@ -1,0 +1,105 @@
+"""E5 — Lemma 3.18: the ``Ω(k·Fack)`` choke-point lower bound.
+
+Claim: with a singleton assignment of ``k`` messages behind a single
+reliable edge, any algorithm needs ``Ω(k·Fack)`` — the bridge node can push
+only a constant number of messages per ``Fack``.
+
+Regeneration: run BMMB on the choke-star gadget with the
+full-``Fack``-acknowledgment adversary across ``k``; measured completion
+tracks ``(k−1)·Fack`` with slope ``Fack`` per message, and the combined
+choke+lines network realizes ``max(D−1, k−2)·Fack ≥ Ω((D+k)·Fack)``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BMMBNode,
+    ChokeAdversary,
+    CombinedAdversary,
+    check_axioms,
+    choke_lower_bound,
+    run_standard,
+)
+from repro.analysis.bounds import combined_lower_bound
+from repro.analysis.fitting import linear_fit
+from repro.analysis.tables import render_table
+from repro.topology.adversarial import (
+    choke_star_network,
+    combined_lower_bound_network,
+)
+
+FACK = 20.0
+FPROG = 1.0
+
+
+def run_choke(k: int, keep_instances: bool = False):
+    net = choke_star_network(k)
+    return net, run_standard(
+        net.dual,
+        net.assignment,
+        lambda _: BMMBNode(),
+        ChokeAdversary(),
+        FACK,
+        FPROG,
+        keep_instances=keep_instances,
+    )
+
+
+def bench_lowerbound_choke(benchmark, report):
+    rows = []
+    series = []
+    for k in (8, 16, 32, 64):
+        net, result = run_choke(k, keep_instances=(k == 8))
+        floor = choke_lower_bound(k, FACK)
+        assert result.solved
+        assert result.completion_time >= floor - 1e-9
+        if k == 8:
+            cert = check_axioms(result.instances, net.dual, FACK, FPROG)
+            assert cert.ok, cert.violations[:3]
+        series.append((k, result.completion_time))
+        rows.append(
+            {
+                "k": k,
+                "measured": result.completion_time,
+                "floor (k-1)*Fack": floor,
+                "ratio": result.completion_time / floor,
+            }
+        )
+    fit = linear_fit([x for x, _ in series], [y for _, y in series])
+    assert fit.r_squared > 0.999
+    assert abs(fit.slope - FACK) < 1.0  # one Fack per message through the choke
+
+    # The Theorem 3.17 composition.
+    comb_rows = []
+    for depth, k in ((10, 10), (20, 10), (10, 20)):
+        net = combined_lower_bound_network(depth, k)
+        result = run_standard(
+            net.dual,
+            net.assignment,
+            lambda _: BMMBNode(),
+            CombinedAdversary(net),
+            FACK,
+            FPROG,
+            keep_instances=False,
+        )
+        floor = combined_lower_bound(depth, k, FACK)
+        assert result.solved
+        assert result.completion_time >= floor - 1e-9
+        comb_rows.append(
+            {
+                "D": depth,
+                "k": k,
+                "measured": result.completion_time,
+                "floor max(D-1,k-2)*Fack": floor,
+            }
+        )
+    report(
+        "E5 Lemma 3.18 choke point: Omega(k*Fack)",
+        render_table(rows),
+    )
+    report(
+        "E5b Theorem 3.17 composition: Omega((D+k)*Fack) via max(D,k)",
+        render_table(comb_rows),
+    )
+    benchmark.extra_info["slope_vs_fack"] = fit.slope / FACK
+    benchmark.pedantic(run_choke, args=(32,), rounds=3, iterations=1)

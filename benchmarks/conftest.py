@@ -1,0 +1,40 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one experiment from the paper (see DESIGN.md's
+per-experiment index): it sweeps the experiment's parameters in simulation,
+assembles a paper-style table comparing measured values against the paper's
+bound, registers the table for the terminal summary, and hands one
+representative configuration to pytest-benchmark for wall-time tracking.
+
+The tables are what the harness is *for* — the pass/fail assertions inside
+each bench check the paper's claims (who wins, what scales with what), and
+the tables record the numbers behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Register a (title, table) pair for the end-of-run summary."""
+
+    def _register(title: str, table: str) -> None:
+        _REPORTS.append((title, table))
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper-reproduction tables")
+    for title, table in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {title} ==")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

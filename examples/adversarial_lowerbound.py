@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The Figure 2 lower bound, executed step by step.
+
+Builds the paper's two-parallel-lines network ``C``, runs BMMB against the
+Lemma 3.19/3.20 adversarial message scheduler, and prints the frontier
+timeline: message m0 crosses one hop of line A per ``Fack`` while the
+progress bound is kept satisfied by single receptions of m1 over the long
+diagonal unreliable edges.  The execution is then certified against all
+five MAC-layer axioms — the adversary cheats nothing.
+
+Run:  python examples/adversarial_lowerbound.py [depth]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    BMMBNode,
+    GreyZoneAdversary,
+    RandomSource,
+    UniformDelayScheduler,
+    check_axioms,
+    figure2_lower_bound,
+    run_standard,
+)
+from repro.analysis.tables import render_table
+from repro.topology.adversarial import parallel_lines_network
+
+FACK = 20.0
+FPROG = 1.0
+
+
+def main(depth: int = 10) -> None:
+    net = parallel_lines_network(depth)
+    print(f"network C: two {depth}-node lines, "
+          f"{net.dual.unreliable_edge_count} diagonal unreliable edges")
+    print(f"m0 starts at a1 (node {net.a_nodes[0]}), "
+          f"m1 starts at b1 (node {net.b_nodes[0]})")
+    print(f"model: Fack={FACK}, Fprog={FPROG}\n")
+
+    # --- Adversarial run ------------------------------------------------
+    result = run_standard(
+        net.dual,
+        net.assignment,
+        lambda _: BMMBNode(),
+        GreyZoneAdversary(net),
+        FACK,
+        FPROG,
+    )
+    rows = []
+    for i, node in enumerate(net.a_nodes):
+        rows.append(
+            {
+                "node": f"a{i + 1}",
+                "m0 delivered at": result.deliveries.time_of(node, "m0"),
+                "hops/Fack": (result.deliveries.time_of(node, "m0") or 0) / FACK,
+            }
+        )
+    print(render_table(rows, title="m0's frontier crawl down line A"))
+
+    floor = figure2_lower_bound(depth, FACK)
+    print(f"\ncompletion: {result.completion_time:.1f}  "
+          f"(lower-bound floor (D-1)*Fack = {floor:.1f})")
+
+    # --- Legality certificate -------------------------------------------
+    report = check_axioms(result.instances, net.dual, FACK, FPROG)
+    print(f"axiom certificate: ok={report.ok} "
+          f"({report.instances_checked} instances, "
+          f"{report.progress_windows_checked} progress windows checked)")
+
+    # --- Benign comparison ------------------------------------------------
+    rng = RandomSource(1, "benign")
+    benign = run_standard(
+        net.dual,
+        net.assignment,
+        lambda _: BMMBNode(),
+        UniformDelayScheduler(rng),
+        FACK,
+        FPROG,
+        keep_instances=False,
+    )
+    print(f"\nsame network, benign scheduler: {benign.completion_time:.1f} "
+          f"({result.completion_time / benign.completion_time:.0f}x faster)")
+    print("The gap is entirely the scheduler's doing: long unreliable edges "
+          "let it\nstarve the frontier while technically honoring the "
+          "progress bound.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Scheduler gallery: one algorithm, one network, every scheduler.
+
+The abstract MAC layer's nondeterminism is a *scheduler*; the paper's
+results are statements about which schedulers can exist.  This example runs
+BMMB on a single r-restricted network under every scheduler in the package
+and shows how the same algorithm's completion time moves between the
+``D·Fprog``-dominated regime (friendly scheduling) and the
+``(D+k)·Fack``-dominated regime (hostile-but-legal scheduling).
+
+Run:  python examples/scheduler_gallery.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BMMBNode,
+    ContentionScheduler,
+    MessageAssignment,
+    RandomSource,
+    UniformDelayScheduler,
+    WorstCaseAckScheduler,
+    bmmb_arbitrary_bound,
+    bmmb_r_restricted_bound,
+    check_axioms,
+    run_standard,
+    with_r_restricted_unreliable,
+)
+from repro.analysis.tables import render_table
+from repro.topology.generators import line_graph
+
+FACK = 20.0
+FPROG = 1.0
+R = 3
+K = 5
+
+
+def main() -> None:
+    rng = RandomSource(99, "gallery")
+    net = with_r_restricted_unreliable(
+        line_graph(20), r=R, probability=0.5, rng=rng.child("topo")
+    )
+    assignment = MessageAssignment.single_source(0, K)
+    d = net.diameter()
+    print(f"network: 20-node line + r={R}-restricted unreliable links "
+          f"({net.unreliable_edge_count} of them), D={d}, k={K}")
+    print(f"model: Fack={FACK}, Fprog={FPROG}\n")
+
+    schedulers = [
+        (
+            "uniform (friendly MAC)",
+            UniformDelayScheduler(rng.child("u"), p_unreliable=0.5),
+        ),
+        (
+            "contention (loaded MAC)",
+            ContentionScheduler(rng.child("c")),
+        ),
+        (
+            "worst-case acks (hostile but legal)",
+            WorstCaseAckScheduler(rng.child("w"), p_unreliable=0.5),
+        ),
+    ]
+    rows = []
+    for name, scheduler in schedulers:
+        result = run_standard(
+            net,
+            assignment,
+            lambda _: BMMBNode(),
+            scheduler,
+            FACK,
+            FPROG,
+        )
+        certificate = check_axioms(result.instances, net, FACK, FPROG)
+        rows.append(
+            {
+                "scheduler": name,
+                "completion": result.completion_time,
+                "axiom-clean": certificate.ok,
+                "rcv events": result.rcv_count,
+            }
+        )
+    print(render_table(rows, title="BMMB under every scheduler"))
+
+    t1 = bmmb_r_restricted_bound(d, K, R, FACK, FPROG)
+    arb = bmmb_arbitrary_bound(d, K, FACK)
+    print(f"\nTheorem 3.16 bound (r={R}):   {t1:.0f}")
+    print(f"Theorem 3.1 bound (any G'): {arb:.0f}")
+    print("\nEvery execution above is admissible for the same model "
+          "parameters —\nthe spread between rows is pure scheduler "
+          "nondeterminism, which is exactly\nwhat the paper's worst-case "
+          "bounds quantify over.")
+
+
+if __name__ == "__main__":
+    main()

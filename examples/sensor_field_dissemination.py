@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Sensor-field dissemination: the workload the paper's introduction motivates.
+
+A field of battery-powered sensors forms a multi-hop wireless network whose
+links are partly unreliable (marginal signal strength, co-existing traffic).
+Several sensors detect events and must disseminate their readings to every
+node (e.g., so any gateway can be queried).  This example:
+
+1. builds a sensor field as a grey-zone random geometric network,
+2. runs BMMB and the sequential-flooding baseline on the same event batch,
+3. sweeps the unreliable-link density to show BMMB's completion time is
+   essentially flat in the *quantity* of unreliability — the paper's core
+   discussion point (structure matters, quantity does not).
+
+Run:  python examples/sensor_field_dissemination.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BMMBNode,
+    MessageAssignment,
+    RandomSource,
+    SequentialFloodingCoordinator,
+    UniformDelayScheduler,
+    random_geometric_network,
+    run_standard,
+)
+from repro.analysis.tables import render_table
+from repro.runtime.validate import required_deliveries
+
+FACK = 20.0
+FPROG = 1.0
+
+
+def build_field(rng: RandomSource, grey_probability: float):
+    return random_geometric_network(
+        60,
+        side=4.0,
+        c=1.6,
+        grey_edge_probability=grey_probability,
+        rng=rng,
+    )
+
+
+def main() -> None:
+    rng = RandomSource(2024, "sensor-field")
+
+    # --- One event batch, two dissemination strategies ----------------
+    field = build_field(rng.child("field"), grey_probability=0.4)
+    detectors = field.nodes[:6]  # six sensors detect an event
+    readings = MessageAssignment.one_each(detectors, prefix="reading")
+    print(f"sensor field: n={field.n}, D={field.diameter()}, "
+          f"unreliable links={field.unreliable_edge_count}")
+    print(f"{len(detectors)} sensors disseminate readings to all nodes\n")
+
+    bmmb = run_standard(
+        field,
+        readings,
+        lambda _: BMMBNode(),
+        UniformDelayScheduler(rng.child("s1")),
+        FACK,
+        FPROG,
+        keep_instances=False,
+    )
+    req = required_deliveries(field, readings)
+    coordinator = SequentialFloodingCoordinator(
+        readings, {mid: len(nodes) for mid, nodes in req.items()}
+    )
+    sequential = run_standard(
+        field,
+        readings,
+        lambda _: coordinator.make_node(),
+        UniformDelayScheduler(rng.child("s2")),
+        FACK,
+        FPROG,
+        keep_instances=False,
+    )
+    print(render_table(
+        [
+            {
+                "strategy": "BMMB (pipelined flooding)",
+                "solved": bmmb.solved,
+                "completion": bmmb.completion_time,
+                "broadcasts": bmmb.broadcast_count,
+            },
+            {
+                "strategy": "sequential flooding",
+                "solved": sequential.solved,
+                "completion": sequential.completion_time,
+                "broadcasts": sequential.broadcast_count,
+            },
+        ],
+        title="one event batch, 6 readings",
+    ))
+
+    # --- Unreliability-density sweep -----------------------------------
+    rows = []
+    for grey_probability in (0.0, 0.25, 0.5, 0.75, 1.0):
+        net = build_field(rng.child(f"sweep-{grey_probability}"), grey_probability)
+        assignment = MessageAssignment.one_each(net.nodes[:6], prefix="reading")
+        result = run_standard(
+            net,
+            assignment,
+            lambda _: BMMBNode(),
+            UniformDelayScheduler(rng.child(f"run-{grey_probability}")),
+            FACK,
+            FPROG,
+            keep_instances=False,
+        )
+        rows.append(
+            {
+                "grey-link probability": grey_probability,
+                "unreliable links": net.unreliable_edge_count,
+                "completion": result.completion_time,
+                "solved": result.solved,
+            }
+        )
+    print()
+    print(render_table(
+        rows,
+        title="unreliability quantity sweep (short links only): "
+              "completion stays flat",
+    ))
+    print("\nTakeaway: adding *many* short unreliable links barely moves "
+          "completion time;\nthe paper's lower bound shows a few *long* ones "
+          "under an adversarial scheduler\nare what hurt "
+          "(see examples/adversarial_lowerbound.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+"""repro — reproduction of *Multi-Message Broadcast with Abstract MAC
+Layers and Unreliable Links* (Ghaffari, Kantor, Lynch, Newport; PODC 2014).
+
+The package implements the paper's model and algorithms end to end:
+
+* a discrete-event simulation kernel (:mod:`repro.sim`),
+* dual-graph topologies with reliable and unreliable links
+  (:mod:`repro.topology`), including the paper's lower-bound networks,
+* the standard and enhanced abstract MAC layers with pluggable message
+  schedulers — benign, contention-driven, and the paper's lower-bound
+  adversaries — plus an axiom checker that certifies executions against
+  the model (:mod:`repro.mac`),
+* the BMMB and FMMB algorithms and baselines (:mod:`repro.core`),
+* an experiment runtime and analysis helpers
+  (:mod:`repro.runtime`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import (
+        MessageAssignment, RandomSource, run_standard, BMMBNode,
+        ContentionScheduler, random_geometric_network,
+    )
+
+    rng = RandomSource(7)
+    net = random_geometric_network(40, side=3.0, c=1.6,
+                                   grey_edge_probability=0.4, rng=rng)
+    assignment = MessageAssignment.single_source(node=0, count=4)
+    result = run_standard(
+        net, assignment, lambda _: BMMBNode(),
+        ContentionScheduler(rng.child("sched")), fack=20.0, fprog=1.0,
+    )
+    print(result.solved, result.completion_time)
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    AlgorithmError,
+    AxiomViolation,
+    ExperimentError,
+    MACError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    TopologyError,
+    WellFormednessError,
+)
+from repro.ids import Message, MessageAssignment
+from repro.sim import RandomSource, Simulator
+from repro.topology import (
+    DualGraph,
+    choke_star_network,
+    combined_lower_bound_network,
+    grid_network,
+    grey_zone_network,
+    line_network,
+    parallel_lines_network,
+    random_geometric_network,
+    reliable_only,
+    ring_network,
+    star_network,
+    tree_network,
+    with_arbitrary_unreliable,
+    with_r_restricted_unreliable,
+)
+from repro.mac import (
+    EnhancedMACLayer,
+    StandardMACLayer,
+    check_axioms,
+)
+from repro.mac.axioms import assert_axioms
+from repro.mac.rounds import (
+    AdversarialRoundScheduler,
+    RandomRoundScheduler,
+    SlottedRoundEngine,
+)
+from repro.mac.schedulers import (
+    ChokeAdversary,
+    CombinedAdversary,
+    ContentionScheduler,
+    GreyZoneAdversary,
+    UniformDelayScheduler,
+    WorstCaseAckScheduler,
+)
+from repro.core import BMMBNode, SequentialFloodingCoordinator
+from repro.core.baselines import RedundantFloodingNode
+from repro.core.consensus import FloodConsensusNode, consensus_reached
+from repro.core.fmmb import FMMBConfig, run_fmmb
+from repro.core.leader import FloodMaxNode, elected_correctly
+from repro.core.problem import Arrival, ArrivalSchedule
+from repro.core.structuring import build_cds, cds_broadcast_schedule, validate_cds
+from repro.radio import RadioMACLayer, SlottedRadioNetwork
+from repro.runtime import RunResult, run_standard
+from repro.runtime.runner import ProtocolRun, run_protocol
+from repro.analysis import (
+    bmmb_arbitrary_bound,
+    bmmb_gg_bound,
+    bmmb_r_restricted_bound,
+    choke_lower_bound,
+    figure2_lower_bound,
+    fmmb_bound_time,
+)
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "SimulationError",
+    "TopologyError",
+    "MACError",
+    "WellFormednessError",
+    "AxiomViolation",
+    "SchedulerError",
+    "AlgorithmError",
+    "ExperimentError",
+    # primitives
+    "Message",
+    "MessageAssignment",
+    "RandomSource",
+    "Simulator",
+    # topology
+    "DualGraph",
+    "line_network",
+    "ring_network",
+    "star_network",
+    "grid_network",
+    "tree_network",
+    "reliable_only",
+    "with_arbitrary_unreliable",
+    "with_r_restricted_unreliable",
+    "grey_zone_network",
+    "random_geometric_network",
+    "parallel_lines_network",
+    "choke_star_network",
+    "combined_lower_bound_network",
+    # MAC
+    "StandardMACLayer",
+    "EnhancedMACLayer",
+    "check_axioms",
+    "assert_axioms",
+    "UniformDelayScheduler",
+    "ContentionScheduler",
+    "WorstCaseAckScheduler",
+    "ChokeAdversary",
+    "GreyZoneAdversary",
+    "CombinedAdversary",
+    "RandomRoundScheduler",
+    "AdversarialRoundScheduler",
+    "SlottedRoundEngine",
+    # algorithms
+    "BMMBNode",
+    "SequentialFloodingCoordinator",
+    "RedundantFloodingNode",
+    "FMMBConfig",
+    "run_fmmb",
+    # extensions (paper §5 future work, footnotes 2 and 4)
+    "FloodMaxNode",
+    "elected_correctly",
+    "FloodConsensusNode",
+    "consensus_reached",
+    "Arrival",
+    "ArrivalSchedule",
+    "build_cds",
+    "validate_cds",
+    "cds_broadcast_schedule",
+    "RadioMACLayer",
+    "SlottedRadioNetwork",
+    # runtime & analysis
+    "RunResult",
+    "run_standard",
+    "ProtocolRun",
+    "run_protocol",
+    "bmmb_gg_bound",
+    "bmmb_r_restricted_bound",
+    "bmmb_arbitrary_bound",
+    "figure2_lower_bound",
+    "choke_lower_bound",
+    "fmmb_bound_time",
+]

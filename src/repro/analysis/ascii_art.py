@@ -1,0 +1,85 @@
+"""Terminal visualizations: embedded networks and measurement series.
+
+Pure-text rendering (no plotting dependency is installed or needed):
+
+* :func:`render_embedding` — scatter an embedded dual graph onto a
+  character grid (MIS/backbone members can be highlighted);
+* :func:`render_series` — a quick bar chart of a (label, value) series,
+  used by examples to show scaling shapes inline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import TopologyError
+from repro.ids import NodeId
+from repro.topology.dualgraph import DualGraph
+
+
+def render_embedding(
+    dual: DualGraph,
+    width: int = 60,
+    height: int = 20,
+    highlight: Iterable[NodeId] = (),
+    highlight_char: str = "#",
+    node_char: str = "o",
+) -> str:
+    """Render an embedded network as a character grid.
+
+    Highlighted nodes (e.g. MIS members) draw as ``highlight_char``; other
+    nodes as ``node_char``.  Collisions on a cell prefer the highlight.
+
+    Raises :class:`TopologyError` when the graph has no embedding.
+    """
+    if dual.positions is None:
+        raise TopologyError("render_embedding requires an embedded network")
+    if width < 2 or height < 2:
+        raise TopologyError("grid must be at least 2x2")
+    xs = [p[0] for p in dual.positions.values()]
+    ys = [p[1] for p in dual.positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    highlighted = set(highlight)
+
+    def cell(node: NodeId) -> tuple[int, int]:
+        x, y = dual.positions[node]  # type: ignore[index]
+        col = round((x - min_x) / span_x * (width - 1))
+        row = round((max_y - y) / span_y * (height - 1))
+        return row, col
+
+    for node in dual.nodes:
+        row, col = cell(node)
+        current = grid[row][col]
+        if node in highlighted:
+            grid[row][col] = highlight_char
+        elif current == " ":
+            grid[row][col] = node_char
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+def render_series(
+    series: Sequence[tuple[object, float]] | Mapping[object, float],
+    width: int = 40,
+    bar_char: str = "█",
+) -> str:
+    """Render (label, value) pairs as a horizontal bar chart."""
+    if isinstance(series, Mapping):
+        pairs = list(series.items())
+    else:
+        pairs = list(series)
+    if not pairs:
+        raise TopologyError("cannot render an empty series")
+    values = [float(v) for _, v in pairs]
+    top = max(max(values), 1e-9)
+    label_width = max(len(str(label)) for label, _ in pairs)
+    lines = []
+    for label, value in pairs:
+        bar = bar_char * max(1, round(float(value) / top * width))
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)

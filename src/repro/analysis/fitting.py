@@ -1,0 +1,57 @@
+"""Least-squares scaling fits for benchmark series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a one-dimensional linear fit ``y ≈ slope·x + intercept``.
+
+    ``r_squared`` is the coefficient of determination; a value near 1 on a
+    (parameter, completion-time) series is the evidence the benchmarks use
+    for "time is linear in D" style claims.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line."""
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Fit ``ys ≈ slope·xs + intercept`` by least squares."""
+    if len(xs) != len(ys):
+        raise ExperimentError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if len(xs) < 2:
+        raise ExperimentError("need at least two points to fit a line")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    predictions = slope * x + intercept
+    ss_res = float(np.sum((y - predictions) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Ratio of endpoint growth rates: (y_n/y_0) / (x_n/x_0).
+
+    ≈ 1 for linear scaling, ≪ 1 for sublinear, ≫ 1 for superlinear; a
+    cruder but assumption-free companion to :func:`linear_fit`.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ExperimentError("need two aligned points")
+    if xs[0] == 0 or ys[0] == 0:
+        raise ExperimentError("growth ratio undefined from a zero start")
+    return (ys[-1] / ys[0]) / (xs[-1] / xs[0])

@@ -1,0 +1,50 @@
+"""Small summary-statistics helpers for repeated-seed experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of one measured series."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def half_width_95(self) -> float:
+        """Approximate 95% confidence half-width (normal, 1.96·σ/√n)."""
+        if self.count < 2:
+            return 0.0
+        return 1.96 * self.stdev / math.sqrt(self.count)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a non-empty series."""
+    if not values:
+        raise ExperimentError("cannot summarize an empty series")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def success_rate(outcomes: Sequence[bool]) -> float:
+    """Fraction of True outcomes (for w.h.p. claims measured over seeds)."""
+    if not outcomes:
+        raise ExperimentError("cannot compute a rate over no outcomes")
+    return sum(1 for ok in outcomes if ok) / len(outcomes)

@@ -1,0 +1,280 @@
+"""Command-line interface: explore the paper's experiments from a shell.
+
+Subcommands:
+
+* ``info`` — generate a topology and print its summary.
+* ``bmmb`` — run BMMB on a generated topology with a chosen scheduler and
+  print completion vs the paper's bound.
+* ``fmmb`` — run FMMB on a grey-zone network and print per-subroutine
+  round counts vs the Theorem 4.1 budget.
+* ``lowerbound`` — run the Figure 2 adversary (or the Lemma 3.18 choke)
+  and print the measured floor plus the axiom certificate.
+* ``radio`` — run BMMB over the decay-backed radio MAC on a star and print
+  the realized (empirical) ``Fack``/``Fprog`` gap.
+
+All subcommands accept ``--seed`` and print plain tables; exit status 0
+means the run solved/validated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.bounds import (
+    bmmb_arbitrary_bound,
+    choke_lower_bound,
+    figure2_lower_bound,
+    fmmb_bound_rounds,
+)
+from repro.analysis.tables import render_table
+from repro.core.bmmb import BMMBNode
+from repro.core.fmmb import run_fmmb
+from repro.ids import MessageAssignment
+from repro.mac.axioms import check_axioms
+from repro.mac.schedulers import (
+    ChokeAdversary,
+    ContentionScheduler,
+    GreyZoneAdversary,
+    UniformDelayScheduler,
+    WorstCaseAckScheduler,
+)
+from repro.radio import RadioMACLayer
+from repro.runtime.runner import run_standard
+from repro.sim.rng import RandomSource
+from repro.topology import random_geometric_network
+from repro.topology.adversarial import choke_star_network, parallel_lines_network
+from repro.topology.metrics import summarize
+
+
+def _make_network(args: argparse.Namespace):
+    rng = RandomSource(args.seed, "cli")
+    return random_geometric_network(
+        args.n,
+        side=args.side,
+        c=args.c,
+        grey_edge_probability=args.grey_probability,
+        rng=rng.child("net"),
+    )
+
+
+def _make_scheduler(name: str, rng: RandomSource):
+    if name == "uniform":
+        return UniformDelayScheduler(rng, p_unreliable=0.5)
+    if name == "contention":
+        return ContentionScheduler(rng)
+    if name == "worstcase":
+        return WorstCaseAckScheduler(rng, p_unreliable=0.5)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_info(args: argparse.Namespace) -> int:
+    dual = _make_network(args)
+    print(render_table([summarize(dual).as_dict()], title="topology summary"))
+    return 0
+
+
+def cmd_bmmb(args: argparse.Namespace) -> int:
+    dual = _make_network(args)
+    rng = RandomSource(args.seed, "cli-bmmb")
+    assignment = MessageAssignment.one_each(dual.nodes[: args.k])
+    result = run_standard(
+        dual,
+        assignment,
+        lambda _: BMMBNode(),
+        _make_scheduler(args.scheduler, rng.child("sched")),
+        args.fack,
+        args.fprog,
+        keep_instances=False,
+    )
+    bound = bmmb_arbitrary_bound(dual.diameter(), args.k, args.fack)
+    print(render_table(
+        [
+            {
+                "solved": result.solved,
+                "completion": result.completion_time,
+                "(D+k)*Fack bound": bound,
+                "broadcasts": result.broadcast_count,
+            }
+        ],
+        title=f"BMMB on n={dual.n} grey-zone network, k={args.k}, "
+              f"scheduler={args.scheduler}",
+    ))
+    return 0 if result.solved else 1
+
+
+def cmd_fmmb(args: argparse.Namespace) -> int:
+    dual = _make_network(args)
+    assignment = MessageAssignment.one_each(dual.nodes[: args.k])
+    result = run_fmmb(dual, assignment, fprog=args.fprog, seed=args.seed)
+    budget = fmmb_bound_rounds(dual.diameter(), args.k, dual.n, c=args.c)
+    print(render_table(
+        [
+            {
+                "solved": result.solved,
+                "MIS valid": result.mis_valid,
+                "rounds MIS": result.mis_result.rounds_used,
+                "rounds gather": result.gather_result.rounds_used,
+                "rounds spread": result.spread_result.rounds_used,
+                "rounds total": result.total_rounds,
+                "budget": round(budget),
+            }
+        ],
+        title=f"FMMB on n={dual.n} grey-zone network, k={args.k}",
+    ))
+    return 0 if result.solved else 1
+
+
+def cmd_lowerbound(args: argparse.Namespace) -> int:
+    if args.gadget == "figure2":
+        net = parallel_lines_network(args.depth)
+        scheduler = GreyZoneAdversary(net)
+        floor = figure2_lower_bound(args.depth, args.fack)
+        dual, assignment = net.dual, net.assignment
+        title = f"Figure 2 adversary, D={args.depth}"
+    else:
+        choke = choke_star_network(args.k)
+        scheduler = ChokeAdversary()
+        floor = choke_lower_bound(args.k, args.fack)
+        dual, assignment = choke.dual, choke.assignment
+        title = f"Lemma 3.18 choke, k={args.k}"
+    result = run_standard(
+        dual,
+        assignment,
+        lambda _: BMMBNode(),
+        scheduler,
+        args.fack,
+        args.fprog,
+    )
+    report = check_axioms(result.instances, dual, args.fack, args.fprog)
+    print(render_table(
+        [
+            {
+                "solved": result.solved,
+                "completion": result.completion_time,
+                "floor": floor,
+                "axiom-clean": report.ok,
+            }
+        ],
+        title=title,
+    ))
+    return 0 if (result.solved and report.ok) else 1
+
+
+def cmd_radio(args: argparse.Namespace) -> int:
+    from repro.topology import star_network
+
+    dual = star_network(args.n)
+    layer = RadioMACLayer(dual, RandomSource(args.seed, "cli-radio"))
+    for v in dual.nodes:
+        layer.register(v, BMMBNode())
+    assignment = MessageAssignment.one_each(list(range(1, args.n)))
+    for node, msgs in sorted(assignment.messages.items()):
+        for m in msgs:
+            layer.inject_arrival(node, m)
+    slots = layer.run(max_slots=args.max_slots)
+    bounds = layer.empirical_bounds()
+    solved = all(
+        (v, m.mid) in layer.deliveries
+        for v in dual.nodes
+        for m in assignment.all_messages()
+    )
+    print(render_table(
+        [
+            {
+                "solved": solved,
+                "slots": slots,
+                "empirical Fack": bounds.fack,
+                "empirical Fprog": bounds.fprog,
+                "Fack/Fprog": bounds.fack / max(bounds.fprog, 1e-9),
+                "delivery rate": bounds.delivery_success_rate,
+            }
+        ],
+        title=f"BMMB over decay radio MAC, star n={args.n} (footnote 2)",
+    ))
+    return 0 if solved else 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_network_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=40, help="node count")
+    parser.add_argument("--side", type=float, default=3.0, help="box side length")
+    parser.add_argument("--c", type=float, default=1.6, help="grey-zone constant")
+    parser.add_argument(
+        "--grey-probability",
+        type=float,
+        default=0.4,
+        help="probability of each grey-band G' edge",
+    )
+
+
+def _add_model_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fack", type=float, default=20.0, help="Fack bound")
+    parser.add_argument("--fprog", type=float, default=1.0, help="Fprog bound")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Multi-Message Broadcast with Abstract "
+        "MAC Layers and Unreliable Links' (PODC 2014)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print a generated topology summary")
+    _add_network_options(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_bmmb = sub.add_parser("bmmb", help="run BMMB on a grey-zone network")
+    _add_network_options(p_bmmb)
+    _add_model_options(p_bmmb)
+    p_bmmb.add_argument("--k", type=int, default=4, help="message count")
+    p_bmmb.add_argument(
+        "--scheduler",
+        choices=["uniform", "contention", "worstcase"],
+        default="contention",
+    )
+    p_bmmb.set_defaults(func=cmd_bmmb)
+
+    p_fmmb = sub.add_parser("fmmb", help="run FMMB on a grey-zone network")
+    _add_network_options(p_fmmb)
+    p_fmmb.add_argument("--k", type=int, default=4, help="message count")
+    p_fmmb.add_argument("--fprog", type=float, default=1.0, help="Fprog bound")
+    p_fmmb.set_defaults(func=cmd_fmmb)
+
+    p_lb = sub.add_parser("lowerbound", help="run a lower-bound adversary")
+    _add_model_options(p_lb)
+    p_lb.add_argument(
+        "--gadget", choices=["figure2", "choke"], default="figure2"
+    )
+    p_lb.add_argument("--depth", type=int, default=10, help="Figure 2 line depth")
+    p_lb.add_argument("--k", type=int, default=16, help="choke message count")
+    p_lb.set_defaults(func=cmd_lowerbound)
+
+    p_radio = sub.add_parser(
+        "radio", help="run BMMB over the decay radio MAC (footnote 2)"
+    )
+    p_radio.add_argument("--n", type=int, default=12, help="star size")
+    p_radio.add_argument(
+        "--max-slots", type=int, default=500_000, help="slot budget"
+    )
+    p_radio.set_defaults(func=cmd_radio)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Baseline dissemination strategies BMMB is compared against.
+
+The paper's §3.1 notes that a trivial analysis gives ``O(D·k·Fack)``:
+without pipelining, each message pays the full network traversal before the
+next one starts.  :class:`SequentialFloodingCoordinator` realizes that
+strategy as an actual algorithm — an idealized *sequential* protocol that
+floods one message to completion before releasing the next (using a global
+barrier an oracle provides).  It is deliberately generous (perfect barrier,
+no coordination cost), so any measured advantage of BMMB over it is a lower
+bound on the real value of pipelining.
+
+A second baseline, :class:`RedundantFloodingNode`, floods like BMMB but
+re-broadcasts each message ``redundancy`` times — the defensive strategy
+naive deployments use against unreliable links.  It shows that paying for
+reliability with repetition (quantity) is the wrong lever, matching the
+paper's message that the *structure* of unreliability is what matters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import AlgorithmError
+from repro.ids import Message, MessageAssignment, NodeId
+from repro.mac.interfaces import Automaton, MACApi
+
+
+class SequentialFloodingNode(Automaton):
+    """Floods only messages the coordinator has released."""
+
+    def __init__(self, coordinator: "SequentialFloodingCoordinator"):
+        self._coordinator = coordinator
+        self.rcvd: set[str] = set()
+        self.pending: deque[Message] = deque()
+        self.sending = False
+        self._api: MACApi | None = None
+
+    def on_wakeup(self, api: MACApi) -> None:
+        self._api = api
+
+    def on_arrive(self, api: MACApi, message: Message) -> None:
+        self._api = api
+        api.deliver(message)
+        self.rcvd.add(message.mid)
+        self._coordinator.register_source(message)
+
+    def on_receive(self, api: MACApi, payload: Message, sender: NodeId) -> None:
+        if payload.mid in self.rcvd:
+            return
+        api.deliver(payload)
+        self.rcvd.add(payload.mid)
+        if payload.mid == self._coordinator.active_mid:
+            self.pending.append(payload)
+            self._maybe_send(api)
+        self._coordinator.note_delivery(payload)
+
+    def on_ack(self, api: MACApi, payload: Message) -> None:
+        if not self.sending:
+            raise AlgorithmError("sequential flooding acked while idle")
+        self.sending = False
+        if self.pending and self.pending[0].mid == payload.mid:
+            self.pending.popleft()
+        self._maybe_send(api)
+
+    def release(self, message: Message) -> None:
+        """Coordinator callback: start flooding ``message`` if we hold it."""
+        if message.mid in self.rcvd and self._api is not None:
+            self.pending.append(message)
+            self._maybe_send(self._api)
+
+    def _maybe_send(self, api: MACApi) -> None:
+        if not self.sending and self.pending:
+            self.sending = True
+            api.bcast(self.pending[0])
+
+
+class SequentialFloodingCoordinator:
+    """Oracle barrier: floods message ``i+1`` only once ``i`` is finished.
+
+    Construction mirrors the experiment runner's shape: build the
+    coordinator with the assignment and target node set, create one
+    :meth:`make_node` automaton per node, and the coordinator drives the
+    sequence as deliveries complete.
+    """
+
+    def __init__(self, assignment: MessageAssignment, component_sizes: dict[str, int]):
+        self._order = [m.mid for m in assignment.all_messages()]
+        self._messages = {m.mid: m for m in assignment.all_messages()}
+        self._needed = dict(component_sizes)
+        self._delivered_counts: dict[str, int] = {mid: 0 for mid in self._order}
+        self._nodes: list[SequentialFloodingNode] = []
+        self._active_index = -1
+        self.active_mid: str | None = None
+
+    def make_node(self) -> SequentialFloodingNode:
+        """Create one per-node automaton wired to this coordinator."""
+        node = SequentialFloodingNode(self)
+        self._nodes.append(node)
+        return node
+
+    def register_source(self, message: Message) -> None:
+        self._delivered_counts[message.mid] += 1
+        if self._active_index == -1:
+            self._advance()
+
+    def note_delivery(self, message: Message) -> None:
+        self._delivered_counts[message.mid] += 1
+        if (
+            message.mid == self.active_mid
+            and self._delivered_counts[message.mid] >= self._needed[message.mid]
+        ):
+            self._advance()
+
+    def _advance(self) -> None:
+        self._active_index += 1
+        if self._active_index >= len(self._order):
+            self.active_mid = None
+            return
+        self.active_mid = self._order[self._active_index]
+        message = self._messages[self.active_mid]
+        if self._delivered_counts[self.active_mid] >= self._needed[self.active_mid]:
+            # Degenerate component (single node): already done, move on.
+            self._advance()
+            return
+        for node in self._nodes:
+            node.release(message)
+
+
+class RedundantFloodingNode(Automaton):
+    """BMMB with each message broadcast ``redundancy`` times.
+
+    A common defensive pattern against lossy links; strictly slower than
+    BMMB by roughly the redundancy factor on the ``k·Fack`` term.
+    """
+
+    def __init__(self, redundancy: int = 2):
+        if redundancy < 1:
+            raise AlgorithmError(f"redundancy must be >= 1, got {redundancy}")
+        self.redundancy = redundancy
+        self.bcastq: deque[Message] = deque()
+        self.rcvd: set[str] = set()
+        self.sending = False
+
+    def on_arrive(self, api: MACApi, message: Message) -> None:
+        self._get(api, message)
+
+    def on_receive(self, api: MACApi, payload: Message, sender: NodeId) -> None:
+        if payload.mid in self.rcvd:
+            return
+        self._get(api, payload)
+
+    def on_ack(self, api: MACApi, payload: Message) -> None:
+        self.bcastq.popleft()
+        self.sending = False
+        self._maybe_send(api)
+
+    def _get(self, api: MACApi, message: Message) -> None:
+        api.deliver(message)
+        self.rcvd.add(message.mid)
+        for _ in range(self.redundancy):
+            self.bcastq.append(message)
+        self._maybe_send(api)
+
+    def _maybe_send(self, api: MACApi) -> None:
+        if not self.sending and self.bcastq:
+            self.sending = True
+            api.bcast(self.bcastq[0])

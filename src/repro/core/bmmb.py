@@ -1,0 +1,89 @@
+"""The Basic Multi-Message Broadcast protocol (paper §3.2.2).
+
+Verbatim from the paper:
+
+    Every process i maintains a FIFO queue named ``bcastq`` and a set named
+    ``rcvd``.  Both are initially empty.
+
+    If process i is not currently sending a message (i.e., not waiting for
+    an ack from the MAC layer) and ``bcastq`` is not empty, the process
+    immediately (without any time-passage) bcasts the message at the head
+    of ``bcastq`` on the MAC layer.
+
+    When process i receives an ``arrive(m)_i`` event, it immediately
+    performs a local ``deliver(m)_i`` output and adds m to the back of its
+    ``bcastq``, and to its ``rcvd`` set.
+
+    When i receives a message m from the MAC layer it checks its ``rcvd``
+    set.  If m ∈ rcvd, process i discards the message.  Otherwise, i
+    immediately performs a ``deliver(m)_i`` event, and adds m to the back
+    of its ``bcastq`` and to its ``rcvd`` set.
+
+BMMB is deterministic, uses no ids, clocks, or knowledge of ``k``, and runs
+on the *standard* layer.  Its guarantees under the different ``G'`` regimes
+are Theorems 3.1 (arbitrary: ``O((D+k)·Fack)``) and 3.2/3.16
+(``r``-restricted: ``(D + (r+1)k − 2)·Fprog + r(k−1)·Fack``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import AlgorithmError
+from repro.ids import Message, NodeId
+from repro.mac.interfaces import Automaton, MACApi
+
+
+class BMMBNode(Automaton):
+    """One BMMB process: FIFO ``bcastq`` + ``rcvd`` set + eager sending."""
+
+    def __init__(self) -> None:
+        self.bcastq: deque[Message] = deque()
+        self.rcvd: set[str] = set()
+        self.sending = False
+        self.sent_count = 0
+
+    # ------------------------------------------------------------------
+    # Environment events
+    # ------------------------------------------------------------------
+    def on_arrive(self, api: MACApi, message: Message) -> None:
+        self._get(api, message)
+
+    def on_receive(self, api: MACApi, payload: Message, sender: NodeId) -> None:
+        if not isinstance(payload, Message):
+            raise AlgorithmError(
+                f"BMMB received a non-Message payload: {payload!r}"
+            )
+        if payload.mid in self.rcvd:
+            return  # duplicate: discard
+        self._get(api, payload)
+
+    # ------------------------------------------------------------------
+    # MAC events
+    # ------------------------------------------------------------------
+    def on_ack(self, api: MACApi, payload: Message) -> None:
+        if not self.sending or not self.bcastq:
+            raise AlgorithmError("BMMB acked while not sending")
+        head = self.bcastq.popleft()
+        if head.mid != payload.mid:
+            raise AlgorithmError(
+                f"BMMB ack for {payload.mid} but queue head is {head.mid}"
+            )
+        self.sending = False
+        self.sent_count += 1
+        self._maybe_send(api)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _get(self, api: MACApi, message: Message) -> None:
+        """The paper's ``get`` event: first time this node learns of m."""
+        api.deliver(message)
+        self.rcvd.add(message.mid)
+        self.bcastq.append(message)
+        self._maybe_send(api)
+
+    def _maybe_send(self, api: MACApi) -> None:
+        if not self.sending and self.bcastq:
+            self.sending = True
+            api.bcast(self.bcastq[0])

@@ -1,0 +1,105 @@
+"""One-shot consensus over the abstract MAC layer (paper §5 future work).
+
+The paper's conclusion lists consensus among the problems whose dual-graph
+abstract-MAC behavior deserves study.  We implement the straightforward
+reduction to flooding: every node floods its ``(id, proposal)`` pair using
+the BMMB discipline (each pair broadcast once, FIFO), tracks the pair with
+the **largest id** seen so far, and — once the execution quiesces — decides
+that pair's value.
+
+Properties (checked by the tests under every scheduler in the package):
+
+* **Agreement** — all nodes of a ``G``-component decide the same value
+  (they all end up knowing the component's maximum id, whose pair is
+  unique).
+* **Validity** — the decision is some node's proposal.
+* **Integrity** — each node decides once.
+
+Like BMMB itself, the protocol is oblivious to ``k``/``n`` and never uses
+clocks, so decision *detection* is oracle-observed at quiescence (standard
+for the event-driven model; the enhanced model could decide after
+``D_max`` rounds instead).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import AlgorithmError
+from repro.ids import NodeId
+from repro.mac.interfaces import Automaton, MACApi
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """Payload: node ``proposer`` proposes ``value``."""
+
+    proposer: NodeId
+    value: Any
+
+
+class FloodConsensusNode(Automaton):
+    """One consensus process: BMMB-floods proposals, adopts max-id pair."""
+
+    def __init__(self, value: Any):
+        self.value = value
+        self.seen: set[NodeId] = set()
+        self.queue: deque[Proposal] = deque()
+        self.sending = False
+        self.best: Proposal | None = None
+
+    @property
+    def decision(self) -> Any:
+        """The value this node would decide now (max-id proposal's value)."""
+        if self.best is None:
+            raise AlgorithmError("consensus node has no proposal yet")
+        return self.best.value
+
+    def on_wakeup(self, api: MACApi) -> None:
+        mine = Proposal(api.node_id, self.value)
+        self._adopt(mine)
+        self._enqueue(api, mine)
+
+    def on_receive(self, api: MACApi, payload: Proposal, sender: NodeId) -> None:
+        if not isinstance(payload, Proposal):
+            raise AlgorithmError(f"consensus received {payload!r}")
+        if payload.proposer in self.seen:
+            return
+        self._adopt(payload)
+        self._enqueue(api, payload)
+
+    def on_ack(self, api: MACApi, payload: Proposal) -> None:
+        if not self.sending or not self.queue:
+            raise AlgorithmError("consensus acked while idle")
+        self.queue.popleft()
+        self.sending = False
+        self._maybe_send(api)
+
+    def _adopt(self, proposal: Proposal) -> None:
+        if self.best is None or proposal.proposer > self.best.proposer:
+            self.best = proposal
+
+    def _enqueue(self, api: MACApi, proposal: Proposal) -> None:
+        self.seen.add(proposal.proposer)
+        self.queue.append(proposal)
+        self._maybe_send(api)
+
+    def _maybe_send(self, api: MACApi) -> None:
+        if not self.sending and self.queue:
+            self.sending = True
+            api.bcast(self.queue[0])
+
+
+def consensus_reached(dual, nodes: dict[NodeId, FloodConsensusNode]) -> bool:
+    """Postcondition: per component — agreement on the max-id proposal."""
+    for component in dual.components():
+        leader = max(component)
+        expected = nodes[leader].value
+        for v in component:
+            if nodes[v].best is None or nodes[v].decision != expected:
+                return False
+            if nodes[v].best.proposer != leader:
+                return False
+    return True

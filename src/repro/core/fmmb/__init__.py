@@ -1,0 +1,40 @@
+"""Fast Multi-Message Broadcast (paper §4).
+
+FMMB runs in the *enhanced* abstract MAC layer under a grey-zone ``G'`` and
+solves MMB in ``O((D·log n + k·log n + log³n)·Fprog)`` rounds w.h.p. — with
+no ``Fack`` term at all.  It is built from three subroutines over lock-step
+``Fprog`` rounds:
+
+1. :mod:`~repro.core.fmmb.mis` — build a maximal independent set of ``G``
+   in ``O(c⁴·log³ n)`` rounds (§4.2);
+2. :mod:`~repro.core.fmmb.gather` — move every message onto some MIS node
+   in ``O(c²·(k + log n))`` rounds (§4.3);
+3. :mod:`~repro.core.fmmb.spread` — pipeline the messages over the overlay
+   ``H`` (MIS nodes, edges = pairs within 3 ``G``-hops) and out to all
+   nodes in ``O((D + k)·log n)`` rounds (§4.4).
+
+Entry point: :func:`~repro.core.fmmb.fmmb.run_fmmb`.
+"""
+
+from repro.core.fmmb.config import FMMBConfig
+from repro.core.fmmb.fmmb import FMMBResult, run_fmmb
+from repro.core.fmmb.gather import GatherResult, gather_messages
+from repro.core.fmmb.mis import MISResult, build_mis, is_independent, is_maximal
+from repro.core.fmmb.overlay import build_overlay, overlay_diameter
+from repro.core.fmmb.spread import SpreadResult, spread_messages
+
+__all__ = [
+    "FMMBConfig",
+    "FMMBResult",
+    "run_fmmb",
+    "MISResult",
+    "build_mis",
+    "is_independent",
+    "is_maximal",
+    "GatherResult",
+    "gather_messages",
+    "build_overlay",
+    "overlay_diameter",
+    "SpreadResult",
+    "spread_messages",
+]

@@ -1,0 +1,177 @@
+"""The FMMB message-gathering subroutine (paper §4.3).
+
+Moves every MMB message onto at least one MIS node in
+``O(c²·(k + log n))`` three-round periods, w.h.p.  Per period:
+
+1. each MIS node activates with probability ``Θ(1/c²)`` and broadcasts an
+   activation signal;
+2. each non-MIS node that heard an activation *from a G-neighbor* and still
+   owns messages uploads one of them;
+3. each MIS node that received an upload *from a G-neighbor* acknowledges
+   it (with the message embedded); non-MIS nodes hearing the ack *from a
+   G-neighbor* drop the message from their pending set.
+
+Receiver-side ``G``-filtering matters: the round scheduler may hand a node
+a message from an unreliable-only neighbor, and the algorithm must ignore
+it (the paper's analysis shows that when an MIS node is the lone active
+node in its ``2c``-ball, every broadcaster it can hear is in fact a
+``G``-neighbor — but the scheduler is free to be less kind in other
+periods, and correctness only ever credits the filtered receptions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fmmb.config import FMMBConfig
+from repro.ids import Message, MessageId, NodeId
+from repro.mac.rounds import RoundScheduler, run_one_round
+from repro.sim.rng import RandomSource
+from repro.topology.dualgraph import DualGraph
+
+
+@dataclass(frozen=True)
+class _Activate:
+    """Round-1 broadcast: 'I am an active MIS node this period.'"""
+
+    vid: NodeId
+
+
+@dataclass(frozen=True)
+class _Upload:
+    """Round-2 broadcast: a non-MIS node handing one message up."""
+
+    message: Message
+    vid: NodeId
+
+
+@dataclass(frozen=True)
+class _GatherAck:
+    """Round-3 broadcast: an MIS node confirming custody of a message."""
+
+    message: Message
+    vid: NodeId
+
+
+@dataclass
+class GatherResult:
+    """Outcome of the gathering subroutine.
+
+    Attributes:
+        owned: MIS node → messages it holds after gathering (insertion
+            ordered — the spreading subroutine sends in this order).
+        periods_used: Three-round periods executed.
+        rounds_used: Total rounds consumed (= 3 × periods).
+        complete: True when every non-MIS pending set drained (oracle
+            observation).
+    """
+
+    owned: dict[NodeId, dict[MessageId, Message]]
+    periods_used: int
+    rounds_used: int
+    complete: bool
+
+
+class _Recorder:
+    """Minimal protocol for recording first receipt of a message."""
+
+    def record(self, node: NodeId, message: Message, round_index: int) -> None:
+        """Override in callers that track deliveries."""
+
+
+def gather_messages(
+    dual: DualGraph,
+    mis: frozenset[NodeId],
+    initial: dict[NodeId, tuple[Message, ...]],
+    scheduler: RoundScheduler,
+    rng: RandomSource,
+    k: int,
+    config: FMMBConfig | None = None,
+    recorder: _Recorder | None = None,
+    round_offset: int = 0,
+) -> GatherResult:
+    """Run the gathering subroutine.
+
+    Args:
+        dual: The network.
+        mis: A valid MIS of ``G`` (output of the MIS subroutine).
+        initial: The MMB assignment (node → injected messages).
+        scheduler: Per-round delivery policy.
+        rng: Random stream (activation coins).
+        k: Total message count — used only to size the period budget, as
+            the paper does; the oracle mode stops earlier.
+        config: Constants.
+        recorder: Optional first-receipt recorder (for delivery metrics).
+        round_offset: Starting global round index.
+    """
+    cfg = config or FMMBConfig()
+    recorder = recorder or _Recorder()
+    activation = cfg.activation()
+    coin_rng = rng.child("gather-coins")
+
+    owned: dict[NodeId, dict[MessageId, Message]] = {u: {} for u in mis}
+    pending: dict[NodeId, list[Message]] = {}
+    for node, messages in sorted(initial.items()):
+        if node in mis:
+            for m in messages:
+                owned[node][m.mid] = m
+        else:
+            pending[node] = sorted(messages, key=lambda m: m.mid)
+
+    max_periods = cfg.gather_periods(dual.n, k)
+    round_index = round_offset
+    periods = 0
+    for _ in range(max_periods):
+        if cfg.oracle_termination and not any(pending.values()):
+            break
+        periods += 1
+        # Round 1: activation signals.
+        active = sorted(u for u in mis if coin_rng.bernoulli(activation))
+        intents_1 = {u: _Activate(u) for u in active}
+        received_1 = run_one_round(dual, scheduler, round_index, intents_1)
+        round_index += 1
+        heard: set[NodeId] = set()
+        for v, events in received_1.items():
+            if v in mis:
+                continue
+            for sender, payload in events:
+                if isinstance(payload, _Activate) and sender in dual.reliable_neighbors(v):
+                    heard.add(v)
+        # Round 2: uploads from non-MIS nodes that heard an activation.
+        intents_2 = {
+            v: _Upload(pending[v][0], v)
+            for v in sorted(heard)
+            if pending.get(v)
+        }
+        received_2 = run_one_round(dual, scheduler, round_index, intents_2)
+        round_index += 1
+        to_ack: dict[NodeId, Message] = {}
+        for u, events in received_2.items():
+            for sender, payload in events:
+                if not isinstance(payload, _Upload):
+                    continue
+                recorder.record(u, payload.message, round_index - 1)
+                if u in mis and sender in dual.reliable_neighbors(u):
+                    owned[u][payload.message.mid] = payload.message
+                    to_ack[u] = payload.message
+        # Round 3: custody acknowledgments.
+        intents_3 = {u: _GatherAck(m, u) for u, m in sorted(to_ack.items())}
+        received_3 = run_one_round(dual, scheduler, round_index, intents_3)
+        round_index += 1
+        for v, events in received_3.items():
+            for sender, payload in events:
+                if not isinstance(payload, _GatherAck):
+                    continue
+                recorder.record(v, payload.message, round_index - 1)
+                if v in pending and sender in dual.reliable_neighbors(v):
+                    pending[v] = [
+                        m for m in pending[v] if m.mid != payload.message.mid
+                    ]
+
+    complete = not any(pending.values())
+    return GatherResult(
+        owned=owned,
+        periods_used=periods,
+        rounds_used=round_index - round_offset,
+        complete=complete,
+    )

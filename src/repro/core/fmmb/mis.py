@@ -1,0 +1,187 @@
+"""The FMMB MIS subroutine (paper §4.2).
+
+Builds a maximal independent set of ``G`` in ``O(c⁴·log³ n)`` rounds w.h.p.
+The subroutine runs in phases; each phase has two parts:
+
+* **Election** (``4·log n`` rounds): every active node draws a uniform
+  bit-string ``b(v)`` of ``4·log n`` bits and, in round ``τ``, broadcasts
+  iff the ``τ``-th bit is 1.  A silent node that receives *any* message —
+  from a ``G`` or ``G'`` neighbor — becomes *temporarily inactive* for the
+  rest of the phase.  Nodes still active after all election rounds join
+  the MIS.
+* **Announcement** (``Θ(c²·log n)`` rounds): each newly joined MIS node
+  broadcasts its id with probability ``Θ(1/c²)`` per round.  A non-MIS node
+  that receives such an announcement *from a G-neighbor* becomes
+  *permanently inactive* (it is covered).  At phase end, temporarily
+  inactive nodes reactivate.
+
+Independence (Lemma 4.3): two ``G``-neighbors can join in the same phase
+only by drawing identical bit-strings (probability ``n⁻⁴``); joining in
+different phases is prevented by the announcement part w.h.p.
+Maximality (Lemmas 4.4–4.5): while a node stays active, some node within
+``O(c·log n)`` of it joins each phase, and sphere packing caps how often
+that can happen before the node itself is covered or joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AlgorithmError
+from repro.ids import NodeId
+from repro.core.fmmb.config import FMMBConfig
+from repro.mac.rounds import RoundScheduler, run_one_round
+from repro.sim.rng import RandomSource
+from repro.topology.dualgraph import DualGraph
+
+
+@dataclass(frozen=True)
+class _Elect:
+    """Election broadcast: the sender's bit-string and id."""
+
+    bits: tuple[int, ...]
+    vid: NodeId
+
+
+@dataclass(frozen=True)
+class _Announce:
+    """Announcement broadcast: a newly joined MIS node's id."""
+
+    vid: NodeId
+
+
+@dataclass
+class MISResult:
+    """Outcome of the MIS subroutine.
+
+    Attributes:
+        mis: The constructed independent set.
+        phases_used: Number of phases executed.
+        rounds_used: Total rounds consumed (the subroutine's cost).
+        complete: True when every node ended covered or joined (oracle
+            observation; False means the phase budget ran out first).
+    """
+
+    mis: frozenset[NodeId]
+    phases_used: int
+    rounds_used: int
+    complete: bool
+
+
+#: Node states during the subroutine.
+_ACTIVE = "active"
+_TEMP = "temp-inactive"
+_COVERED = "covered"
+_MIS = "mis"
+
+
+def build_mis(
+    dual: DualGraph,
+    scheduler: RoundScheduler,
+    rng: RandomSource,
+    config: FMMBConfig | None = None,
+    round_offset: int = 0,
+) -> MISResult:
+    """Run the MIS subroutine to completion (or its phase budget).
+
+    Args:
+        dual: The network (grey-zone restricted for the guarantees to hold).
+        scheduler: Per-round delivery policy.
+        rng: Random stream (bit-strings and activation coins).
+        config: Constants; defaults to :class:`FMMBConfig`.
+        round_offset: Starting global round index (for chained subroutines).
+
+    Returns:
+        The :class:`MISResult`; ``result.mis`` is guaranteed independent
+        and maximal only w.h.p. — tests verify over seeds.
+    """
+    cfg = config or FMMBConfig()
+    n = dual.n
+    status: dict[NodeId, str] = {v: _ACTIVE for v in dual.nodes}
+    election_rounds = cfg.election_rounds(n)
+    announcement_rounds = cfg.announcement_rounds(n)
+    max_phases = cfg.max_mis_phases(n)
+    activation = cfg.activation()
+    bits_rng = rng.child("election-bits")
+    coin_rng = rng.child("announce-coins")
+
+    round_index = round_offset
+    phases = 0
+    for _ in range(max_phases):
+        active_nodes = [v for v in dual.nodes if status[v] == _ACTIVE]
+        if not active_nodes and cfg.oracle_termination:
+            break
+        phases += 1
+        # --- Election part -------------------------------------------
+        bits = {v: bits_rng.bitstring(election_rounds) for v in active_nodes}
+        for tau in range(election_rounds):
+            intents = {
+                v: _Elect(bits[v], v)
+                for v in active_nodes
+                if status[v] == _ACTIVE and bits[v][tau] == 1
+            }
+            received = run_one_round(dual, scheduler, round_index, intents)
+            round_index += 1
+            for v in active_nodes:
+                if status[v] == _ACTIVE and v not in intents and received.get(v):
+                    status[v] = _TEMP
+        joined = [v for v in active_nodes if status[v] == _ACTIVE]
+        for v in joined:
+            status[v] = _MIS
+        # --- Announcement part ---------------------------------------
+        for _rho in range(announcement_rounds):
+            intents = {
+                v: _Announce(v) for v in joined if coin_rng.bernoulli(activation)
+            }
+            received = run_one_round(dual, scheduler, round_index, intents)
+            round_index += 1
+            for u, events in received.items():
+                if status[u] not in (_ACTIVE, _TEMP):
+                    continue
+                for sender, payload in events:
+                    if (
+                        isinstance(payload, _Announce)
+                        and sender in dual.reliable_neighbors(u)
+                    ):
+                        status[u] = _COVERED
+                        break
+        # --- Phase end ------------------------------------------------
+        for v in dual.nodes:
+            if status[v] == _TEMP:
+                status[v] = _ACTIVE
+
+    mis = frozenset(v for v in dual.nodes if status[v] == _MIS)
+    complete = all(status[v] in (_MIS, _COVERED) for v in dual.nodes)
+    return MISResult(
+        mis=mis,
+        phases_used=phases,
+        rounds_used=round_index - round_offset,
+        complete=complete,
+    )
+
+
+# ----------------------------------------------------------------------
+# Postcondition predicates (used by tests and by downstream subroutines)
+# ----------------------------------------------------------------------
+def is_independent(dual: DualGraph, mis: frozenset[NodeId]) -> bool:
+    """True iff no two MIS members are ``G``-neighbors."""
+    for v in mis:
+        if dual.reliable_neighbors(v) & mis:
+            return False
+    return True
+
+
+def is_maximal(dual: DualGraph, mis: frozenset[NodeId]) -> bool:
+    """True iff every node is in the MIS or has a ``G``-neighbor in it."""
+    for v in dual.nodes:
+        if v not in mis and not (dual.reliable_neighbors(v) & mis):
+            return False
+    return True
+
+
+def require_valid_mis(dual: DualGraph, mis: frozenset[NodeId]) -> None:
+    """Raise :class:`AlgorithmError` unless ``mis`` is a valid MIS of G."""
+    if not is_independent(dual, mis):
+        raise AlgorithmError("MIS is not independent in G")
+    if not is_maximal(dual, mis):
+        raise AlgorithmError("MIS is not maximal in G")

@@ -1,0 +1,156 @@
+"""The FMMB spreading subroutine (paper §4.4).
+
+Spreads the gathered messages from MIS nodes to every node.  The building
+block is the **local broadcast procedure on the overlay**: ``Θ(c²·log n)``
+periods of three rounds each, in which an active MIS node broadcasts its
+current message and every node that received it from a ``G``-neighbor
+relays it in the next round.  When an MIS node is the only active one
+within ``7c`` of itself, the relay wave provably reaches every node within
+3 ``G``-hops — i.e. all its ``H``-neighbors (Lemma 4.7).
+
+On top of the procedure, the subroutine runs BMMB over the overlay
+(Lemma 4.8 / Theorem 3.1's pipelining argument): each MIS node keeps a
+message set ``M_v`` and a sent set ``M'_v``; each *phase* (= one procedure
+run) it sends one not-yet-sent message and merges everything it received.
+``D_H + k`` phases suffice w.h.p.; because the relay waves pass through
+non-MIS nodes and reach every ``G``-neighbor of each succeeding MIS node,
+the same phases also deliver every message to every non-MIS node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fmmb.config import FMMBConfig
+from repro.core.fmmb.gather import _Recorder
+from repro.ids import Message, MessageId, NodeId
+from repro.mac.rounds import RoundScheduler, run_one_round
+from repro.sim.rng import RandomSource
+from repro.topology.dualgraph import DualGraph
+
+
+@dataclass(frozen=True)
+class _Spread:
+    """A spreading broadcast: the message plus the MIS originator's id."""
+
+    message: Message
+    origin: NodeId
+
+
+@dataclass
+class SpreadResult:
+    """Outcome of the spreading subroutine.
+
+    Attributes:
+        phases_used: BMMB-over-H phases executed.
+        rounds_used: Total rounds consumed.
+        complete: True when the oracle goal was reached (every required
+            (node, message) delivery observed).
+        owned: Final MIS message sets (mutated copies of the gather output).
+    """
+
+    phases_used: int
+    rounds_used: int
+    complete: bool
+    owned: dict[NodeId, dict[MessageId, Message]]
+
+
+def spread_messages(
+    dual: DualGraph,
+    mis: frozenset[NodeId],
+    owned: dict[NodeId, dict[MessageId, Message]],
+    scheduler: RoundScheduler,
+    rng: RandomSource,
+    k: int,
+    overlay_diam: int,
+    required: dict[MessageId, frozenset[NodeId]],
+    already_delivered: set[tuple[NodeId, MessageId]],
+    config: FMMBConfig | None = None,
+    recorder: _Recorder | None = None,
+    round_offset: int = 0,
+) -> SpreadResult:
+    """Run the spreading subroutine.
+
+    Args:
+        dual: The network.
+        mis: The MIS.
+        owned: Gather output: MIS node → held messages (mutated in place as
+            messages spread).
+        scheduler: Per-round delivery policy.
+        rng: Random stream (activation coins).
+        k: Total message count (sizes the phase budget, as in the paper).
+        overlay_diam: ``D_H`` of the overlay (sizes the phase budget).
+        required: Message → set of nodes that must receive it (the MMB
+            obligation; used by the oracle stop rule).
+        already_delivered: (node, mid) pairs delivered before spreading
+            begins (origins, gather receptions).
+        config: Constants.
+        recorder: Optional first-receipt recorder.
+        round_offset: Starting global round index.
+    """
+    cfg = config or FMMBConfig()
+    recorder = recorder or _Recorder()
+    activation = cfg.activation()
+    coin_rng = rng.child("spread-coins")
+    periods_per_phase = cfg.spread_periods_per_phase(dual.n)
+    max_phases = cfg.spread_phase_budget(overlay_diam, k, dual.n)
+
+    sent: dict[NodeId, set[MessageId]] = {u: set() for u in mis}
+    delivered: set[tuple[NodeId, MessageId]] = set(already_delivered)
+
+    def goal_reached() -> bool:
+        return all(
+            (node, mid) in delivered
+            for mid, nodes in required.items()
+            for node in nodes
+        )
+
+    def note(node: NodeId, message: Message, round_index: int) -> None:
+        key = (node, message.mid)
+        if key not in delivered:
+            delivered.add(key)
+            recorder.record(node, message, round_index)
+        if node in mis:
+            owned[node].setdefault(message.mid, message)
+
+    round_index = round_offset
+    phases = 0
+    for _ in range(max_phases):
+        if cfg.oracle_termination and goal_reached():
+            break
+        phases += 1
+        # Each MIS node picks one not-yet-sent message for this phase.
+        current: dict[NodeId, Message] = {}
+        for u in sorted(mis):
+            for mid, message in owned[u].items():
+                if mid not in sent[u]:
+                    current[u] = message
+                    break
+        for _period in range(periods_per_phase):
+            active = sorted(
+                u for u in current if coin_rng.bernoulli(activation)
+            )
+            intents = {u: _Spread(current[u], u) for u in active}
+            relay: dict[NodeId, _Spread] = {}
+            for _rho in range(3):
+                received = run_one_round(dual, scheduler, round_index, intents)
+                round_index += 1
+                next_relay: dict[NodeId, _Spread] = {}
+                for node, events in received.items():
+                    for sender, payload in events:
+                        if not isinstance(payload, _Spread):
+                            continue
+                        note(node, payload.message, round_index - 1)
+                        if sender in dual.reliable_neighbors(node):
+                            next_relay[node] = payload
+                relay = next_relay
+                intents = dict(relay)
+        for u, message in current.items():
+            sent[u].add(message.mid)
+
+    return SpreadResult(
+        phases_used=phases,
+        rounds_used=round_index - round_offset,
+        complete=goal_reached(),
+        owned=owned,
+    )

@@ -1,0 +1,118 @@
+"""The MMB problem, including the online-arrival generalization.
+
+The paper's main body injects all ``k`` messages at time 0, but its
+footnote 4 points at the general version where messages arrive in an online
+manner (studied in [30]).  BMMB handles online arrivals unchanged — an
+``arrive`` event at any time enqueues the message — so this module provides
+the workload side: an :class:`ArrivalSchedule` with generators for the
+usual arrival patterns, plus conversion from the static
+:class:`~repro.ids.MessageAssignment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.ids import Message, MessageAssignment, NodeId, Time
+from repro.sim.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One environment injection: ``message`` arrives at ``node`` at ``time``."""
+
+    time: Time
+    node: NodeId
+    message: Message
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A time-ordered list of message arrivals.
+
+    MMB-well-formedness (each message arrives exactly once) is validated at
+    construction.
+    """
+
+    arrivals: tuple[Arrival, ...]
+
+    def __post_init__(self) -> None:
+        mids = [a.message.mid for a in self.arrivals]
+        if len(mids) != len(set(mids)):
+            raise ExperimentError("a message may arrive only once (MMB rules)")
+        if any(a.time < 0 for a in self.arrivals):
+            raise ExperimentError("arrival times must be non-negative")
+
+    @property
+    def k(self) -> int:
+        """Number of injected messages."""
+        return len(self.arrivals)
+
+    def sorted_by_time(self) -> list[Arrival]:
+        """Arrivals in injection order (stable for equal times)."""
+        return sorted(self.arrivals, key=lambda a: (a.time, a.node, a.message.mid))
+
+    def arrival_times(self) -> dict[str, Time]:
+        """Message id → its arrival time."""
+        return {a.message.mid: a.time for a in self.arrivals}
+
+    def as_assignment(self) -> MessageAssignment:
+        """The node → messages view (drops timing; used for validation)."""
+        messages: dict[NodeId, tuple[Message, ...]] = {}
+        for arrival in self.sorted_by_time():
+            messages[arrival.node] = messages.get(arrival.node, ()) + (
+                arrival.message,
+            )
+        return MessageAssignment(messages)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def at_time_zero(assignment: MessageAssignment) -> "ArrivalSchedule":
+        """The paper's main-body workload: everything arrives at time 0."""
+        arrivals = [
+            Arrival(0.0, node, message)
+            for node, messages in sorted(assignment.messages.items())
+            for message in messages
+        ]
+        return ArrivalSchedule(tuple(arrivals))
+
+    @staticmethod
+    def staggered(
+        node: NodeId, count: int, spacing: Time, prefix: str = "m"
+    ) -> "ArrivalSchedule":
+        """``count`` messages at one node, one every ``spacing`` time units."""
+        if count < 1 or spacing < 0:
+            raise ExperimentError("need count >= 1 and spacing >= 0")
+        arrivals = [
+            Arrival(i * spacing, node, Message(f"{prefix}{i}", node))
+            for i in range(count)
+        ]
+        return ArrivalSchedule(tuple(arrivals))
+
+    @staticmethod
+    def poisson(
+        nodes: list[NodeId],
+        count: int,
+        mean_gap: Time,
+        rng: RandomSource,
+        prefix: str = "m",
+    ) -> "ArrivalSchedule":
+        """``count`` messages at exponential gaps, each at a random node.
+
+        The classic online workload: a memoryless arrival process spread
+        over the network.
+        """
+        if not nodes or count < 1 or mean_gap <= 0:
+            raise ExperimentError("need nodes, count >= 1, mean_gap > 0")
+        import math
+
+        arrivals = []
+        t = 0.0
+        for i in range(count):
+            t += -mean_gap * math.log(max(rng.random(), 1e-12))
+            node = rng.choice(nodes)
+            arrivals.append(Arrival(t, node, Message(f"{prefix}{i}", node)))
+        return ArrivalSchedule(tuple(arrivals))

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that has
+    already been stopped, or exceeding the configured event budget.
+    """
+
+
+class TopologyError(ReproError):
+    """A dual graph or generator constraint was violated.
+
+    Examples: ``E ⊆ E'`` broken, mismatched vertex sets, a grey-zone network
+    without an embedding, or invalid generator parameters.
+    """
+
+
+class MACError(ReproError):
+    """The abstract MAC layer was driven outside its contract."""
+
+
+class WellFormednessError(MACError):
+    """A user automaton violated the well-formedness constraints.
+
+    The paper requires that every two ``bcast_i`` events have an intervening
+    ``ack_i`` or ``abort_i`` event, and that aborts refer to the pending
+    broadcast.
+    """
+
+
+class AxiomViolation(MACError):
+    """A recorded execution trace violates a MAC-layer axiom.
+
+    Raised by :mod:`repro.mac.axioms` when a trace fails receive
+    correctness, acknowledgment correctness, termination, the acknowledgment
+    bound, or the progress bound.
+    """
+
+
+class SchedulerError(MACError):
+    """A message scheduler produced an inadmissible delivery plan."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm automaton reached an invalid internal state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or a run did not complete."""

@@ -1,0 +1,117 @@
+"""The programming surface between node automata and the MAC layer.
+
+Nodes are event-driven automata (paper §2): the layer invokes their
+callbacks, and they react by invoking the :class:`MACApi` handed to them.
+In the **standard** model the API offers only ``bcast`` (plus topology
+introspection the paper grants: ids and the reliable/unreliable split of
+one's own neighborhood).  The **enhanced** model adds ``abort``, timers, and
+the values of ``Fack``/``Fprog``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Any, Protocol, runtime_checkable
+
+from repro.ids import Message, NodeId, Time
+from repro.sim.events import EventHandle
+
+
+@runtime_checkable
+class MACApi(Protocol):
+    """What a node automaton may do, handed into every callback.
+
+    Implemented by the MAC layers; algorithms should depend only on this
+    protocol so they run unchanged on either layer.
+    """
+
+    @property
+    def node_id(self) -> NodeId:
+        """This node's unique id."""
+        ...
+
+    @property
+    def reliable_neighbor_ids(self) -> frozenset[NodeId]:
+        """Ids of ``G``-neighbors (the paper grants link-quality knowledge)."""
+        ...
+
+    @property
+    def gprime_neighbor_ids(self) -> frozenset[NodeId]:
+        """Ids of all ``G'``-neighbors."""
+        ...
+
+    def bcast(self, payload: Any) -> None:
+        """Start an acknowledged local broadcast of ``payload``.
+
+        Raises :class:`~repro.errors.WellFormednessError` if a previous
+        broadcast by this node has not yet been acked/aborted.
+        """
+        ...
+
+    def deliver(self, message: Message) -> None:
+        """Perform the MMB ``deliver(m)_i`` output action.
+
+        Raises on a duplicate delivery of the same message at the same node
+        (MMB well-formedness, §3.2.2).
+        """
+        ...
+
+
+class EnhancedMACApi(MACApi, Protocol):
+    """Extra powers of the enhanced abstract MAC layer (§2, §4)."""
+
+    @property
+    def fack(self) -> Time:
+        """The acknowledgment bound, known to nodes in the enhanced model."""
+        ...
+
+    @property
+    def fprog(self) -> Time:
+        """The progress bound, known to nodes in the enhanced model."""
+        ...
+
+    @property
+    def now(self) -> Time:
+        """Current time (enhanced nodes may set timers, hence read clocks)."""
+        ...
+
+    def abort(self) -> None:
+        """Abort the broadcast in progress (no-op if none is pending)."""
+        ...
+
+    def set_timer(self, delay: Time, tag: Any) -> EventHandle:
+        """Schedule an ``on_timer(tag)`` callback ``delay`` from now."""
+        ...
+
+
+class Automaton(ABC):
+    """Base class for node automata.
+
+    Subclasses override the callbacks they care about; the defaults ignore
+    events, which keeps simple protocols small.  All callbacks receive the
+    node's :class:`MACApi` (or :class:`EnhancedMACApi` on the enhanced
+    layer) so automata can stay stateless about their environment.
+    """
+
+    def on_wakeup(self, api: MACApi) -> None:
+        """Fired once at time 0 for every node (the environment's wake-up)."""
+
+    def on_arrive(self, api: MACApi, message: Message) -> None:
+        """The environment injects an MMB message at this node (time 0)."""
+
+    def on_receive(self, api: MACApi, payload: Any, sender: NodeId) -> None:
+        """A ``rcv`` event: some neighbor's broadcast reached this node.
+
+        ``sender`` is the originator's id; combined with the api's neighbor
+        sets the automaton can tell reliable from unreliable senders, as the
+        model permits.
+        """
+
+    def on_ack(self, api: MACApi, payload: Any) -> None:
+        """The MAC acknowledged this node's current broadcast."""
+
+    def on_abort(self, api: MACApi, payload: Any) -> None:
+        """This node's broadcast was aborted (enhanced model only)."""
+
+    def on_timer(self, api: MACApi, tag: Any) -> None:
+        """A timer set via ``api.set_timer`` expired (enhanced model only)."""

@@ -1,0 +1,209 @@
+"""Lock-step rounds of length ``Fprog`` for the enhanced MAC layer.
+
+FMMB (paper §4.1) "divides time into lock-step rounds each of length
+``Fprog``", implementable in the enhanced model because nodes know ``Fprog``
+and can abort a broadcast at the end of its slot.  This module provides that
+round abstraction directly: *broadcasting in round t* means initiating the
+broadcast at the slot's start and aborting it at the slot's end.
+
+Per-round delivery semantics (derived from the model's guarantees over one
+``Fprog`` slot):
+
+* a *silent* node with at least one broadcasting ``G``-neighbor receives
+  exactly one message that round (the progress bound guarantees one; we
+  grant exactly one), chosen by the :class:`RoundScheduler` among **all**
+  broadcasting ``G'``-neighbors — the received message may come from an
+  unreliable-only neighbor, which is why FMMB's subroutines must reason
+  about ``G'`` interference;
+* a silent node whose broadcasting neighbors are all unreliable-only *may*
+  receive one message (scheduler's choice — unreliable links);
+* a broadcasting node receives nothing that round (its slot is spent
+  transmitting; none of the paper's subroutine arguments rely on
+  transmit-while-receive).
+
+Everything FMMB's analysis relies on follows: in particular, when a node
+``u`` is the only broadcaster among some receiver's ``G'``-neighbors, that
+receiver — if it has ``u`` as a ``G``-neighbor — necessarily receives
+``u``'s message.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.errors import MACError
+from repro.ids import NodeId
+from repro.sim.rng import RandomSource
+from repro.topology.dualgraph import DualGraph
+
+#: A broadcast intent map: node → payload it transmits this round.
+Intents = dict[NodeId, Any]
+#: A delivery map: node → list of (sender, payload) received this round.
+Deliveries = dict[NodeId, list[tuple[NodeId, Any]]]
+
+
+class RoundScheduler(ABC):
+    """Chooses per-round deliveries (the model's nondeterminism, slotted)."""
+
+    @abstractmethod
+    def deliveries(
+        self, round_index: int, intents: Intents, dual: DualGraph
+    ) -> Deliveries:
+        """Compute who receives what in one round.
+
+        Implementations must respect the contract in the module docstring:
+        every silent node with a broadcasting ``G``-neighbor receives
+        exactly one message from a broadcasting ``G'``-neighbor.
+        """
+
+
+class RandomRoundScheduler(RoundScheduler):
+    """Uniformly random (but contract-honoring) per-round deliveries.
+
+    Args:
+        rng: Random stream.
+        p_unreliable_only: Probability that a silent node whose broadcasting
+            neighborhood is purely unreliable still receives a message.
+    """
+
+    def __init__(self, rng: RandomSource, p_unreliable_only: float = 0.5):
+        self._rng = rng
+        self.p_unreliable_only = p_unreliable_only
+
+    def deliveries(
+        self, round_index: int, intents: Intents, dual: DualGraph
+    ) -> Deliveries:
+        received: Deliveries = {}
+        if not intents:
+            return received
+        for v in dual.nodes:
+            if v in intents:
+                continue  # broadcasters do not receive in their own slot
+            contending = sorted(
+                u for u in dual.gprime_neighbors(v) if u in intents
+            )
+            if not contending:
+                continue
+            has_reliable = any(
+                u in dual.reliable_neighbors(v) for u in contending
+            )
+            if not has_reliable and not self._rng.bernoulli(self.p_unreliable_only):
+                continue
+            sender = self._rng.choice(contending)
+            received[v] = [(sender, intents[sender])]
+        return received
+
+
+class AdversarialRoundScheduler(RoundScheduler):
+    """Worst-case-leaning deliveries: prefer unreliable-only senders.
+
+    Used in tests to confirm the FMMB subroutines tolerate hostile
+    tie-breaking: when a silent node must receive (a ``G``-neighbor is
+    broadcasting), this scheduler picks an unreliable-only sender whenever
+    one is available; purely unreliable receptions are always delivered.
+    """
+
+    def __init__(self, rng: RandomSource):
+        self._rng = rng
+
+    def deliveries(
+        self, round_index: int, intents: Intents, dual: DualGraph
+    ) -> Deliveries:
+        received: Deliveries = {}
+        for v in dual.nodes:
+            if v in intents:
+                continue
+            contending = sorted(
+                u for u in dual.gprime_neighbors(v) if u in intents
+            )
+            if not contending:
+                continue
+            unreliable_only = [
+                u for u in contending if u not in dual.reliable_neighbors(v)
+            ]
+            pool = unreliable_only if unreliable_only else contending
+            sender = self._rng.choice(pool)
+            received[v] = [(sender, intents[sender])]
+        return received
+
+
+class RoundAutomaton(ABC):
+    """A node's per-round behavior for :class:`SlottedRoundEngine`."""
+
+    @abstractmethod
+    def begin_round(self, round_index: int) -> Any | None:
+        """Return the payload to broadcast this round, or None to listen."""
+
+    @abstractmethod
+    def end_round(
+        self, round_index: int, received: list[tuple[NodeId, Any]]
+    ) -> None:
+        """Process this round's receptions (empty list if none)."""
+
+
+class SlottedRoundEngine:
+    """Drives registered :class:`RoundAutomaton` nodes in lock-step rounds.
+
+    The engine's ``round_index`` is global and monotone across successive
+    :meth:`run` calls, so multi-subroutine protocols (like FMMB) can chain
+    stages while keeping one consistent clock; elapsed simulated time is
+    ``rounds_elapsed × Fprog``.
+    """
+
+    def __init__(self, dual: DualGraph, scheduler: RoundScheduler, fprog: float):
+        if fprog <= 0:
+            raise MACError(f"fprog must be positive, got {fprog}")
+        self.dual = dual
+        self.scheduler = scheduler
+        self.fprog = fprog
+        self.round_index = 0
+        self._automata: dict[NodeId, RoundAutomaton] = {}
+
+    def attach(self, node_id: NodeId, automaton: RoundAutomaton) -> None:
+        """Register a node's automaton (every node must have one)."""
+        if node_id in self._automata:
+            raise MACError(f"node {node_id} attached twice")
+        self._automata[node_id] = automaton
+
+    @property
+    def elapsed_time(self) -> float:
+        """Simulated time consumed so far (rounds × Fprog)."""
+        return self.round_index * self.fprog
+
+    def run_round(self) -> Deliveries:
+        """Execute a single round across all nodes and return deliveries."""
+        if set(self._automata) != set(self.dual.nodes):
+            missing = set(self.dual.nodes) - set(self._automata)
+            raise MACError(f"nodes without automata: {sorted(missing)[:5]}")
+        intents: Intents = {}
+        for node_id in sorted(self._automata):
+            payload = self._automata[node_id].begin_round(self.round_index)
+            if payload is not None:
+                intents[node_id] = payload
+        received = self.scheduler.deliveries(self.round_index, intents, self.dual)
+        for node_id in sorted(self._automata):
+            self._automata[node_id].end_round(
+                self.round_index, received.get(node_id, [])
+            )
+        self.round_index += 1
+        return received
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` consecutive rounds."""
+        for _ in range(rounds):
+            self.run_round()
+
+
+def run_one_round(
+    dual: DualGraph,
+    scheduler: RoundScheduler,
+    round_index: int,
+    intents: Intents,
+) -> Deliveries:
+    """Functional helper: one round's deliveries without an engine.
+
+    The FMMB subroutines use this directly — they manage their own state
+    machines and only need the delivery semantics.
+    """
+    return scheduler.deliveries(round_index, intents, dual)

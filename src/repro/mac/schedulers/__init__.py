@@ -1,0 +1,41 @@
+"""Message schedulers: the abstract MAC layer's nondeterminism, as policy.
+
+In the paper, *which* unreliable neighbors receive a broadcast, in what
+order, and with what timing (within the ``Fack``/``Fprog`` envelopes) is
+chosen by an arbitrary message scheduler.  Each class here is one concrete
+scheduler; the benign ones model well-behaved MAC layers, the adversarial
+ones implement the paper's lower-bound strategies:
+
+* :class:`~repro.mac.schedulers.uniform.UniformDelayScheduler` — random
+  delivery delays within ``Fprog``; the friendly baseline regime.
+* :class:`~repro.mac.schedulers.contention.ContentionScheduler` — serializes
+  each receiver at one delivery per ≤ ``Fprog`` slot; produces the
+  ``Fprog ≪ Fack`` behavior real MACs exhibit under load (footnote 2's star).
+* :class:`~repro.mac.schedulers.worstcase.WorstCaseAckScheduler` — legal but
+  maximally slow acknowledgments (every ack at exactly ``Fack``); also the
+  Lemma 3.18 choke-point adversary (alias :data:`ChokeAdversary`).
+* :class:`~repro.mac.schedulers.greyzone_adversary.GreyZoneAdversary` — the
+  Figure 2 / Lemma 3.19–3.20 frontier-starving adversary.
+* :class:`~repro.mac.schedulers.greyzone_adversary.CombinedAdversary` — the
+  Theorem 3.17 composition (choke + frontier starvation).
+"""
+
+from repro.mac.schedulers.base import Scheduler, SchedulerContext
+from repro.mac.schedulers.uniform import UniformDelayScheduler
+from repro.mac.schedulers.contention import ContentionScheduler
+from repro.mac.schedulers.worstcase import ChokeAdversary, WorstCaseAckScheduler
+from repro.mac.schedulers.greyzone_adversary import (
+    CombinedAdversary,
+    GreyZoneAdversary,
+)
+
+__all__ = [
+    "Scheduler",
+    "SchedulerContext",
+    "UniformDelayScheduler",
+    "ContentionScheduler",
+    "WorstCaseAckScheduler",
+    "ChokeAdversary",
+    "GreyZoneAdversary",
+    "CombinedAdversary",
+]

@@ -1,0 +1,108 @@
+"""Scheduler interface and the context through which schedulers act.
+
+A scheduler never touches node automata or the simulator's internals
+directly: it receives a :class:`SchedulerContext` that exposes exactly the
+actions the model grants the adversary — choosing delivery times for
+receivers in ``E'``, choosing acknowledgment times within ``Fack``, and
+scheduling private bookkeeping events.  The MAC layer validates every action
+(edge membership, single delivery per receiver, ack-after-deliveries), so a
+buggy scheduler fails fast with :class:`~repro.errors.SchedulerError`
+instead of silently producing an inadmissible execution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.ids import NodeId, Time
+from repro.sim.events import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.mac.messages import MessageInstance
+    from repro.mac.standard import StandardMACLayer
+    from repro.sim.kernel import Simulator
+    from repro.topology.dualgraph import DualGraph
+
+
+class SchedulerContext:
+    """Actions a scheduler may take, validated by the owning MAC layer."""
+
+    def __init__(self, mac: "StandardMACLayer"):
+        self._mac = mac
+
+    @property
+    def sim(self) -> "Simulator":
+        """The simulator (for private bookkeeping events)."""
+        return self._mac.sim
+
+    @property
+    def dual(self) -> "DualGraph":
+        """The network topology."""
+        return self._mac.dual
+
+    @property
+    def fack(self) -> Time:
+        """The acknowledgment bound of this execution."""
+        return self._mac.fack
+
+    @property
+    def fprog(self) -> Time:
+        """The progress bound of this execution."""
+        return self._mac.fprog
+
+    @property
+    def now(self) -> Time:
+        """Current simulation time."""
+        return self._mac.sim.now
+
+    def deliver_at(
+        self, instance: "MessageInstance", receiver: NodeId, time: Time
+    ) -> EventHandle:
+        """Schedule the ``rcv`` event of ``instance`` at ``receiver``.
+
+        The MAC validates that ``receiver`` is a ``G'``-neighbor of the
+        sender and that this instance has not already been scheduled for
+        (or delivered to) that receiver.
+        """
+        return self._mac.schedule_delivery(instance, receiver, time)
+
+    def ack_at(self, instance: "MessageInstance", time: Time) -> EventHandle:
+        """Schedule the ``ack`` event of ``instance``.
+
+        The MAC verifies at firing time that every ``G``-neighbor of the
+        sender has already received the instance (acknowledgment
+        correctness) and that the acknowledgment bound holds.
+        """
+        return self._mac.schedule_ack(instance, time)
+
+    def call_at(self, time: Time, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule a private scheduler event (service loops, deadlines)."""
+        return self._mac.sim.schedule_at(time, fn, *args)
+
+
+class Scheduler(ABC):
+    """Base class for message schedulers.
+
+    Lifecycle: the MAC layer calls :meth:`bind` once before the execution
+    starts, then :meth:`on_bcast` for every broadcast, and
+    :meth:`on_terminated` when an instance acks or aborts (so stateful
+    schedulers can drop bookkeeping).
+    """
+
+    def __init__(self) -> None:
+        self.ctx: SchedulerContext | None = None
+
+    def bind(self, ctx: SchedulerContext) -> None:
+        """Attach the context.  Called once by the MAC layer."""
+        self.ctx = ctx
+
+    @abstractmethod
+    def on_bcast(self, instance: "MessageInstance") -> None:
+        """React to a fresh broadcast: plan deliveries and the ack."""
+
+    def on_terminated(self, instance: "MessageInstance") -> None:
+        """Hook: the instance was acked or aborted (default: ignore)."""
+
+    def on_delivered(self, instance: "MessageInstance", receiver: NodeId) -> None:
+        """Hook: one ``rcv`` event fired (default: ignore)."""

@@ -1,0 +1,83 @@
+"""The benign scheduler: uniform random delivery delays within ``Fprog``.
+
+Every ``G``-neighbor of a broadcaster receives the message at an
+independent uniform delay in ``(delay_floor, rcv_fraction·Fprog]``; each
+``G'``-only neighbor receives it with probability ``p_unreliable`` at a
+delay in the same range.  The acknowledgment fires after the last delivery,
+optionally lagged by up to ``ack_lag_fraction·(Fack − Fprog)`` to model a
+busy MAC.
+
+Soundness (progress bound): every receiver of a connected instance gets its
+``rcv`` within ``Fprog`` of the ``bcast``, so any interval of length
+``> Fprog`` wholly inside the instance's lifetime either ends after that
+``rcv`` (a receive occurred by its end) or starts after it (a past receive
+from a still-contending instance also discharges the bound — the paper's
+condition (c) counts receives that *occur by the end* of the interval from
+instances whose termination does not precede its start).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulerError
+from repro.mac.messages import MessageInstance
+from repro.mac.schedulers.base import Scheduler
+from repro.sim.rng import RandomSource
+
+
+class UniformDelayScheduler(Scheduler):
+    """Random-delay scheduler; the friendly, well-provisioned MAC regime.
+
+    Args:
+        rng: Random stream (draws are per-broadcast, per-receiver).
+        p_unreliable: Probability that a given ``G'``-only neighbor receives
+            a given broadcast.
+        rcv_fraction: Deliveries land within ``rcv_fraction·Fprog`` of the
+            broadcast (must be ≤ 1 to keep the progress bound sound).
+        ack_lag_fraction: Extra ack delay, as a fraction of
+            ``Fack − rcv_fraction·Fprog``, drawn uniformly per broadcast.
+        delay_floor: Minimum delivery delay (strictly positive keeps event
+            cascades readable in traces; 0 is allowed).
+    """
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        p_unreliable: float = 0.5,
+        rcv_fraction: float = 0.9,
+        ack_lag_fraction: float = 0.0,
+        delay_floor: float = 0.0,
+    ):
+        super().__init__()
+        if not 0.0 <= p_unreliable <= 1.0:
+            raise SchedulerError(f"p_unreliable must be in [0,1]: {p_unreliable}")
+        if not 0.0 < rcv_fraction <= 1.0:
+            raise SchedulerError(f"rcv_fraction must be in (0,1]: {rcv_fraction}")
+        if not 0.0 <= ack_lag_fraction <= 1.0:
+            raise SchedulerError(
+                f"ack_lag_fraction must be in [0,1]: {ack_lag_fraction}"
+            )
+        self._rng = rng
+        self.p_unreliable = p_unreliable
+        self.rcv_fraction = rcv_fraction
+        self.ack_lag_fraction = ack_lag_fraction
+        self.delay_floor = delay_floor
+
+    def on_bcast(self, instance: MessageInstance) -> None:
+        ctx = self.ctx
+        assert ctx is not None, "scheduler used before bind()"
+        sender = instance.sender
+        horizon = self.rcv_fraction * ctx.fprog
+        floor = min(self.delay_floor, horizon)
+        last_delivery = 0.0
+        for receiver in sorted(ctx.dual.reliable_neighbors(sender)):
+            delay = self._rng.uniform(floor, horizon)
+            last_delivery = max(last_delivery, delay)
+            ctx.deliver_at(instance, receiver, instance.bcast_time + delay)
+        for receiver in sorted(ctx.dual.unreliable_only_neighbors(sender)):
+            if self._rng.bernoulli(self.p_unreliable):
+                delay = self._rng.uniform(floor, horizon)
+                last_delivery = max(last_delivery, delay)
+                ctx.deliver_at(instance, receiver, instance.bcast_time + delay)
+        slack = max(ctx.fack - last_delivery, 0.0)
+        lag = self._rng.uniform(0.0, self.ack_lag_fraction * slack)
+        ctx.ack_at(instance, instance.bcast_time + last_delivery + lag)

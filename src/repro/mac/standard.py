@@ -1,0 +1,281 @@
+"""The standard abstract MAC layer.
+
+Responsibilities (paper §2, §3.2.1):
+
+* expose acknowledged local broadcast to node automata;
+* enforce *user well-formedness*: a node may not start a second broadcast
+  before the first is acknowledged (or aborted, on the enhanced layer);
+* route every delivery/ack decision through the pluggable
+  :class:`~repro.mac.schedulers.base.Scheduler` while validating each action
+  against the model's safety rules (deliveries only over ``E'``, at most one
+  ``rcv`` per instance/receiver pair, ack only after all ``G``-neighbors
+  received, ack within ``Fack``);
+* record every :class:`~repro.mac.messages.MessageInstance` so the execution
+  can be certified post-hoc by :mod:`repro.mac.axioms`.
+
+Timing sub-ordering: at equal timestamps, ``rcv`` events fire before ``ack``
+events (event priorities 0 and 1), which realizes the model's requirement
+that an instance's receives precede its acknowledgment even when a scheduler
+sets them at the same instant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import MACError, SchedulerError, WellFormednessError
+from repro.ids import TIME_EPS, Message, NodeId, Time
+from repro.mac.interfaces import Automaton
+from repro.mac.messages import InstanceLog, MessageInstance
+from repro.mac.schedulers.base import Scheduler, SchedulerContext
+from repro.sim.events import EventHandle
+from repro.sim.kernel import Simulator
+from repro.topology.dualgraph import DualGraph
+
+#: Event priority for ``rcv`` events (fires before acks at equal times).
+PRIORITY_RCV = 0
+#: Event priority for ``ack`` events.
+PRIORITY_ACK = 1
+#: Event priority for environment wakeups (before everything at time 0).
+PRIORITY_WAKEUP = -2
+#: Event priority for environment ``arrive`` events.
+PRIORITY_ARRIVE = -1
+
+DeliverySink = Callable[[NodeId, Message, Time], None]
+
+
+class _NodeBinding:
+    """Per-node :class:`~repro.mac.interfaces.MACApi` implementation."""
+
+    def __init__(self, mac: "StandardMACLayer", node_id: NodeId, automaton: Automaton):
+        self._mac = mac
+        self._node_id = node_id
+        self.automaton = automaton
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def reliable_neighbor_ids(self) -> frozenset[NodeId]:
+        return self._mac.dual.reliable_neighbors(self._node_id)
+
+    @property
+    def gprime_neighbor_ids(self) -> frozenset[NodeId]:
+        return self._mac.dual.gprime_neighbors(self._node_id)
+
+    def bcast(self, payload: Any) -> None:
+        self._mac.bcast(self._node_id, payload)
+
+    def deliver(self, message: Message) -> None:
+        self._mac.record_delivery(self._node_id, message)
+
+
+class StandardMACLayer:
+    """The standard abstract MAC layer over a dual graph.
+
+    Args:
+        sim: The discrete-event simulator to run on.
+        dual: The network ``(G, G')``.
+        scheduler: The message scheduler realizing the model's
+            nondeterminism.
+        fack: Acknowledgment bound for this execution.
+        fprog: Progress bound for this execution (``fprog <= fack``).
+        delivery_sink: Optional callback invoked on every MMB
+            ``deliver(m)_i`` output (wired up by the experiment runner).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dual: DualGraph,
+        scheduler: Scheduler,
+        fack: Time,
+        fprog: Time,
+        delivery_sink: DeliverySink | None = None,
+    ):
+        if fprog <= 0 or fack <= 0:
+            raise MACError(f"bounds must be positive (fack={fack}, fprog={fprog})")
+        if fprog > fack + TIME_EPS:
+            raise MACError(f"Fprog must not exceed Fack ({fprog} > {fack})")
+        self.sim = sim
+        self.dual = dual
+        self.fack = fack
+        self.fprog = fprog
+        self.scheduler = scheduler
+        self.instances = InstanceLog()
+        self.delivery_sink = delivery_sink
+        self._bindings: dict[NodeId, _NodeBinding] = {}
+        self._pending: dict[NodeId, MessageInstance | None] = {}
+        self._handles: dict[int, list[EventHandle]] = {}
+        self._scheduled_receivers: dict[int, set[NodeId]] = {}
+        self._delivered: dict[tuple[NodeId, str], Time] = {}
+        scheduler.bind(SchedulerContext(self))
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def register(self, node_id: NodeId, automaton: Automaton) -> None:
+        """Attach an automaton to a node.  Every node must be registered."""
+        if node_id in self._bindings:
+            raise MACError(f"node {node_id} registered twice")
+        if not self.dual.reliable_graph.has_node(node_id):
+            raise MACError(f"node {node_id} is not in the topology")
+        self._bindings[node_id] = _NodeBinding(self, node_id, automaton)
+        self._pending[node_id] = None
+
+    def start(self) -> None:
+        """Schedule the environment's wake-up event at every node (time 0)."""
+        for node_id in sorted(self._bindings):
+            binding = self._bindings[node_id]
+            self.sim.schedule_at(
+                0.0,
+                binding.automaton.on_wakeup,
+                binding,
+                priority=PRIORITY_WAKEUP,
+            )
+
+    def inject_arrival(
+        self, node_id: NodeId, message: Message, time: Time = 0.0
+    ) -> None:
+        """Schedule an ``arrive(m)_i`` environment event (time 0 by default;
+        later times realize the online-arrival MMB variant of footnote 4)."""
+        binding = self._binding(node_id)
+        self.sim.schedule_at(
+            time,
+            binding.automaton.on_arrive,
+            binding,
+            message,
+            priority=PRIORITY_ARRIVE,
+        )
+
+    def _binding(self, node_id: NodeId) -> _NodeBinding:
+        try:
+            return self._bindings[node_id]
+        except KeyError:
+            raise MACError(f"node {node_id} has no registered automaton") from None
+
+    # ------------------------------------------------------------------
+    # Broadcast / deliver / ack machinery
+    # ------------------------------------------------------------------
+    def bcast(self, sender: NodeId, payload: Any) -> MessageInstance:
+        """Start an acknowledged local broadcast (called via the node API)."""
+        binding = self._binding(sender)
+        if self._pending[sender] is not None:
+            raise WellFormednessError(
+                f"node {sender} bcast while instance "
+                f"{self._pending[sender].iid} is unacknowledged"
+            )
+        instance = self.instances.new_instance(sender, payload, self.sim.now)
+        self._pending[sender] = instance
+        self._handles[instance.iid] = []
+        self._scheduled_receivers[instance.iid] = set()
+        self.scheduler.on_bcast(instance)
+        del binding  # bindings participate only via callbacks
+        return instance
+
+    def pending_instance(self, node_id: NodeId) -> MessageInstance | None:
+        """The node's unacknowledged instance, if any."""
+        return self._pending[node_id]
+
+    def schedule_delivery(
+        self, instance: MessageInstance, receiver: NodeId, time: Time
+    ) -> EventHandle:
+        """Validate and schedule a ``rcv`` event (scheduler-facing)."""
+        sender = instance.sender
+        if receiver == sender:
+            raise SchedulerError(f"instance {instance.iid}: self-delivery")
+        if receiver not in self.dual.gprime_neighbors(sender):
+            raise SchedulerError(
+                f"instance {instance.iid}: receiver {receiver} is not a "
+                f"G'-neighbor of sender {sender}"
+            )
+        scheduled = self._scheduled_receivers[instance.iid]
+        if receiver in scheduled:
+            raise SchedulerError(
+                f"instance {instance.iid}: receiver {receiver} scheduled twice"
+            )
+        if time < self.sim.now - TIME_EPS:
+            raise SchedulerError(
+                f"instance {instance.iid}: delivery in the past ({time})"
+            )
+        scheduled.add(receiver)
+        handle = self.sim.schedule_at(
+            time, self._fire_delivery, instance, receiver, priority=PRIORITY_RCV
+        )
+        self._handles[instance.iid].append(handle)
+        return handle
+
+    def schedule_ack(self, instance: MessageInstance, time: Time) -> EventHandle:
+        """Validate and schedule the ``ack`` event (scheduler-facing)."""
+        if instance.terminated:
+            raise SchedulerError(f"instance {instance.iid}: ack after termination")
+        if time > instance.bcast_time + self.fack + TIME_EPS:
+            raise SchedulerError(
+                f"instance {instance.iid}: ack at {time} violates the "
+                f"acknowledgment bound (bcast at {instance.bcast_time}, "
+                f"Fack={self.fack})"
+            )
+        handle = self.sim.schedule_at(
+            time, self._fire_ack, instance, priority=PRIORITY_ACK
+        )
+        self._handles[instance.iid].append(handle)
+        return handle
+
+    def _fire_delivery(self, instance: MessageInstance, receiver: NodeId) -> None:
+        if instance.abort_time is not None:
+            # Deliveries racing an abort are dropped (the model allows them
+            # within eps_abort; we take the simple choice of cancelling).
+            return
+        if instance.delivered_to(receiver):
+            raise SchedulerError(
+                f"instance {instance.iid}: duplicate rcv at {receiver}"
+            )
+        instance.rcv_times[receiver] = self.sim.now
+        self.scheduler.on_delivered(instance, receiver)
+        binding = self._binding(receiver)
+        binding.automaton.on_receive(binding, instance.payload, instance.sender)
+
+    def _fire_ack(self, instance: MessageInstance) -> None:
+        if instance.terminated:
+            return
+        missing = [
+            v
+            for v in self.dual.reliable_neighbors(instance.sender)
+            if not instance.delivered_to(v)
+        ]
+        if missing:
+            raise SchedulerError(
+                f"instance {instance.iid}: ack before delivery to "
+                f"G-neighbors {missing}"
+            )
+        instance.ack_time = self.sim.now
+        self._pending[instance.sender] = None
+        self._cleanup_instance(instance)
+        self.scheduler.on_terminated(instance)
+        binding = self._binding(instance.sender)
+        binding.automaton.on_ack(binding, instance.payload)
+
+    def _cleanup_instance(self, instance: MessageInstance) -> None:
+        self._handles.pop(instance.iid, None)
+        self._scheduled_receivers.pop(instance.iid, None)
+
+    # ------------------------------------------------------------------
+    # MMB deliver output
+    # ------------------------------------------------------------------
+    def record_delivery(self, node_id: NodeId, message: Message) -> None:
+        """Record a ``deliver(m)_i`` output, enforcing MMB well-formedness."""
+        key = (node_id, message.mid)
+        if key in self._delivered:
+            raise MACError(
+                f"duplicate deliver({message.mid}) at node {node_id} "
+                "(MMB well-formedness violation)"
+            )
+        self._delivered[key] = self.sim.now
+        if self.delivery_sink is not None:
+            self.delivery_sink(node_id, message, self.sim.now)
+
+    @property
+    def deliveries(self) -> dict[tuple[NodeId, str], Time]:
+        """All ``deliver`` outputs recorded so far: (node, mid) → time."""
+        return self._delivered

@@ -1,0 +1,332 @@
+"""``RadioMACLayer``: the abstract MAC layer implemented on real(istic) radio.
+
+This adapter provides the same programming surface as
+:class:`~repro.mac.standard.StandardMACLayer` — ``register`` /
+``inject_arrival`` / automaton callbacks / ``bcast`` — but realizes
+acknowledged local broadcast with a decay back-off schedule over the slotted
+collision radio of :mod:`repro.radio.slotted`:
+
+* ``bcast(m)`` starts a decay schedule for ``m``;
+* every listener that decodes the packet gets a ``rcv`` (duplicates from
+  retransmissions are suppressed per instance);
+* in **adaptive** mode (default) the sender keeps running decay phases
+  until every reliable neighbor has decoded the packet, then acks — so
+  acknowledgment correctness holds by construction and the measured ack
+  delay *is* the contention cost;
+* in **fixed** mode the sender acks after a fixed number of phases
+  (footnote 1's "CSMA finished with this packet"), and delivery to
+  reliable neighbors holds only with high probability — the adapter
+  reports the realized success rate.
+
+The point of the adapter is :func:`empirical_bounds`: it extracts from a
+finished execution the smallest ``Fack`` and ``Fprog`` for which the
+execution satisfies the abstract MAC layer's timing axioms.  Benchmarks use
+it to regenerate footnote 2's claim — under contention κ, the realized
+``Fprog`` grows like ``log κ`` while the realized ``Fack`` grows like κ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MACError, WellFormednessError
+from repro.ids import Message, NodeId, Time
+from repro.mac.interfaces import Automaton
+from repro.mac.messages import InstanceLog, MessageInstance
+from repro.radio.decay import DecaySchedule, decay_depth_for, recommended_phases
+from repro.radio.slotted import SlottedRadioNetwork
+from repro.sim.rng import RandomSource
+from repro.topology.dualgraph import DualGraph
+
+
+@dataclass(frozen=True)
+class EmpiricalBounds:
+    """Realized model constants of one radio-backed execution.
+
+    Attributes:
+        fack: Largest observed bcast→ack latency.
+        fprog: Smallest progress bound for which the execution satisfies
+            the progress axiom (see :func:`minimal_progress_bound`).
+        delivery_success_rate: Fraction of (instance, reliable neighbor)
+            pairs that were actually delivered before the ack (1.0 in
+            adaptive mode by construction).
+    """
+
+    fack: Time
+    fprog: Time
+    delivery_success_rate: float
+
+
+class _RadioBinding:
+    """Per-node MACApi implementation for the radio adapter."""
+
+    def __init__(self, layer: "RadioMACLayer", node_id: NodeId, automaton: Automaton):
+        self._layer = layer
+        self._node_id = node_id
+        self.automaton = automaton
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def reliable_neighbor_ids(self) -> frozenset[NodeId]:
+        return self._layer.dual.reliable_neighbors(self._node_id)
+
+    @property
+    def gprime_neighbor_ids(self) -> frozenset[NodeId]:
+        return self._layer.dual.gprime_neighbors(self._node_id)
+
+    def bcast(self, payload) -> None:
+        self._layer.bcast(self._node_id, payload)
+
+    def deliver(self, message: Message) -> None:
+        self._layer.record_delivery(self._node_id, message)
+
+
+class _ActiveBroadcast:
+    """A sender's in-flight instance plus its decay schedule."""
+
+    __slots__ = ("instance", "schedule")
+
+    def __init__(self, instance: MessageInstance, schedule: DecaySchedule):
+        self.instance = instance
+        self.schedule = schedule
+
+
+class RadioMACLayer:
+    """Acknowledged local broadcast implemented with decay over radio slots.
+
+    Args:
+        dual: The network.
+        rng: Random stream (fading + decay coins).
+        slot_duration: Simulated time per radio slot.
+        p_unreliable_live: Per-slot fade-in probability of unreliable edges.
+        adaptive: Keep transmitting until all reliable neighbors decoded
+            (True, default) or ack after the fixed schedule (False).
+        phases: Decay phases per schedule block; defaults to
+            ``Θ(log n)`` via :func:`recommended_phases`.
+        depth: Decay depth; defaults to ``ceil(log2(max G' degree + 1))``.
+    """
+
+    def __init__(
+        self,
+        dual: DualGraph,
+        rng: RandomSource,
+        slot_duration: Time = 1.0,
+        p_unreliable_live: float = 0.5,
+        adaptive: bool = True,
+        phases: int | None = None,
+        depth: int | None = None,
+    ):
+        if slot_duration <= 0:
+            raise MACError(f"slot_duration must be positive: {slot_duration}")
+        self.dual = dual
+        self.slot_duration = slot_duration
+        self.adaptive = adaptive
+        self.phases = phases or recommended_phases(dual.n)
+        self.depth = (
+            depth
+            if depth is not None
+            else decay_depth_for(dual.max_gprime_degree() + 1)
+        )
+        self._rng = rng
+        self.radio = SlottedRadioNetwork(
+            dual, rng.child("fading"), p_unreliable_live=p_unreliable_live
+        )
+        self.instances = InstanceLog()
+        self._bindings: dict[NodeId, _RadioBinding] = {}
+        self._active: dict[NodeId, _ActiveBroadcast] = {}
+        self._arrivals: dict[int, list[tuple[NodeId, Message]]] = {}
+        self._delivered: dict[tuple[NodeId, str], Time] = {}
+        self._missed_before_ack = 0
+        self._required_deliveries = 0
+
+    # ------------------------------------------------------------------
+    # Setup (mirrors StandardMACLayer)
+    # ------------------------------------------------------------------
+    def register(self, node_id: NodeId, automaton: Automaton) -> None:
+        """Attach an automaton to a node."""
+        if node_id in self._bindings:
+            raise MACError(f"node {node_id} registered twice")
+        if not self.dual.reliable_graph.has_node(node_id):
+            raise MACError(f"node {node_id} is not in the topology")
+        self._bindings[node_id] = _RadioBinding(self, node_id, automaton)
+
+    def inject_arrival(
+        self, node_id: NodeId, message: Message, time: Time = 0.0
+    ) -> None:
+        """Queue an environment arrival for the slot covering ``time``."""
+        slot = max(0, math.ceil(time / self.slot_duration))
+        self._arrivals.setdefault(slot, []).append((node_id, message))
+
+    @property
+    def now(self) -> Time:
+        """Current simulated time (slots elapsed × slot duration)."""
+        return self.radio.slot * self.slot_duration
+
+    # ------------------------------------------------------------------
+    # Broadcast entry point (called by node automata)
+    # ------------------------------------------------------------------
+    def bcast(self, sender: NodeId, payload) -> MessageInstance:
+        if sender in self._active:
+            raise WellFormednessError(
+                f"node {sender} bcast while a broadcast is in flight"
+            )
+        instance = self.instances.new_instance(sender, payload, self.now)
+        schedule = DecaySchedule(
+            self.depth, self.phases, self._rng.child(f"decay-{instance.iid}")
+        )
+        self._active[sender] = _ActiveBroadcast(instance, schedule)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, max_slots: int = 1_000_000) -> int:
+        """Run slots until quiescence (or ``max_slots``); returns slots used."""
+        start_slot = self.radio.slot
+        for node_id in sorted(self._bindings):
+            binding = self._bindings[node_id]
+            binding.automaton.on_wakeup(binding)
+        while self.radio.slot - start_slot < max_slots:
+            slot = self.radio.slot
+            self._fire_arrivals(slot)
+            if not self._active and not self._pending_arrivals(slot):
+                break
+            self._run_one_slot()
+        return self.radio.slot - start_slot
+
+    def _pending_arrivals(self, current_slot: int) -> bool:
+        return any(s >= current_slot and lst for s, lst in self._arrivals.items())
+
+    def _fire_arrivals(self, slot: int) -> None:
+        for node_id, message in self._arrivals.pop(slot, []):
+            binding = self._bindings[node_id]
+            binding.automaton.on_arrive(binding, message)
+
+    def _run_one_slot(self) -> None:
+        transmissions = {}
+        for sender in sorted(self._active):
+            if self._active[sender].schedule.should_transmit():
+                transmissions[sender] = self._active[sender].instance
+        receptions = self.radio.run_slot(transmissions)
+        slot_end = self.now  # run_slot advanced the slot counter
+        for listener in sorted(receptions):
+            sender, instance = receptions[listener]
+            if instance.delivered_to(listener):
+                continue  # duplicate decode of a retransmission
+            instance.rcv_times[listener] = slot_end
+            binding = self._bindings[listener]
+            binding.automaton.on_receive(binding, instance.payload, sender)
+        self._complete_finished(slot_end)
+
+    def _complete_finished(self, slot_end: Time) -> None:
+        for sender in sorted(self._active):
+            active = self._active[sender]
+            if not active.schedule.complete:
+                continue
+            missing = [
+                v
+                for v in self.dual.reliable_neighbors(sender)
+                if not active.instance.delivered_to(v)
+            ]
+            if missing and self.adaptive:
+                # Keep going: append another block of decay phases.
+                active.schedule = DecaySchedule(
+                    self.depth,
+                    self.phases,
+                    self._rng.child(
+                        f"decay-{active.instance.iid}-extra-{int(slot_end)}"
+                    ),
+                )
+                continue
+            self._required_deliveries += len(
+                self.dual.reliable_neighbors(sender)
+            )
+            self._missed_before_ack += len(missing)
+            active.instance.ack_time = slot_end
+            del self._active[sender]
+            binding = self._bindings[sender]
+            binding.automaton.on_ack(binding, active.instance.payload)
+
+    # ------------------------------------------------------------------
+    # MMB deliver output (mirrors StandardMACLayer)
+    # ------------------------------------------------------------------
+    def record_delivery(self, node_id: NodeId, message: Message) -> None:
+        key = (node_id, message.mid)
+        if key in self._delivered:
+            raise MACError(
+                f"duplicate deliver({message.mid}) at node {node_id}"
+            )
+        self._delivered[key] = self.now
+
+    @property
+    def deliveries(self) -> dict[tuple[NodeId, str], Time]:
+        """All ``deliver`` outputs: (node, mid) → time."""
+        return self._delivered
+
+    # ------------------------------------------------------------------
+    # Empirical model constants
+    # ------------------------------------------------------------------
+    def empirical_bounds(self) -> EmpiricalBounds:
+        """The realized ``Fack``/``Fprog`` of this execution."""
+        fack = 0.0
+        for inst in self.instances:
+            if inst.ack_time is not None:
+                fack = max(fack, inst.ack_time - inst.bcast_time)
+        fprog = minimal_progress_bound(self.instances, self.dual)
+        if self._required_deliveries:
+            rate = 1.0 - self._missed_before_ack / self._required_deliveries
+        else:
+            rate = 1.0
+        return EmpiricalBounds(
+            fack=fack, fprog=fprog, delivery_success_rate=rate
+        )
+
+
+def minimal_progress_bound(instances: InstanceLog, dual: DualGraph) -> Time:
+    """The smallest ``Fprog`` for which an execution satisfies the progress
+    axiom.
+
+    Mirrors the axiom checker's reduction: within one connected window
+    ``[b, T]`` at receiver ``j``, the constraint at critical start ``s`` is
+    ``Fprog ≥ min(f(s) − s, T − s)`` where ``f(s)`` is the earliest receive
+    at ``j`` from an instance still contending at ``s`` (``T − s`` voids the
+    constraint when no interval longer than ``Fprog`` fits).  The minimal
+    valid bound is the maximum of these over all windows and starts.
+    """
+    insts = list(instances)
+    trace_end = 0.0
+    for inst in insts:
+        trace_end = max(trace_end, inst.bcast_time)
+        if inst.rcv_times:
+            trace_end = max(trace_end, max(inst.rcv_times.values()))
+        trace_end = max(
+            trace_end, inst.ack_time or 0.0, inst.abort_time or 0.0
+        )
+    rcv_by_receiver: dict[NodeId, list[tuple[Time, Time]]] = {}
+    for inst in insts:
+        term = min(inst.termination_time, trace_end)
+        for receiver, rtime in inst.rcv_times.items():
+            rcv_by_receiver.setdefault(receiver, []).append((rtime, term))
+    needed = 0.0
+    for inst in insts:
+        begin = inst.bcast_time
+        end = min(inst.termination_time, trace_end)
+        if end <= begin:
+            continue
+        for receiver in dual.reliable_neighbors(inst.sender):
+            events = rcv_by_receiver.get(receiver, [])
+            starts = [begin] + [
+                term + 1e-9 for _, term in events if begin < term < end
+            ]
+            for s in starts:
+                if s >= end:
+                    continue
+                qualifying = [r for r, term in events if term >= s]
+                earliest = min(qualifying, default=math.inf)
+                constraint = min(earliest - s, end - s)
+                needed = max(needed, constraint)
+    return needed

@@ -1,0 +1,150 @@
+"""The standard-model experiment runner.
+
+``run_standard`` assembles one execution — simulator, MAC layer, scheduler,
+one automaton per node, environment events — runs it to quiescence (or a
+time/event budget), and summarizes it as a
+:class:`~repro.runtime.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.problem import ArrivalSchedule
+from repro.errors import ExperimentError
+from repro.ids import MessageAssignment, NodeId, Time
+from repro.mac.interfaces import Automaton
+from repro.mac.messages import InstanceLog
+from repro.mac.schedulers.base import Scheduler
+from repro.mac.standard import StandardMACLayer
+from repro.runtime.results import DeliveryLog, RunResult
+from repro.sim.kernel import Simulator
+from repro.topology.dualgraph import DualGraph
+
+AutomatonFactory = Callable[[NodeId], Automaton]
+
+
+@dataclass
+class ProtocolRun:
+    """Outcome of a generic (non-MMB) protocol execution.
+
+    Attributes:
+        automata: The per-node automata after quiescence (protocols expose
+            their results as automaton state, e.g. ``FloodMaxNode.leader``).
+        instances: The MAC instance log (axiom-checkable).
+        quiesced: True when the event queue drained before ``max_time``.
+        end_time: Simulation time at which execution stopped.
+        broadcast_count: Number of broadcasts in the execution.
+    """
+
+    automata: dict[NodeId, Automaton]
+    instances: "InstanceLog"
+    quiesced: bool
+    end_time: Time
+    broadcast_count: int
+
+
+def run_protocol(
+    dual: DualGraph,
+    automaton_factory: AutomatonFactory,
+    scheduler: Scheduler,
+    fack: Time,
+    fprog: Time,
+    max_time: Time | None = None,
+    max_events: int = 50_000_000,
+    mac_class: type[StandardMACLayer] = StandardMACLayer,
+) -> ProtocolRun:
+    """Run a generic wakeup-driven protocol (no MMB arrivals) to quiescence.
+
+    Used by the leader-election and consensus extensions, whose inputs live
+    in the automata rather than in an environment message assignment.
+    """
+    sim = Simulator(max_events=max_events)
+    mac = mac_class(sim, dual, scheduler, fack=fack, fprog=fprog)
+    automata = {node_id: automaton_factory(node_id) for node_id in dual.nodes}
+    for node_id, automaton in automata.items():
+        mac.register(node_id, automaton)
+    mac.start()
+    sim.run(until=max_time)
+    quiesced = sim.pending_events == 0
+    return ProtocolRun(
+        automata=automata,
+        instances=mac.instances,
+        quiesced=quiesced,
+        end_time=sim.now,
+        broadcast_count=len(mac.instances),
+    )
+
+
+def run_standard(
+    dual: DualGraph,
+    assignment: MessageAssignment | ArrivalSchedule,
+    automaton_factory: AutomatonFactory,
+    scheduler: Scheduler,
+    fack: Time,
+    fprog: Time,
+    max_time: Time | None = None,
+    max_events: int = 50_000_000,
+    keep_instances: bool = True,
+    mac_class: type[StandardMACLayer] = StandardMACLayer,
+) -> RunResult:
+    """Run one standard-model MMB execution to quiescence.
+
+    Args:
+        dual: The network topology.
+        assignment: Either a :class:`MessageAssignment` (all arrivals at
+            time 0, the paper's main-body workload) or an
+            :class:`ArrivalSchedule` (online arrivals, footnote 4).
+        automaton_factory: Builds the per-node algorithm automaton.
+        scheduler: The message scheduler (model nondeterminism).
+        fack: Acknowledgment bound.
+        fprog: Progress bound.
+        max_time: Optional wall on simulated time; exceeding it leaves the
+            run truncated (``solved`` will typically be False).
+        max_events: Simulator event budget (guards against livelock).
+        keep_instances: Retain the instance log for axiom checking; disable
+            for large parameter sweeps to save memory.
+        mac_class: The MAC layer class (standard by default; tests use the
+            enhanced layer to exercise abort semantics).
+
+    Returns:
+        The summarized :class:`RunResult`.
+    """
+    if isinstance(assignment, ArrivalSchedule):
+        schedule = assignment
+    else:
+        schedule = ArrivalSchedule.at_time_zero(assignment)
+    static_view = schedule.as_assignment()
+    if schedule.k == 0:
+        raise ExperimentError("MMB requires k >= 1 messages")
+    for node in static_view.messages:
+        if not dual.reliable_graph.has_node(node):
+            raise ExperimentError(f"assignment references unknown node {node}")
+
+    started = _time.perf_counter()
+    sim = Simulator(max_events=max_events)
+    deliveries = DeliveryLog()
+    mac = mac_class(
+        sim, dual, scheduler, fack=fack, fprog=fprog, delivery_sink=deliveries.record
+    )
+    for node_id in dual.nodes:
+        mac.register(node_id, automaton_factory(node_id))
+    mac.start()
+    for arrival in schedule.sorted_by_time():
+        mac.inject_arrival(arrival.node, arrival.message, time=arrival.time)
+    sim.run(until=max_time)
+    wall = _time.perf_counter() - started
+
+    return RunResult.from_execution(
+        dual=dual,
+        assignment=static_view,
+        deliveries=deliveries,
+        instances=mac.instances if keep_instances else None,
+        sim_events=sim.processed_events,
+        wall_time=wall,
+        broadcast_count=len(mac.instances),
+        rcv_count=mac.instances.total_rcv_events(),
+        arrival_times=schedule.arrival_times(),
+    )

@@ -1,0 +1,163 @@
+"""Structured execution traces: export, import, and summaries.
+
+Debugging a distributed execution needs more than a completion time.  This
+module flattens an :class:`~repro.mac.messages.InstanceLog` into a
+time-ordered list of event records (``bcast`` / ``rcv`` / ``ack`` /
+``abort``), serializes them as JSON lines, and reloads them into an
+instance log — so traces can be archived next to experiment results and
+re-certified by the axiom checker later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import ExperimentError
+from repro.ids import InstanceId, NodeId, Time
+from repro.mac.messages import InstanceLog, MessageInstance
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One MAC-level event, flattened for chronological inspection.
+
+    Attributes:
+        time: Event time.
+        kind: One of ``bcast``, ``rcv``, ``ack``, ``abort``.
+        node: The acting node (receiver for ``rcv``, sender otherwise).
+        iid: The message instance the event belongs to.
+        payload: String form of the payload (for human inspection only).
+    """
+
+    time: Time
+    kind: str
+    node: NodeId
+    iid: InstanceId
+    payload: str
+
+
+_KIND_ORDER = {"bcast": 0, "rcv": 1, "ack": 2, "abort": 2}
+
+
+def flatten(instances: Iterable[MessageInstance]) -> list[TraceEvent]:
+    """All events of an execution in chronological order.
+
+    Ties are broken bcast < rcv < terminator, then by instance id — the
+    same intra-timestamp order the MAC layer executes.
+    """
+    events: list[TraceEvent] = []
+    for inst in instances:
+        payload = str(inst.payload)
+        events.append(
+            TraceEvent(inst.bcast_time, "bcast", inst.sender, inst.iid, payload)
+        )
+        for receiver, rtime in inst.rcv_times.items():
+            events.append(TraceEvent(rtime, "rcv", receiver, inst.iid, payload))
+        if inst.ack_time is not None:
+            events.append(
+                TraceEvent(inst.ack_time, "ack", inst.sender, inst.iid, payload)
+            )
+        if inst.abort_time is not None:
+            events.append(
+                TraceEvent(inst.abort_time, "abort", inst.sender, inst.iid, payload)
+            )
+    events.sort(key=lambda e: (e.time, _KIND_ORDER[e.kind], e.iid, e.node))
+    return events
+
+
+# ----------------------------------------------------------------------
+# JSONL persistence
+# ----------------------------------------------------------------------
+def dump_instances(instances: Iterable[MessageInstance]) -> Iterator[str]:
+    """Serialize instances as JSON lines (one instance per line)."""
+    for inst in instances:
+        yield json.dumps(
+            {
+                "iid": inst.iid,
+                "sender": inst.sender,
+                "payload": str(inst.payload),
+                "bcast_time": inst.bcast_time,
+                "rcv_times": {str(k): v for k, v in inst.rcv_times.items()},
+                "ack_time": inst.ack_time,
+                "abort_time": inst.abort_time,
+            },
+            sort_keys=True,
+        )
+
+
+def write_trace(instances: Iterable[MessageInstance], path: str | Path) -> int:
+    """Write an execution's instances to a JSONL file; returns line count."""
+    lines = list(dump_instances(instances))
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def load_trace(path: str | Path) -> InstanceLog:
+    """Reload a JSONL trace into an :class:`InstanceLog`.
+
+    Payloads come back as their string forms (sufficient for the axiom
+    checker, which treats payloads opaquely).
+    """
+    log = InstanceLog()
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"{path}:{lineno}: bad trace line: {exc}") from exc
+        inst = log.new_instance(
+            int(record["sender"]), record["payload"], float(record["bcast_time"])
+        )
+        if inst.iid != int(record["iid"]):
+            raise ExperimentError(
+                f"{path}:{lineno}: non-contiguous instance ids "
+                f"({record['iid']} loaded as {inst.iid})"
+            )
+        inst.rcv_times.update(
+            {int(k): float(v) for k, v in record["rcv_times"].items()}
+        )
+        if record.get("ack_time") is not None:
+            inst.ack_time = float(record["ack_time"])
+        if record.get("abort_time") is not None:
+            inst.abort_time = float(record["abort_time"])
+    return log
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate numbers for one execution trace."""
+
+    instances: int
+    rcv_events: int
+    aborted: int
+    first_time: Time
+    last_time: Time
+    mean_ack_latency: Time
+
+
+def summarize_trace(instances: Iterable[MessageInstance]) -> TraceSummary:
+    """Compute a :class:`TraceSummary` (raises on an empty trace)."""
+    insts = list(instances)
+    if not insts:
+        raise ExperimentError("cannot summarize an empty trace")
+    events = flatten(insts)
+    ack_latencies = [
+        inst.ack_time - inst.bcast_time
+        for inst in insts
+        if inst.ack_time is not None
+    ]
+    return TraceSummary(
+        instances=len(insts),
+        rcv_events=sum(len(i.rcv_times) for i in insts),
+        aborted=sum(1 for i in insts if i.abort_time is not None),
+        first_time=events[0].time,
+        last_time=events[-1].time,
+        mean_ack_latency=(
+            sum(ack_latencies) / len(ack_latencies) if ack_latencies else 0.0
+        ),
+    )

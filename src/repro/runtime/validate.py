@@ -1,0 +1,47 @@
+"""MMB solution checking (problem definition, paper §2).
+
+The MMB problem is solved once every message ``m`` starting at node ``u``
+has been delivered at every node of ``u``'s connected component in ``G``
+(``G`` need not be connected).
+"""
+
+from __future__ import annotations
+
+from repro.ids import MessageAssignment, MessageId, NodeId
+from repro.runtime.results import DeliveryLog
+from repro.topology.dualgraph import DualGraph
+
+
+def required_deliveries(
+    dual: DualGraph, assignment: MessageAssignment
+) -> dict[MessageId, frozenset[NodeId]]:
+    """For each message, the set of nodes that must deliver it."""
+    required: dict[MessageId, frozenset[NodeId]] = {}
+    for node, messages in assignment.messages.items():
+        component = dual.component_of(node)
+        for message in messages:
+            required[message.mid] = component
+    return required
+
+
+def solved(
+    dual: DualGraph, assignment: MessageAssignment, deliveries: DeliveryLog
+) -> bool:
+    """True iff the execution solved MMB."""
+    for mid, nodes in required_deliveries(dual, assignment).items():
+        holding = deliveries.nodes_holding(mid)
+        if not nodes <= holding:
+            return False
+    return True
+
+
+def missing_deliveries(
+    dual: DualGraph, assignment: MessageAssignment, deliveries: DeliveryLog
+) -> dict[MessageId, frozenset[NodeId]]:
+    """For each unsolved message, the nodes still missing it (diagnostics)."""
+    missing: dict[MessageId, frozenset[NodeId]] = {}
+    for mid, nodes in required_deliveries(dual, assignment).items():
+        rest = nodes - deliveries.nodes_holding(mid)
+        if rest:
+            missing[mid] = frozenset(rest)
+    return missing

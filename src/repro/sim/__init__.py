@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the substrate on which the abstract MAC layer and all
+algorithms run.  It provides:
+
+* :class:`~repro.sim.kernel.Simulator` — a heap-based event loop with
+  deterministic tie-breaking for same-timestamp events (FIFO in scheduling
+  order), cancellable events, and an event budget guard.
+* :class:`~repro.sim.events.EventHandle` — a cancellation token.
+* :class:`~repro.sim.rng.RandomSource` — hierarchical seeded randomness so
+  every component (scheduler, each node, each subroutine) draws from an
+  independent, reproducible stream.
+"""
+
+from repro.sim.events import EventHandle, ScheduledEvent
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomSource
+
+__all__ = ["EventHandle", "ScheduledEvent", "Simulator", "RandomSource"]

@@ -1,0 +1,68 @@
+"""Event records and cancellation handles for the DES kernel.
+
+Events are ordered by ``(time, priority, seq)``.  ``seq`` is a monotonically
+increasing counter assigned at scheduling time, which makes same-time,
+same-priority events run in FIFO order — this is what lets the package
+express the paper's "no time passes" event chains deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.ids import Time
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """Internal heap entry for one scheduled callback.
+
+    Attributes:
+        time: Absolute simulation time at which to fire.
+        priority: Secondary sort key; lower fires first at equal times.
+        seq: Tertiary FIFO tie-breaker assigned by the simulator.
+        fn: The callback (compared never; excluded from ordering).
+        args: Positional arguments passed to ``fn``.
+        cancelled: Set by :meth:`EventHandle.cancel`; fired events are skipped.
+    """
+
+    time: Time
+    priority: int
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellation token returned by :meth:`repro.sim.kernel.Simulator.schedule`.
+
+    Holding a handle does not keep the event alive; it only allows the owner
+    to cancel it before it fires.  Cancelling an already-fired or
+    already-cancelled event is a harmless no-op, which keeps timer code in
+    the enhanced MAC layer simple.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: ScheduledEvent):
+        self._event = event
+
+    @property
+    def time(self) -> Time:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time!r}, {state})"

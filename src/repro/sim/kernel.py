@@ -1,0 +1,154 @@
+"""The discrete-event simulator.
+
+A deliberately small, predictable kernel:
+
+* ``schedule(delay, fn, *args)`` — relative scheduling; ``delay`` may be 0,
+  producing a same-timestamp FIFO chain (used for the paper's zero-time
+  broadcast/ack cascades in the lower-bound constructions).
+* ``schedule_at(time, fn, *args)`` — absolute scheduling.
+* ``run(until=...)`` — drain events in ``(time, priority, seq)`` order.
+* an event budget (``max_events``) guards against accidental livelock in
+  adversarial schedules.
+
+The kernel is single-threaded and deterministic: given the same scheduling
+calls it produces the same execution, which is what makes fixed-seed
+experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.ids import TIME_EPS, Time
+from repro.sim.events import EventHandle, ScheduledEvent
+
+
+class Simulator:
+    """Heap-based discrete-event loop.
+
+    Args:
+        max_events: Hard cap on the number of events processed by
+            :meth:`run`; exceeding it raises :class:`SimulationError`.  The
+            default is generous for every experiment in this package while
+            still catching runaway zero-delay loops quickly.
+    """
+
+    def __init__(self, max_events: int = 50_000_000):
+        self._now: Time = 0.0
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._processed = 0
+        self._max_events = max_events
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> Time:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled-but-unfired events (including cancelled)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: Time,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; zero delays are explicitly allowed
+        and run after all events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: Time,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self._now - TIME_EPS:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        event = ScheduledEvent(max(time, self._now), priority, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._advance_to(event.time)
+            self._processed += 1
+            if self._processed > self._max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self._max_events} events); "
+                    "likely a zero-delay livelock"
+                )
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Time | None = None) -> Time:
+        """Drain the event queue.
+
+        Args:
+            until: If given, stop once the next event would fire strictly
+                after ``until`` and fast-forward the clock to ``until``.
+
+        Returns:
+            The simulation time when execution stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until + TIME_EPS:
+                    break
+                self.step()
+            if until is not None and until > self._now:
+                self._advance_to(until)
+            return self._now
+        finally:
+            self._running = False
+
+    def _advance_to(self, time: Time) -> None:
+        if time < self._now - TIME_EPS:
+            raise SimulationError(
+                f"time went backwards: {time} < {self._now}"
+            )
+        if time > self._now:
+            self._now = time

@@ -1,0 +1,87 @@
+"""Hierarchical, reproducible randomness.
+
+The paper models randomness by handing each node "sufficiently many random
+bits" at the start of the execution.  We realize this with a tree of named
+random streams: the experiment owns a root :class:`RandomSource`, and every
+component (the message scheduler, each node automaton, each FMMB subroutine)
+derives an independent child stream with :meth:`RandomSource.child`.
+
+Key property: a component's draws are unaffected by how many draws *other*
+components make, so adding instrumentation or reordering unrelated code never
+perturbs an experiment.  Child seeds are derived with SHA-256 over the parent
+seed and the child name, which is stable across processes and Python
+versions (unlike ``hash``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(parent_seed: int, name: str) -> int:
+    """Derive a stable 64-bit child seed from a parent seed and a name."""
+    digest = hashlib.sha256(f"{parent_seed}/{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomSource:
+    """A named, seeded random stream with child-stream derivation.
+
+    Thin wrapper around :class:`random.Random` exposing only the operations
+    the package uses, plus :meth:`child` for hierarchy.
+    """
+
+    def __init__(self, seed: int, name: str = "root"):
+        self.seed = int(seed)
+        self.name = name
+        self._rng = random.Random(self.seed)
+
+    def child(self, name: str) -> "RandomSource":
+        """An independent stream addressed by ``name`` under this stream."""
+        return RandomSource(derive_seed(self.seed, name), f"{self.name}/{name}")
+
+    # ------------------------------------------------------------------
+    # Draw operations
+    # ------------------------------------------------------------------
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def uniform(self, lo: float, hi: float) -> float:
+        """Uniform float in [lo, hi]."""
+        return self._rng.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi], inclusive."""
+        return self._rng.randint(lo, hi)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], count: int) -> list[T]:
+        """Sample ``count`` distinct elements without replacement."""
+        return self._rng.sample(seq, count)
+
+    def shuffle(self, items: list[T]) -> None:
+        """In-place Fisher–Yates shuffle."""
+        self._rng.shuffle(items)
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p``."""
+        return self._rng.random() < p
+
+    def bitstring(self, length: int) -> tuple[int, ...]:
+        """A uniform random bit tuple of the given length.
+
+        Used by the FMMB election subroutine, where each active node draws a
+        ``4·log n``-bit string (paper §4.2).
+        """
+        return tuple(self._rng.getrandbits(1) for _ in range(length))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomSource(name={self.name!r}, seed={self.seed})"

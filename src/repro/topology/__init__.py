@@ -1,0 +1,54 @@
+"""Dual-graph network topologies.
+
+The paper's networks are pairs ``(G, G')`` over the same vertex set with
+``E ⊆ E'``: ``G`` carries the reliable links (always delivered), and
+``G' \\ G`` carries the unreliable links (delivered at the whim of the
+message scheduler).  This subpackage provides:
+
+* :class:`~repro.topology.dualgraph.DualGraph` — the validated container
+  with reliable/unreliable neighbor queries, distances, power graphs, and
+  constraint predicates (``r``-restricted, grey-zone).
+* :mod:`~repro.topology.generators` — reliable-graph families plus
+  unreliable-edge augmentations (arbitrary / ``r``-restricted).
+* :mod:`~repro.topology.geometric` — embedded unit-disk graphs and grey-zone
+  networks (``G`` = unit disk at radius 1, ``G'`` edges up to distance ``c``).
+* :mod:`~repro.topology.adversarial` — the lower-bound constructions of
+  §3.3: the Figure 2 parallel-lines network and the Lemma 3.18 choke star.
+* :mod:`~repro.topology.metrics` — diameters, eccentricities, component
+  structure helpers shared by the analysis code.
+"""
+
+from repro.topology.dualgraph import DualGraph
+from repro.topology.generators import (
+    grid_network,
+    line_network,
+    reliable_only,
+    ring_network,
+    star_network,
+    tree_network,
+    with_arbitrary_unreliable,
+    with_r_restricted_unreliable,
+)
+from repro.topology.geometric import grey_zone_network, random_geometric_network
+from repro.topology.adversarial import (
+    choke_star_network,
+    combined_lower_bound_network,
+    parallel_lines_network,
+)
+
+__all__ = [
+    "DualGraph",
+    "line_network",
+    "ring_network",
+    "star_network",
+    "grid_network",
+    "tree_network",
+    "reliable_only",
+    "with_arbitrary_unreliable",
+    "with_r_restricted_unreliable",
+    "grey_zone_network",
+    "random_geometric_network",
+    "parallel_lines_network",
+    "choke_star_network",
+    "combined_lower_bound_network",
+]

@@ -1,0 +1,289 @@
+"""The dual graph ``(G, G')`` — reliable and unreliable connectivity.
+
+This is the package's central topology type.  It validates the model's
+structural constraint ``E ⊆ E'`` at construction, precomputes adjacency sets
+for the hot paths (the MAC layer queries neighbors on every broadcast), and
+offers the graph-theoretic helpers the paper's definitions use: shortest-path
+distances in ``G``, the power graph ``G^r``, the ``r``-restriction predicate,
+and the grey-zone embedding predicate.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.ids import NodeId
+
+Position = tuple[float, float]
+
+
+class DualGraph:
+    """A validated dual graph ``(G, G')`` with optional plane embedding.
+
+    Args:
+        reliable: The reliable graph ``G``.
+        unreliable: The full communication graph ``G'``; must contain every
+            vertex and edge of ``G``.  Edges of ``G' \\ G`` are the
+            *unreliable* links.
+        positions: Optional plane embedding ``p: V → R²`` (required by the
+            grey-zone constraint predicate and by geometric generators).
+        name: Human-readable label used in experiment reports.
+
+    Raises:
+        TopologyError: If the vertex sets differ, ``E ⊄ E'``, or positions
+            are given for only part of the vertex set.
+    """
+
+    def __init__(
+        self,
+        reliable: nx.Graph,
+        unreliable: nx.Graph,
+        positions: Mapping[NodeId, Position] | None = None,
+        name: str = "dual-graph",
+    ):
+        if set(reliable.nodes) != set(unreliable.nodes):
+            raise TopologyError("G and G' must share the same vertex set")
+        missing = [e for e in reliable.edges if not unreliable.has_edge(*e)]
+        if missing:
+            raise TopologyError(
+                f"E ⊆ E' violated: {len(missing)} reliable edges missing from G' "
+                f"(first: {missing[0]})"
+            )
+        if positions is not None:
+            absent = set(reliable.nodes) - set(positions)
+            if absent:
+                raise TopologyError(
+                    f"embedding missing positions for {len(absent)} nodes"
+                )
+        self.name = name
+        self._g = reliable
+        self._gp = unreliable
+        self.positions: dict[NodeId, Position] | None = (
+            dict(positions) if positions is not None else None
+        )
+        # Precomputed adjacency (hot path for the MAC layer).
+        self._g_adj: dict[NodeId, frozenset[NodeId]] = {
+            v: frozenset(reliable.neighbors(v)) for v in reliable.nodes
+        }
+        self._gp_adj: dict[NodeId, frozenset[NodeId]] = {
+            v: frozenset(unreliable.neighbors(v)) for v in unreliable.nodes
+        }
+        self._unreliable_only_adj: dict[NodeId, frozenset[NodeId]] = {
+            v: self._gp_adj[v] - self._g_adj[v] for v in reliable.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._g.number_of_nodes()
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        """Vertex list in sorted order."""
+        return sorted(self._g.nodes)
+
+    @property
+    def reliable_graph(self) -> nx.Graph:
+        """The reliable graph ``G`` (do not mutate)."""
+        return self._g
+
+    @property
+    def unreliable_graph(self) -> nx.Graph:
+        """The full graph ``G'`` (do not mutate)."""
+        return self._gp
+
+    def reliable_neighbors(self, v: NodeId) -> frozenset[NodeId]:
+        """Neighbors of ``v`` in ``G`` (links the MAC always delivers on)."""
+        return self._g_adj[v]
+
+    def gprime_neighbors(self, v: NodeId) -> frozenset[NodeId]:
+        """Neighbors of ``v`` in ``G'`` (all links, reliable or not)."""
+        return self._gp_adj[v]
+
+    def unreliable_only_neighbors(self, v: NodeId) -> frozenset[NodeId]:
+        """Neighbors of ``v`` in ``G' \\ G`` (purely unreliable links)."""
+        return self._unreliable_only_adj[v]
+
+    def is_reliable_edge(self, u: NodeId, v: NodeId) -> bool:
+        """True if ``(u, v) ∈ E``."""
+        return v in self._g_adj[u]
+
+    def is_gprime_edge(self, u: NodeId, v: NodeId) -> bool:
+        """True if ``(u, v) ∈ E'``."""
+        return v in self._gp_adj[u]
+
+    @property
+    def reliable_edge_count(self) -> int:
+        """Number of edges in ``G``."""
+        return self._g.number_of_edges()
+
+    @property
+    def unreliable_edge_count(self) -> int:
+        """Number of edges in ``G' \\ G``."""
+        return self._gp.number_of_edges() - self._g.number_of_edges()
+
+    def max_gprime_degree(self) -> int:
+        """Maximum degree in ``G'``; bounds worst-case receiver contention."""
+        return max((len(adj) for adj in self._gp_adj.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # Distances and diameter (w.r.t. G, as in the paper)
+    # ------------------------------------------------------------------
+    def distances_from(self, source: NodeId) -> dict[NodeId, int]:
+        """Hop distances ``d_G(source, ·)`` for the reachable set."""
+        return self._bfs(source)
+
+    @lru_cache(maxsize=4096)
+    def _bfs(self, source: NodeId) -> dict[NodeId, int]:
+        return dict(nx.single_source_shortest_path_length(self._g, source))
+
+    def distance(self, u: NodeId, v: NodeId) -> int:
+        """``d_G(u, v)``; raises if disconnected."""
+        dist = self._bfs(u).get(v)
+        if dist is None:
+            raise TopologyError(f"nodes {u} and {v} are not connected in G")
+        return dist
+
+    def diameter(self) -> int:
+        """Diameter ``D`` of ``G``.
+
+        For disconnected ``G`` (the MMB definition permits it), returns the
+        maximum diameter over connected components — the quantity every
+        per-component bound in the paper uses.
+        """
+        diam = 0
+        for component in nx.connected_components(self._g):
+            sub = self._g.subgraph(component)
+            if sub.number_of_nodes() > 1:
+                diam = max(diam, nx.diameter(sub))
+        return diam
+
+    def components(self) -> list[frozenset[NodeId]]:
+        """Connected components of ``G``."""
+        return [frozenset(c) for c in nx.connected_components(self._g)]
+
+    def component_of(self, v: NodeId) -> frozenset[NodeId]:
+        """The connected component of ``v`` in ``G``."""
+        return frozenset(nx.node_connected_component(self._g, v))
+
+    # ------------------------------------------------------------------
+    # Paper constraint predicates
+    # ------------------------------------------------------------------
+    def power_graph(self, r: int) -> nx.Graph:
+        """The ``r``-th power ``G^r``: edges between distinct nodes within
+        ``r`` hops of each other in ``G`` (no self-loops, paper §3.2)."""
+        if r < 1:
+            raise TopologyError(f"power graph exponent must be >= 1, got {r}")
+        power = nx.Graph()
+        power.add_nodes_from(self._g.nodes)
+        for v in self._g.nodes:
+            lengths = nx.single_source_shortest_path_length(self._g, v, cutoff=r)
+            for u, dist in lengths.items():
+                if u != v and dist <= r:
+                    power.add_edge(v, u)
+        return power
+
+    def is_g_equals_gprime(self) -> bool:
+        """True under the original [29/30] assumption ``G' = G``."""
+        return self.unreliable_edge_count == 0
+
+    def is_r_restricted(self, r: int) -> bool:
+        """True if every ``G'`` edge connects nodes within ``r`` hops in ``G``."""
+        for u, v in self._gp.edges:
+            if u in self._g_adj[v]:
+                continue
+            try:
+                if self.distance(u, v) > r:
+                    return False
+            except TopologyError:
+                return False
+        return True
+
+    def restriction_radius(self) -> int | None:
+        """The smallest ``r`` for which ``G'`` is ``r``-restricted.
+
+        Returns None if some ``G'`` edge joins different ``G``-components
+        (no finite ``r`` exists — the "arbitrary G'" regime).
+        """
+        worst = 1
+        for u, v in self._gp.edges:
+            if u in self._g_adj[v]:
+                continue
+            try:
+                worst = max(worst, self.distance(u, v))
+            except TopologyError:
+                return None
+        return worst
+
+    def is_grey_zone(self, c: float) -> bool:
+        """Check the grey-zone constraint for parameter ``c ≥ 1``.
+
+        Requires an embedding and verifies both clauses of the paper's
+        definition: (1) ``(u,v) ∈ E`` iff ``‖p(u)−p(v)‖ ≤ 1``; (2) every
+        ``(u,v) ∈ E'`` has ``‖p(u)−p(v)‖ ≤ c``.
+        """
+        if self.positions is None:
+            raise TopologyError("grey-zone check requires an embedding")
+        if c < 1:
+            raise TopologyError(f"grey-zone constant must satisfy c >= 1, got {c}")
+        nodes = self.nodes
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                dist = self.euclidean(u, v)
+                in_e = v in self._g_adj[u]
+                if in_e != (dist <= 1.0 + 1e-12):
+                    return False
+        for u, v in self._gp.edges:
+            if self.euclidean(u, v) > c + 1e-12:
+                return False
+        return True
+
+    def euclidean(self, u: NodeId, v: NodeId) -> float:
+        """Euclidean distance between embedded nodes."""
+        if self.positions is None:
+            raise TopologyError("no embedding available")
+        (ux, uy), (vx, vy) = self.positions[u], self.positions[v]
+        return math.hypot(ux - vx, uy - vy)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edges(
+        n: int,
+        reliable_edges: Iterable[tuple[NodeId, NodeId]],
+        unreliable_extra_edges: Iterable[tuple[NodeId, NodeId]] = (),
+        positions: Mapping[NodeId, Position] | None = None,
+        name: str = "dual-graph",
+    ) -> "DualGraph":
+        """Build a dual graph over nodes ``0..n-1`` from edge lists.
+
+        ``unreliable_extra_edges`` lists only the edges of ``G' \\ G``; the
+        reliable edges are included in ``G'`` automatically.
+        """
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(reliable_edges)
+        gp = nx.Graph()
+        gp.add_nodes_from(range(n))
+        gp.add_edges_from(g.edges)
+        for u, v in unreliable_extra_edges:
+            if u == v:
+                raise TopologyError(f"self-loop ({u},{v}) not allowed")
+            gp.add_edge(u, v)
+        return DualGraph(g, gp, positions=positions, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DualGraph({self.name!r}, n={self.n}, "
+            f"|E|={self.reliable_edge_count}, "
+            f"|E'\\E|={self.unreliable_edge_count})"
+        )

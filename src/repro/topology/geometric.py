@@ -1,0 +1,153 @@
+"""Embedded geometric networks: unit-disk ``G`` and grey-zone ``G'``.
+
+The grey-zone constraint (paper §2) requires a plane embedding ``p`` with:
+
+1. ``(u, v) ∈ E``  iff  ``‖p(u) − p(v)‖ ≤ 1`` (``G`` is the unit-disk graph
+   of the embedding), and
+2. every ``(u, v) ∈ E'`` has ``‖p(u) − p(v)‖ ≤ c`` for a universal constant
+   ``c ≥ 1``.
+
+Clause (2) is an upper bound only — pairs within distance ``c`` need *not*
+be ``G'``-neighbors, so we expose a sampling probability for the grey band.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.ids import NodeId
+from repro.sim.rng import RandomSource
+from repro.topology.dualgraph import DualGraph, Position
+
+
+def unit_disk_graph(positions: dict[NodeId, Position], radius: float = 1.0) -> nx.Graph:
+    """The unit-disk graph of an embedding: edges at distance ≤ ``radius``."""
+    g = nx.Graph()
+    g.add_nodes_from(positions)
+    nodes = sorted(positions)
+    for i, u in enumerate(nodes):
+        ux, uy = positions[u]
+        for v in nodes[i + 1 :]:
+            vx, vy = positions[v]
+            if math.hypot(ux - vx, uy - vy) <= radius + 1e-12:
+                g.add_edge(u, v)
+    return g
+
+
+def grey_zone_network(
+    positions: dict[NodeId, Position],
+    c: float,
+    grey_edge_probability: float,
+    rng: RandomSource,
+    name: str | None = None,
+) -> DualGraph:
+    """A grey-zone dual graph from an explicit embedding.
+
+    ``G`` is the unit-disk graph at radius 1; every node pair at distance in
+    ``(1, c]`` is added to ``G'`` independently with probability
+    ``grey_edge_probability``.
+
+    Args:
+        positions: Plane embedding of the nodes.
+        c: Grey-zone constant (``c >= 1``).
+        grey_edge_probability: Inclusion probability for grey-band pairs.
+        rng: Random stream.
+    """
+    if c < 1.0:
+        raise TopologyError(f"grey-zone constant must satisfy c >= 1, got {c}")
+    if not 0.0 <= grey_edge_probability <= 1.0:
+        raise TopologyError(
+            f"probability must be in [0,1], got {grey_edge_probability}"
+        )
+    g = unit_disk_graph(positions, radius=1.0)
+    extra: list[tuple[NodeId, NodeId]] = []
+    nodes = sorted(positions)
+    for i, u in enumerate(nodes):
+        ux, uy = positions[u]
+        for v in nodes[i + 1 :]:
+            vx, vy = positions[v]
+            dist = math.hypot(ux - vx, uy - vy)
+            if 1.0 + 1e-12 < dist <= c + 1e-12 and rng.bernoulli(
+                grey_edge_probability
+            ):
+                extra.append((u, v))
+    return DualGraph.from_edges(
+        len(nodes),
+        g.edges,
+        extra,
+        positions=positions,
+        name=name or f"grey-zone-c{c}",
+    )
+
+
+def random_geometric_network(
+    n: int,
+    side: float,
+    c: float,
+    grey_edge_probability: float,
+    rng: RandomSource,
+    connect: bool = True,
+    max_attempts: int = 200,
+    name: str | None = None,
+) -> DualGraph:
+    """A random grey-zone network: ``n`` points uniform in a ``side×side`` box.
+
+    With ``connect=True``, resamples until the unit-disk graph is connected
+    (raising after ``max_attempts``); pick ``side ≲ sqrt(n)/2`` for easy
+    connectivity.
+
+    Returns a :class:`DualGraph` with the embedding attached, so the FMMB
+    subroutines and the grey-zone predicate can use positions.
+    """
+    if n < 1:
+        raise TopologyError(f"need n >= 1, got {n}")
+    point_rng = rng.child("points")
+    edge_rng = rng.child("grey-edges")
+    for attempt in range(max_attempts):
+        positions = {
+            i: (point_rng.uniform(0.0, side), point_rng.uniform(0.0, side))
+            for i in range(n)
+        }
+        g = unit_disk_graph(positions)
+        if not connect or nx.is_connected(g):
+            return grey_zone_network(
+                positions,
+                c,
+                grey_edge_probability,
+                edge_rng,
+                name=name or f"rgg-n{n}-side{side}-c{c}",
+            )
+    raise TopologyError(
+        f"failed to sample a connected unit-disk graph in {max_attempts} "
+        f"attempts (n={n}, side={side}); reduce side or set connect=False"
+    )
+
+
+def cluster_line_positions(
+    clusters: int, nodes_per_cluster: int, spacing: float = 0.9
+) -> dict[NodeId, Position]:
+    """Embedding of dense clusters spaced along a line.
+
+    A convenient deterministic grey-zone workload: each cluster is a tight
+    blob (mutual distance < 1), consecutive clusters are ``spacing`` apart so
+    only adjacent blobs connect.  Produces diameter ≈ ``clusters`` with high
+    local contention — the regime where ``Fprog ≪ Fack`` matters.
+    """
+    if clusters < 1 or nodes_per_cluster < 1:
+        raise TopologyError("need at least one cluster and one node per cluster")
+    positions: dict[NodeId, Position] = {}
+    node = 0
+    for ci in range(clusters):
+        base_x = ci * spacing
+        for j in range(nodes_per_cluster):
+            # Tiny deterministic offsets keep intra-cluster distances < 0.1.
+            angle = 2.0 * math.pi * j / max(nodes_per_cluster, 1)
+            positions[node] = (
+                base_x + 0.04 * math.cos(angle),
+                0.04 * math.sin(angle),
+            )
+            node += 1
+    return positions

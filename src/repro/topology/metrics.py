@@ -1,0 +1,65 @@
+"""Topology summary metrics used by the analysis and reporting layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.dualgraph import DualGraph
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Summary of a dual graph for experiment reports.
+
+    Attributes mirror the paper's parameters: ``n`` devices, diameter ``D``
+    of ``G``, edge counts of both layers, the smallest restriction radius
+    ``r`` of ``G'`` (None when no finite radius exists), and the worst-case
+    receiver contention (max ``G'`` degree + 1), which lower-bounds the
+    ``Fack/Fprog`` ratio needed by contention-style schedulers.
+    """
+
+    name: str
+    n: int
+    diameter: int
+    reliable_edges: int
+    unreliable_edges: int
+    restriction_radius: int | None
+    max_contention: int
+    components: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for table rendering and ``extra_info``."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "D": self.diameter,
+            "|E|": self.reliable_edges,
+            "|E'\\E|": self.unreliable_edges,
+            "r": self.restriction_radius,
+            "contention": self.max_contention,
+            "components": self.components,
+        }
+
+
+def summarize(dual: DualGraph) -> TopologySummary:
+    """Compute the :class:`TopologySummary` of a dual graph."""
+    return TopologySummary(
+        name=dual.name,
+        n=dual.n,
+        diameter=dual.diameter(),
+        reliable_edges=dual.reliable_edge_count,
+        unreliable_edges=dual.unreliable_edge_count,
+        restriction_radius=dual.restriction_radius(),
+        max_contention=dual.max_gprime_degree() + 1,
+        components=len(dual.components()),
+    )
+
+
+def minimum_fack_for_contention(dual: DualGraph, fprog: float) -> float:
+    """Smallest sound ``Fack`` for the contention scheduler on this graph.
+
+    The contention scheduler serializes each receiver at one delivery per
+    ``Fprog`` slot, so a specific message may wait behind every other
+    contending ``G'``-neighbor; ``(Δ' + 1)·Fprog`` is always sufficient.
+    """
+    return (dual.max_gprime_degree() + 1) * fprog

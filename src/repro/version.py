@@ -1,0 +1,10 @@
+"""Version information for the ``repro`` package."""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER = (
+    "Ghaffari, Kantor, Lynch, Newport. "
+    "Multi-Message Broadcast with Abstract MAC Layers and Unreliable Links. "
+    "PODC 2014 (arXiv:1405.1671)."
+)

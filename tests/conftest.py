@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BMMBNode,
+    ContentionScheduler,
+    MessageAssignment,
+    RandomSource,
+    UniformDelayScheduler,
+    WorstCaseAckScheduler,
+    line_network,
+    random_geometric_network,
+    run_standard,
+)
+
+#: Default model bounds used across tests: a 20x gap, as the paper's
+#: Fprog << Fack assumption suggests.
+FACK = 20.0
+FPROG = 1.0
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A fresh root random stream, fixed seed."""
+    return RandomSource(1234)
+
+
+@pytest.fixture
+def small_line():
+    """A 10-node reliable line (G' = G)."""
+    return line_network(10)
+
+
+@pytest.fixture
+def grey_net(rng):
+    """A small connected grey-zone network with an embedding."""
+    return random_geometric_network(
+        25, side=3.0, c=1.6, grey_edge_probability=0.4, rng=rng.child("net")
+    )
+
+
+def run_bmmb(dual, assignment, scheduler, fack=FACK, fprog=FPROG, **kwargs):
+    """Convenience wrapper: run BMMB and return the RunResult."""
+    return run_standard(
+        dual, assignment, lambda _: BMMBNode(), scheduler, fack, fprog, **kwargs
+    )
+
+
+def scheduler_menu(rng: RandomSource):
+    """One instance of each benign scheduler (fresh child streams)."""
+    return [
+        UniformDelayScheduler(rng.child("uniform")),
+        ContentionScheduler(rng.child("contention")),
+        WorstCaseAckScheduler(rng.child("worstcase"), p_unreliable=0.3),
+    ]
+
+
+def single_source(count: int, node: int = 0) -> MessageAssignment:
+    """Assignment with ``count`` messages at one node."""
+    return MessageAssignment.single_source(node, count)

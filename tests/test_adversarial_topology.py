@@ -1,0 +1,130 @@
+"""Unit tests for the lower-bound networks (paper §3.3, Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.adversarial import (
+    FIGURE2_MIN_C,
+    choke_star_network,
+    combined_lower_bound_network,
+    parallel_lines_network,
+)
+
+
+def test_parallel_lines_structure():
+    net = parallel_lines_network(6)
+    dual = net.dual
+    assert dual.n == 12
+    assert len(net.a_nodes) == len(net.b_nodes) == 6
+    # Reliable edges run along each line only.
+    for i in range(5):
+        assert dual.is_reliable_edge(net.a_nodes[i], net.a_nodes[i + 1])
+        assert dual.is_reliable_edge(net.b_nodes[i], net.b_nodes[i + 1])
+    assert not dual.is_reliable_edge(net.a_nodes[0], net.b_nodes[0])
+
+
+def test_parallel_lines_diagonals_are_unreliable_only():
+    net = parallel_lines_network(5)
+    dual = net.dual
+    for i in range(4):
+        assert dual.is_gprime_edge(net.a_nodes[i], net.b_nodes[i + 1])
+        assert dual.is_gprime_edge(net.b_nodes[i], net.a_nodes[i + 1])
+        assert not dual.is_reliable_edge(net.a_nodes[i], net.b_nodes[i + 1])
+    assert dual.unreliable_edge_count == 2 * 4
+
+
+def test_parallel_lines_are_disjoint_components():
+    net = parallel_lines_network(5)
+    comps = net.dual.components()
+    assert len(comps) == 2
+    assert frozenset(net.a_nodes) in comps
+    assert frozenset(net.b_nodes) in comps
+
+
+def test_parallel_lines_embedding_is_grey_zone():
+    net = parallel_lines_network(8)
+    assert net.dual.is_grey_zone(FIGURE2_MIN_C + 0.01)
+    assert not net.dual.is_grey_zone(1.0)  # diagonals exceed radius 1
+
+
+def test_parallel_lines_assignment_is_endpoint_oriented():
+    net = parallel_lines_network(4)
+    assert net.m0.origin == net.a_nodes[0]
+    assert net.m1.origin == net.b_nodes[0]
+    assert net.assignment.k == 2
+    assert net.depth == 4
+
+
+def test_parallel_lines_rejects_small_depth():
+    with pytest.raises(TopologyError):
+        parallel_lines_network(1)
+
+
+def test_choke_star_structure():
+    net = choke_star_network(6)
+    dual = net.dual
+    assert dual.n == 7
+    assert net.k == 6
+    assert net.hub == 5
+    assert net.sink == 6
+    # The sink's only neighbor is the hub: the choke point.
+    assert dual.reliable_neighbors(net.sink) == frozenset({net.hub})
+    assert dual.is_g_equals_gprime()
+
+
+def test_choke_star_sources_each_hold_one_message():
+    net = choke_star_network(5)
+    assert net.assignment.is_singleton()
+    assert net.assignment.k == 5
+    assert set(net.assignment.messages) == set(net.sources)
+
+
+def test_choke_star_clique_variant_is_grey_zone():
+    net = choke_star_network(8, clique_sources=True)
+    assert net.dual.positions is not None
+    assert net.dual.is_grey_zone(1.6)
+
+
+def test_choke_star_literal_variant_is_a_star():
+    net = choke_star_network(8, clique_sources=False)
+    dual = net.dual
+    assert dual.positions is None
+    for leaf in net.sources[:-1]:
+        assert dual.reliable_neighbors(leaf) == frozenset({net.hub})
+
+
+def test_choke_star_rejects_small_k():
+    with pytest.raises(TopologyError):
+        choke_star_network(1)
+
+
+def test_combined_network_composition():
+    net = combined_lower_bound_network(depth=5, k=6)
+    dual = net.dual
+    assert dual.n == (6 - 1) + 2 * 5
+    # The hub bridges the blob and line A.
+    assert dual.is_reliable_edge(net.hub, net.a_nodes[0])
+    # Blob is a clique.
+    for i, u in enumerate(net.blob):
+        for v in net.blob[i + 1 :]:
+            assert dual.is_reliable_edge(u, v)
+    # m0 at a_1, m1 at b_1, k-2 blob messages.
+    assert net.assignment.k == 6
+    assert net.assignment.messages[net.a_nodes[0]][0].mid == "m0"
+    assert net.assignment.messages[net.b_nodes[0]][0].mid == "m1"
+
+
+def test_combined_network_b_line_is_separate_component():
+    net = combined_lower_bound_network(depth=4, k=4)
+    comps = net.dual.components()
+    assert len(comps) == 2
+    assert frozenset(net.b_nodes) in comps
+
+
+def test_combined_rejects_bad_params():
+    with pytest.raises(TopologyError):
+        combined_lower_bound_network(1, 4)
+    with pytest.raises(TopologyError):
+        combined_lower_bound_network(4, 1)

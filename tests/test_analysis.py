@@ -1,0 +1,151 @@
+"""Tests for the analysis helpers: bounds, fits, tables, stats."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    bmmb_arbitrary_bound,
+    bmmb_gg_bound,
+    bmmb_r_restricted_bound,
+    choke_lower_bound,
+    combined_lower_bound,
+    figure2_lower_bound,
+    fmmb_bound_rounds,
+    fmmb_bound_time,
+)
+from repro.analysis.fitting import growth_ratio, linear_fit
+from repro.analysis.stats import success_rate, summarize
+from repro.analysis.tables import render_table
+from repro.errors import ExperimentError
+
+
+def test_theorem_316_explicit_formula():
+    # t1 = (D + (r+1)k − 2)·Fprog + r(k−1)·Fack
+    assert bmmb_r_restricted_bound(10, 4, 3, 20.0, 1.0) == pytest.approx(
+        (10 + 4 * 4 - 2) * 1.0 + 3 * 3 * 20.0
+    )
+
+
+def test_gg_bound_is_r_equals_one():
+    assert bmmb_gg_bound(10, 4, 20.0, 1.0) == bmmb_r_restricted_bound(
+        10, 4, 1, 20.0, 1.0
+    )
+
+
+def test_r_restricted_bound_monotone_in_r():
+    bounds = [bmmb_r_restricted_bound(10, 4, r, 20.0, 1.0) for r in (1, 2, 4, 8)]
+    assert bounds == sorted(bounds)
+    assert bounds[0] < bounds[-1]
+
+
+def test_arbitrary_bound_formula():
+    assert bmmb_arbitrary_bound(10, 4, 20.0) == 14 * 20.0
+
+
+def test_single_message_gg_bound_has_no_fack_term():
+    assert bmmb_gg_bound(10, 1, 20.0, 1.0) == pytest.approx(10.0)
+
+
+def test_lower_bound_formulas():
+    assert figure2_lower_bound(10, 20.0) == 180.0
+    assert choke_lower_bound(8, 20.0) == 140.0
+    assert combined_lower_bound(10, 4, 20.0) == 180.0
+    assert combined_lower_bound(4, 10, 20.0) == 160.0
+
+
+def test_bounds_reject_invalid_parameters():
+    with pytest.raises(ExperimentError):
+        bmmb_r_restricted_bound(10, 0, 1, 20.0, 1.0)
+    with pytest.raises(ExperimentError):
+        figure2_lower_bound(1, 20.0)
+    with pytest.raises(ExperimentError):
+        choke_lower_bound(1, 20.0)
+
+
+def test_fmmb_bound_shape():
+    rounds = fmmb_bound_rounds(10, 4, 64, c=1.0)
+    assert rounds == pytest.approx(10 * 6 + 4 * 6 + 6**3)
+    assert fmmb_bound_time(10, 4, 64, 2.0, c=1.0) == pytest.approx(2 * rounds)
+
+
+def test_fmmb_bound_scales_with_c():
+    assert fmmb_bound_rounds(10, 4, 64, c=2.0) > fmmb_bound_rounds(10, 4, 64, c=1.0)
+
+
+def test_linear_fit_recovers_exact_line():
+    fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.predict(10) == pytest.approx(21.0)
+
+
+def test_linear_fit_r_squared_degrades_with_noise():
+    xs = list(range(10))
+    ys = [2 * x + (1 if x % 2 else -1) * 3 for x in xs]
+    fit = linear_fit(xs, ys)
+    assert fit.r_squared < 1.0
+
+
+def test_linear_fit_rejects_degenerate_input():
+    with pytest.raises(ExperimentError):
+        linear_fit([1], [2])
+    with pytest.raises(ExperimentError):
+        linear_fit([1, 2], [3])
+
+
+def test_growth_ratio():
+    assert growth_ratio([1, 10], [2, 20]) == pytest.approx(1.0)  # linear
+    assert growth_ratio([1, 100], [1, 10]) == pytest.approx(0.1)  # sublinear
+
+
+def test_render_table_alignment_and_title():
+    table = render_table(
+        [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="demo"
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_table_handles_missing_keys_and_floats():
+    table = render_table([{"x": 1.23456}, {"y": True}])
+    assert "1.235" in table or "1.23" in table
+    assert "yes" in table
+
+
+def test_render_table_infers_column_order():
+    table = render_table([{"b": 1}, {"a": 2}])
+    header = table.splitlines()[0]
+    assert header.index("b") < header.index("a")
+
+
+def test_summarize_basic_stats():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.minimum == 1.0
+    assert s.maximum == 4.0
+    assert s.stdev == pytest.approx(math.sqrt(5 / 3))
+    assert s.half_width_95 > 0
+
+
+def test_summarize_single_value():
+    s = summarize([5.0])
+    assert s.stdev == 0.0
+    assert s.half_width_95 == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ExperimentError):
+        summarize([])
+
+
+def test_success_rate():
+    assert success_rate([True, True, False, True]) == pytest.approx(0.75)
+    with pytest.raises(ExperimentError):
+        success_rate([])

@@ -1,0 +1,107 @@
+"""The public API surface: everything in ``__all__`` exists and works."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ lists missing name {name}"
+
+
+def test_version_is_semver_like():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_star_import_matches_all():
+    namespace: dict = {}
+    exec("from repro import *", namespace)  # noqa: S102 - deliberate
+    exported = {k for k in namespace if not k.startswith("__")}
+    # Dunder entries like __version__ are filtered by the comprehension.
+    assert exported == {n for n in repro.__all__ if not n.startswith("__")}
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.sim",
+        "repro.topology",
+        "repro.topology.serialization",
+        "repro.mac",
+        "repro.mac.rounds",
+        "repro.mac.schedulers",
+        "repro.core",
+        "repro.core.fmmb",
+        "repro.core.problem",
+        "repro.core.leader",
+        "repro.core.consensus",
+        "repro.core.structuring",
+        "repro.radio",
+        "repro.runtime",
+        "repro.runtime.trace",
+        "repro.analysis",
+        "repro.analysis.ascii_art",
+        "repro.cli",
+    ],
+)
+def test_submodules_import_cleanly(module):
+    assert importlib.import_module(module) is not None
+
+
+def test_quickstart_docstring_snippet_runs():
+    """The package docstring's example must stay executable."""
+    from repro import (
+        BMMBNode,
+        ContentionScheduler,
+        MessageAssignment,
+        RandomSource,
+        random_geometric_network,
+        run_standard,
+    )
+
+    rng = RandomSource(7)
+    net = random_geometric_network(
+        20, side=2.5, c=1.6, grey_edge_probability=0.4, rng=rng
+    )
+    assignment = MessageAssignment.single_source(node=net.nodes[0], count=2)
+    result = run_standard(
+        net,
+        assignment,
+        lambda _: BMMBNode(),
+        ContentionScheduler(rng.child("sched")),
+        fack=20.0,
+        fprog=1.0,
+    )
+    assert result.solved
+
+
+def test_errors_form_one_hierarchy():
+    from repro import (
+        AlgorithmError,
+        AxiomViolation,
+        ExperimentError,
+        MACError,
+        ReproError,
+        SchedulerError,
+        SimulationError,
+        TopologyError,
+        WellFormednessError,
+    )
+
+    for exc in (
+        SimulationError,
+        TopologyError,
+        MACError,
+        AlgorithmError,
+        ExperimentError,
+    ):
+        assert issubclass(exc, ReproError)
+    for exc in (WellFormednessError, AxiomViolation, SchedulerError):
+        assert issubclass(exc, MACError)

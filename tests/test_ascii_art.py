@@ -1,0 +1,57 @@
+"""Tests for the terminal visualization helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_art import render_embedding, render_series
+from repro.errors import TopologyError
+from repro.sim.rng import RandomSource
+from repro.topology import line_network, random_geometric_network
+from repro.topology.adversarial import parallel_lines_network
+
+
+def test_render_embedding_shows_every_distinct_cell():
+    net = parallel_lines_network(5)
+    art = render_embedding(net.dual, width=30, height=8)
+    lines = art.splitlines()
+    assert lines[0].startswith("+")
+    assert len(lines) == 10  # border + 8 rows + border
+    assert art.count("o") >= 2  # both lines visible
+
+
+def test_render_embedding_highlights_selected_nodes():
+    rng = RandomSource(1)
+    dual = random_geometric_network(12, 2.0, 1.6, 0.3, rng)
+    art = render_embedding(dual, width=30, height=10, highlight=[dual.nodes[0]])
+    assert "#" in art
+    assert "o" in art
+
+
+def test_render_embedding_requires_positions():
+    with pytest.raises(TopologyError, match="embedded"):
+        render_embedding(line_network(4))
+
+
+def test_render_embedding_rejects_tiny_grid():
+    net = parallel_lines_network(3)
+    with pytest.raises(TopologyError, match="2x2"):
+        render_embedding(net.dual, width=1, height=1)
+
+
+def test_render_series_bars_scale_with_values():
+    art = render_series([("a", 1.0), ("b", 2.0), ("c", 4.0)], width=8)
+    lines = art.splitlines()
+    assert len(lines) == 3
+    assert lines[2].count("█") > lines[0].count("█")
+    assert "4" in lines[2]
+
+
+def test_render_series_accepts_mapping():
+    art = render_series({"x": 3.0, "y": 1.0})
+    assert "x" in art and "y" in art
+
+
+def test_render_series_rejects_empty():
+    with pytest.raises(TopologyError):
+        render_series([])

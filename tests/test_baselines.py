@@ -1,0 +1,97 @@
+"""Tests for the baseline algorithms (sequential and redundant flooding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import (
+    RedundantFloodingNode,
+    SequentialFloodingCoordinator,
+)
+from repro.errors import AlgorithmError
+from repro.ids import MessageAssignment
+from repro.mac.schedulers import UniformDelayScheduler, WorstCaseAckScheduler
+from repro.runtime.runner import run_standard
+from repro.runtime.validate import required_deliveries
+from repro.sim.rng import RandomSource
+from repro.topology import grid_network, line_network
+
+from tests.conftest import FACK, FPROG, run_bmmb, single_source
+
+
+def run_sequential(dual, assignment, scheduler, **kwargs):
+    req = required_deliveries(dual, assignment)
+    sizes = {mid: len(nodes) for mid, nodes in req.items()}
+    coord = SequentialFloodingCoordinator(assignment, sizes)
+    return run_standard(
+        dual, assignment, lambda _: coord.make_node(), scheduler, FACK, FPROG, **kwargs
+    )
+
+
+def test_sequential_flooding_solves():
+    rng = RandomSource(10)
+    dual = line_network(10)
+    result = run_sequential(dual, single_source(3), UniformDelayScheduler(rng))
+    assert result.solved
+
+
+def test_sequential_flooding_multi_origin():
+    rng = RandomSource(10)
+    dual = grid_network(3, 3)
+    assignment = MessageAssignment.one_each([0, 4, 8])
+    result = run_sequential(dual, assignment, UniformDelayScheduler(rng))
+    assert result.solved
+
+
+def test_sequential_message_completion_is_strictly_ordered():
+    rng = RandomSource(10)
+    dual = line_network(8)
+    result = run_sequential(dual, single_source(3), UniformDelayScheduler(rng))
+    times = result.per_message_completion
+    assert times["m0"] <= times["m1"] <= times["m2"]
+
+
+def test_bmmb_pipelining_beats_sequential_flooding():
+    """The §3.1 comparison: pipelining amortizes the per-hop latency."""
+    rng = RandomSource(10)
+    dual = line_network(15)
+    k = 8
+    seq = run_sequential(dual, single_source(k), UniformDelayScheduler(rng.child("a")))
+    bmmb = run_bmmb(dual, single_source(k), UniformDelayScheduler(rng.child("b")))
+    assert seq.solved and bmmb.solved
+    assert bmmb.completion_time < seq.completion_time
+
+
+def test_sequential_scales_multiplicatively_in_k():
+    rng = RandomSource(10)
+    dual = line_network(12)
+    t2 = run_sequential(
+        dual, single_source(2), UniformDelayScheduler(rng.child("a"))
+    ).completion_time
+    t8 = run_sequential(
+        dual, single_source(8), UniformDelayScheduler(rng.child("b"))
+    ).completion_time
+    assert t8 > 3.0 * t2
+
+
+def test_redundant_flooding_solves_and_is_slower():
+    rng = RandomSource(10)
+    dual = line_network(10)
+    k = 4
+    redundant = run_standard(
+        dual,
+        single_source(k),
+        lambda _: RedundantFloodingNode(redundancy=3),
+        WorstCaseAckScheduler(),
+        FACK,
+        FPROG,
+    )
+    bmmb = run_bmmb(dual, single_source(k), WorstCaseAckScheduler())
+    assert redundant.solved
+    assert redundant.broadcast_count == 3 * bmmb.broadcast_count
+    assert redundant.completion_time > bmmb.completion_time
+
+
+def test_redundant_flooding_rejects_zero_redundancy():
+    with pytest.raises(AlgorithmError):
+        RedundantFloodingNode(redundancy=0)

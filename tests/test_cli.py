@@ -1,0 +1,85 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info_prints_summary(capsys):
+    status = main(["info", "--n", "15", "--side", "2.0"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "topology summary" in out
+    assert "15" in out
+
+
+def test_bmmb_runs_and_reports_bound(capsys):
+    status = main(
+        ["--seed", "3", "bmmb", "--n", "20", "--side", "2.5", "--k", "3"]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "BMMB" in out
+    assert "(D+k)*Fack bound" in out
+    assert "yes" in out  # solved column
+
+
+def test_bmmb_scheduler_choice(capsys):
+    status = main(
+        [
+            "bmmb",
+            "--n",
+            "15",
+            "--side",
+            "2.0",
+            "--k",
+            "2",
+            "--scheduler",
+            "worstcase",
+        ]
+    )
+    assert status == 0
+    assert "worstcase" in capsys.readouterr().out
+
+
+def test_fmmb_reports_subroutine_rounds(capsys):
+    status = main(["--seed", "4", "fmmb", "--n", "20", "--side", "2.5", "--k", "2"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "rounds MIS" in out
+    assert "rounds total" in out
+
+
+def test_lowerbound_figure2(capsys):
+    status = main(["lowerbound", "--gadget", "figure2", "--depth", "6"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "Figure 2" in out
+    assert "axiom-clean" in out
+
+
+def test_lowerbound_choke(capsys):
+    status = main(["lowerbound", "--gadget", "choke", "--k", "8"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "Lemma 3.18" in out
+
+
+def test_radio_reports_empirical_gap(capsys):
+    status = main(["--seed", "2", "radio", "--n", "8"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "empirical Fack" in out
+    assert "footnote 2" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are documentation that executes; these tests keep them honest.
+Each is run in-process (import + ``main``) with its default arguments.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "sensor_field_dissemination",
+    "adversarial_lowerbound",
+    "fmmb_overlay",
+    "scheduler_gallery",
+    "backbone_structuring",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_cleanly(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"
+
+
+def test_quickstart_reports_solved_and_certified(capsys):
+    module = load_example("quickstart")
+    module.main(seed=7)
+    out = capsys.readouterr().out
+    assert "solved:        True" in out
+    assert "ok=True" in out
+
+
+def test_adversarial_example_hits_the_floor(capsys):
+    module = load_example("adversarial_lowerbound")
+    module.main(6)
+    out = capsys.readouterr().out
+    assert "floor (D-1)*Fack = 100.0" in out
+    assert "ok=True" in out

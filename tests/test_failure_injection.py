@@ -1,0 +1,197 @@
+"""Failure injection: misbehaving components must fail fast and loudly.
+
+The MAC layer's contract checks are load-bearing: a buggy scheduler or
+automaton should produce a crisp error, never a silently-inadmissible
+execution.  These tests inject each class of misbehavior and assert the
+right guard fires.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bmmb import BMMBNode
+from repro.errors import SchedulerError, WellFormednessError
+from repro.ids import Message, MessageAssignment
+from repro.mac.interfaces import Automaton
+from repro.mac.schedulers.base import Scheduler
+from repro.mac.standard import StandardMACLayer
+from repro.runtime.runner import run_standard
+from repro.sim import Simulator
+from repro.topology import line_network
+
+FACK = 20.0
+FPROG = 1.0
+
+
+class GreedyAutomaton(Automaton):
+    """Violates well-formedness: broadcasts twice without awaiting an ack."""
+
+    def on_arrive(self, api, message):
+        api.bcast(message)
+        api.bcast(message)
+
+
+def test_double_bcast_raises_wellformedness():
+    dual = line_network(3)
+    with pytest.raises(WellFormednessError):
+        run_standard(
+            dual,
+            MessageAssignment.single_source(0, 1),
+            lambda _: GreedyAutomaton(),
+            _NullScheduler(),
+            FACK,
+            FPROG,
+        )
+
+
+class _NullScheduler(Scheduler):
+    """Plans nothing: instances never deliver, never ack."""
+
+    def on_bcast(self, instance):
+        pass
+
+
+def test_null_scheduler_leaves_pending_instances_detected_by_axioms():
+    from repro.mac.axioms import check_axioms
+
+    dual = line_network(3)
+    result = run_standard(
+        dual,
+        MessageAssignment.single_source(0, 1),
+        lambda _: BMMBNode(),
+        _NullScheduler(),
+        FACK,
+        FPROG,
+    )
+    assert not result.solved
+    report = check_axioms(result.instances, dual, FACK, FPROG)
+    assert any("never terminated" in v for v in report.violations)
+
+
+class _ForgetfulScheduler(Scheduler):
+    """Acks without delivering to reliable neighbors: ack correctness bug."""
+
+    def on_bcast(self, instance):
+        assert self.ctx is not None
+        self.ctx.ack_at(instance, instance.bcast_time + 1.0)
+
+
+def test_forgetful_scheduler_caught_at_ack_time():
+    dual = line_network(3)
+    with pytest.raises(SchedulerError, match="ack before delivery"):
+        run_standard(
+            dual,
+            MessageAssignment.single_source(0, 1),
+            lambda _: BMMBNode(),
+            _ForgetfulScheduler(),
+            FACK,
+            FPROG,
+        )
+
+
+class _OverdueScheduler(Scheduler):
+    """Schedules the ack beyond Fack: caught at scheduling time."""
+
+    def on_bcast(self, instance):
+        assert self.ctx is not None
+        for v in sorted(self.ctx.dual.reliable_neighbors(instance.sender)):
+            self.ctx.deliver_at(instance, v, instance.bcast_time + 0.5)
+        self.ctx.ack_at(instance, instance.bcast_time + 2 * self.ctx.fack)
+
+
+def test_overdue_ack_rejected_at_scheduling():
+    dual = line_network(3)
+    with pytest.raises(SchedulerError, match="acknowledgment bound"):
+        run_standard(
+            dual,
+            MessageAssignment.single_source(0, 1),
+            lambda _: BMMBNode(),
+            _OverdueScheduler(),
+            FACK,
+            FPROG,
+        )
+
+
+class _WrongNeighborScheduler(Scheduler):
+    """Delivers over a non-edge: receive correctness bug."""
+
+    def on_bcast(self, instance):
+        assert self.ctx is not None
+        far = max(self.ctx.dual.nodes)
+        self.ctx.deliver_at(instance, far, instance.bcast_time + 0.5)
+
+
+def test_delivery_over_non_edge_rejected():
+    dual = line_network(5)
+    with pytest.raises(SchedulerError, match="G'-neighbor"):
+        run_standard(
+            dual,
+            MessageAssignment.single_source(0, 1),
+            lambda _: BMMBNode(),
+            _WrongNeighborScheduler(),
+            FACK,
+            FPROG,
+        )
+
+
+class _DoubleAckScheduler(Scheduler):
+    """Schedules two acks for the same instance."""
+
+    def on_bcast(self, instance):
+        assert self.ctx is not None
+        for v in sorted(self.ctx.dual.reliable_neighbors(instance.sender)):
+            self.ctx.deliver_at(instance, v, instance.bcast_time + 0.5)
+        self.ctx.ack_at(instance, instance.bcast_time + 1.0)
+        self.ctx.ack_at(instance, instance.bcast_time + 2.0)
+
+
+def test_second_ack_is_ignored_after_termination():
+    """The second ack event fires after termination and is a no-op: the
+    instance keeps its first ack time and the node gets one on_ack."""
+    dual = line_network(2)
+    sim = Simulator()
+    acks = []
+
+    class CountingNode(Automaton):
+        def on_ack(self, api, payload):
+            acks.append(payload)
+
+    mac = StandardMACLayer(sim, dual, _DoubleAckScheduler(), FACK, FPROG)
+    mac.register(0, CountingNode())
+    mac.register(1, CountingNode())
+    inst = mac.bcast(0, "p")
+    sim.run()
+    assert inst.ack_time == 1.0
+    assert acks == ["p"]
+
+
+class CrashyAutomaton(Automaton):
+    """Raises from a callback: the error must surface, not vanish."""
+
+    def on_receive(self, api, payload, sender):
+        raise RuntimeError("node crashed")
+
+
+def test_automaton_exception_propagates():
+    from repro.mac.schedulers import WorstCaseAckScheduler
+
+    dual = line_network(3)
+    with pytest.raises(RuntimeError, match="node crashed"):
+        run_standard(
+            dual,
+            MessageAssignment.single_source(0, 1),
+            lambda v: BMMBNode() if v == 0 else CrashyAutomaton(),
+            WorstCaseAckScheduler(),
+            FACK,
+            FPROG,
+        )
+
+
+def test_duplicate_message_injection_rejected():
+    from repro.core.problem import Arrival, ArrivalSchedule
+    from repro.errors import ExperimentError
+
+    m = Message("dup", 0)
+    with pytest.raises(ExperimentError):
+        ArrivalSchedule((Arrival(0.0, 0, m), Arrival(0.0, 0, m)))

@@ -1,0 +1,132 @@
+"""Tests for the FMMB gathering subroutine (paper §4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fmmb.config import FMMBConfig
+from repro.core.fmmb.gather import gather_messages
+from repro.core.fmmb.mis import build_mis, require_valid_mis
+from repro.ids import Message, MessageAssignment
+from repro.mac.rounds import RandomRoundScheduler
+from repro.sim.rng import RandomSource
+from repro.topology import grid_network, line_network, random_geometric_network
+
+
+def run_gather(dual, assignment, seed=0, config=None, mis=None):
+    rng = RandomSource(seed, "gather-test")
+    scheduler = RandomRoundScheduler(rng.child("rounds"))
+    if mis is None:
+        mis_result = build_mis(dual, scheduler, rng.child("mis"), config)
+        mis = mis_result.mis
+    require_valid_mis(dual, mis)
+    result = gather_messages(
+        dual,
+        mis,
+        assignment.messages,
+        scheduler,
+        rng.child("gather"),
+        k=assignment.k,
+        config=config,
+    )
+    return mis, result
+
+
+def owned_mids(result):
+    return {mid for owned in result.owned.values() for mid in owned}
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_every_message_lands_on_some_mis_node(seed):
+    dual = grid_network(4, 4)
+    assignment = MessageAssignment.one_each([0, 5, 10, 15])
+    mis, result = run_gather(dual, assignment, seed)
+    assert result.complete
+    assert owned_mids(result) == {"m0", "m1", "m2", "m3"}
+
+
+def test_messages_starting_on_mis_nodes_are_immediately_owned():
+    dual = line_network(9)
+    mis = frozenset({0, 2, 4, 6, 8})
+    assignment = MessageAssignment.single_source(4, 2)
+    _, result = run_gather(dual, assignment, seed=1, mis=mis)
+    assert set(result.owned[4]) == {"m0", "m1"}
+    assert result.periods_used == 0  # nothing to gather
+
+
+def test_multiple_messages_at_one_non_mis_node_all_gathered():
+    dual = line_network(9)
+    mis = frozenset({0, 2, 4, 6, 8})
+    assignment = MessageAssignment.single_source(3, 4)
+    _, result = run_gather(dual, assignment, seed=2, mis=mis)
+    assert result.complete
+    assert owned_mids(result) == {"m0", "m1", "m2", "m3"}
+
+
+def test_gather_rounds_are_three_per_period():
+    dual = line_network(9)
+    mis = frozenset({0, 2, 4, 6, 8})
+    assignment = MessageAssignment.single_source(3, 2)
+    _, result = run_gather(dual, assignment, seed=3, mis=mis)
+    assert result.rounds_used == 3 * result.periods_used
+
+
+def test_gather_respects_period_budget():
+    cfg = FMMBConfig()
+    dual = grid_network(4, 4)
+    assignment = MessageAssignment.one_each([1, 2, 3])
+    mis, result = run_gather(dual, assignment, seed=4, config=cfg)
+    assert result.periods_used <= cfg.gather_periods(dual.n, assignment.k)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_gather_on_grey_zone_network(seed):
+    rng = RandomSource(seed + 50)
+    dual = random_geometric_network(
+        25, side=2.5, c=1.6, grey_edge_probability=0.5, rng=rng
+    )
+    sources = dual.nodes[:5]
+    assignment = MessageAssignment.one_each(sources)
+    mis, result = run_gather(dual, assignment, seed)
+    assert result.complete
+    assert owned_mids(result) == {m.mid for m in assignment.all_messages()}
+
+
+def test_gather_records_first_receipts():
+    class Recorder:
+        def __init__(self):
+            self.calls = []
+
+        def record(self, node, message, round_index):
+            self.calls.append((node, message.mid, round_index))
+
+    dual = line_network(9)
+    mis = frozenset({0, 2, 4, 6, 8})
+    assignment = MessageAssignment.single_source(3, 1)
+    rng = RandomSource(11, "rec")
+    scheduler = RandomRoundScheduler(rng.child("rounds"))
+    recorder = Recorder()
+    result = gather_messages(
+        dual,
+        mis,
+        assignment.messages,
+        scheduler,
+        rng.child("g"),
+        k=1,
+        recorder=recorder,
+    )
+    assert result.complete
+    assert any(mid == "m0" for (_, mid, _) in recorder.calls)
+
+
+def test_gather_message_sets_shrink_monotonically():
+    """After completion, gathered custody implies the uploader was acked."""
+    dual = line_network(9)
+    mis = frozenset({0, 2, 4, 6, 8})
+    assignment = MessageAssignment.single_source(5, 3)
+    _, result = run_gather(dual, assignment, seed=6, mis=mis)
+    assert result.complete
+    # Custody of every message sits with a G-neighbor of the source.
+    for mid in ("m0", "m1", "m2"):
+        holders = {u for u, owned in result.owned.items() if mid in owned}
+        assert holders & dual.reliable_neighbors(5)

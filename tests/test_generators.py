@@ -1,0 +1,142 @@
+"""Unit tests for the topology generators and augmentations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim.rng import RandomSource
+from repro.topology import (
+    grid_network,
+    line_network,
+    ring_network,
+    star_network,
+    tree_network,
+    with_arbitrary_unreliable,
+    with_r_restricted_unreliable,
+)
+from repro.topology.generators import grid_graph, line_graph, star_graph, tree_graph
+
+
+def test_line_network_shape():
+    net = line_network(5)
+    assert net.n == 5
+    assert net.diameter() == 4
+    assert net.reliable_edge_count == 4
+    assert net.is_g_equals_gprime()
+
+
+def test_line_rejects_zero_nodes():
+    with pytest.raises(TopologyError):
+        line_network(0)
+
+
+def test_ring_network_shape():
+    net = ring_network(6)
+    assert net.n == 6
+    assert net.diameter() == 3
+    assert net.reliable_edge_count == 6
+
+
+def test_ring_rejects_small_n():
+    with pytest.raises(TopologyError):
+        ring_network(2)
+
+
+def test_star_network_shape():
+    net = star_network(7)
+    assert net.n == 7
+    assert net.diameter() == 2
+    assert net.reliable_neighbors(0) == frozenset(range(1, 7))
+    assert net.reliable_neighbors(3) == frozenset({0})
+
+
+def test_grid_network_shape():
+    net = grid_network(3, 4)
+    assert net.n == 12
+    assert net.diameter() == 5  # (3-1) + (4-1)
+    assert net.reliable_edge_count == 3 * 3 + 2 * 4  # horizontal + vertical
+
+
+def test_grid_adjacency_is_lattice():
+    g = grid_graph(2, 3)
+    assert g.has_edge(0, 1)
+    assert g.has_edge(0, 3)
+    assert not g.has_edge(0, 4)
+
+
+def test_tree_network_shape():
+    net = tree_network(2, 3)
+    assert net.n == 1 + 2 + 4 + 8
+    assert net.diameter() == 6
+
+
+def test_tree_height_zero_is_single_node():
+    assert tree_graph(3, 0).number_of_nodes() == 1
+
+
+def test_r_restricted_augmentation_respects_radius():
+    rng = RandomSource(9)
+    dual = with_r_restricted_unreliable(line_graph(20), r=3, probability=0.5, rng=rng)
+    assert dual.is_r_restricted(3)
+    assert dual.unreliable_edge_count > 0
+    # Sanity: at least one added edge spans more than one hop.
+    radius = dual.restriction_radius()
+    assert radius is not None and 2 <= radius <= 3
+
+
+def test_r_restricted_with_r_one_degenerates_to_reliable():
+    rng = RandomSource(9)
+    dual = with_r_restricted_unreliable(line_graph(10), r=1, probability=1.0, rng=rng)
+    assert dual.is_g_equals_gprime()
+
+
+def test_r_restricted_probability_zero_adds_nothing():
+    rng = RandomSource(9)
+    dual = with_r_restricted_unreliable(line_graph(10), r=4, probability=0.0, rng=rng)
+    assert dual.unreliable_edge_count == 0
+
+
+def test_r_restricted_probability_one_adds_every_candidate():
+    rng = RandomSource(9)
+    dual = with_r_restricted_unreliable(line_graph(6), r=2, probability=1.0, rng=rng)
+    # Candidates at distance exactly 2 on a 6-line: (0,2),(1,3),(2,4),(3,5).
+    assert dual.unreliable_edge_count == 4
+
+
+def test_r_restricted_rejects_bad_params():
+    rng = RandomSource(9)
+    with pytest.raises(TopologyError):
+        with_r_restricted_unreliable(line_graph(5), r=0, probability=0.5, rng=rng)
+    with pytest.raises(TopologyError):
+        with_r_restricted_unreliable(line_graph(5), r=2, probability=1.5, rng=rng)
+
+
+def test_arbitrary_augmentation_adds_exact_count():
+    rng = RandomSource(9)
+    dual = with_arbitrary_unreliable(line_graph(10), extra_edge_count=5, rng=rng)
+    assert dual.unreliable_edge_count == 5
+
+
+def test_arbitrary_augmentation_is_reproducible():
+    a = with_arbitrary_unreliable(line_graph(10), 5, RandomSource(9))
+    b = with_arbitrary_unreliable(line_graph(10), 5, RandomSource(9))
+    assert set(a.unreliable_graph.edges) == set(b.unreliable_graph.edges)
+
+
+def test_arbitrary_augmentation_rejects_impossible_count():
+    rng = RandomSource(9)
+    with pytest.raises(TopologyError, match="candidate"):
+        with_arbitrary_unreliable(star_graph(4), extra_edge_count=100, rng=rng)
+
+
+def test_arbitrary_augmentation_can_cross_components():
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(4))
+    g.add_edges_from([(0, 1), (2, 3)])
+    rng = RandomSource(1)
+    dual = with_arbitrary_unreliable(g, extra_edge_count=4, rng=rng)
+    assert dual.unreliable_edge_count == 4
+    assert len(dual.components()) == 2

@@ -1,0 +1,110 @@
+"""Unit tests for embedded geometric networks (grey zone)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim.rng import RandomSource
+from repro.topology.geometric import (
+    cluster_line_positions,
+    grey_zone_network,
+    random_geometric_network,
+    unit_disk_graph,
+)
+
+
+def test_unit_disk_graph_edges():
+    positions = {0: (0.0, 0.0), 1: (0.8, 0.0), 2: (2.0, 0.0)}
+    g = unit_disk_graph(positions)
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(0, 2)
+    assert not g.has_edge(1, 2)
+
+
+def test_unit_disk_radius_parameter():
+    positions = {0: (0.0, 0.0), 1: (1.5, 0.0)}
+    assert not unit_disk_graph(positions, radius=1.0).has_edge(0, 1)
+    assert unit_disk_graph(positions, radius=2.0).has_edge(0, 1)
+
+
+def test_grey_zone_network_satisfies_predicate():
+    positions = {
+        0: (0.0, 0.0),
+        1: (0.9, 0.0),
+        2: (1.8, 0.0),
+        3: (2.7, 0.0),
+    }
+    rng = RandomSource(4)
+    dual = grey_zone_network(positions, c=2.0, grey_edge_probability=1.0, rng=rng)
+    assert dual.is_grey_zone(2.0)
+    # Every pair at distance in (1, 2] got a G' edge at probability 1.
+    assert dual.is_gprime_edge(0, 2)
+    assert not dual.is_gprime_edge(0, 3)  # distance 2.7 > c
+
+
+def test_grey_zone_probability_zero_gives_reliable_only():
+    positions = {0: (0.0, 0.0), 1: (0.9, 0.0), 2: (1.8, 0.0)}
+    rng = RandomSource(4)
+    dual = grey_zone_network(positions, c=2.0, grey_edge_probability=0.0, rng=rng)
+    assert dual.unreliable_edge_count == 0
+
+
+def test_grey_zone_rejects_bad_params():
+    positions = {0: (0.0, 0.0)}
+    rng = RandomSource(4)
+    with pytest.raises(TopologyError):
+        grey_zone_network(positions, c=0.5, grey_edge_probability=0.5, rng=rng)
+    with pytest.raises(TopologyError):
+        grey_zone_network(positions, c=2.0, grey_edge_probability=1.5, rng=rng)
+
+
+def test_random_geometric_network_is_connected_and_embedded():
+    rng = RandomSource(11)
+    dual = random_geometric_network(
+        30, side=3.0, c=1.6, grey_edge_probability=0.3, rng=rng
+    )
+    assert dual.n == 30
+    assert len(dual.components()) == 1
+    assert dual.positions is not None
+    assert dual.is_grey_zone(1.6)
+
+
+def test_random_geometric_network_is_reproducible():
+    a = random_geometric_network(20, 2.5, 1.6, 0.3, RandomSource(11))
+    b = random_geometric_network(20, 2.5, 1.6, 0.3, RandomSource(11))
+    assert a.positions == b.positions
+    assert set(a.unreliable_graph.edges) == set(b.unreliable_graph.edges)
+
+
+def test_random_geometric_network_unconnected_allowed():
+    rng = RandomSource(11)
+    dual = random_geometric_network(
+        10, side=50.0, c=1.6, grey_edge_probability=0.0, rng=rng, connect=False
+    )
+    assert dual.n == 10  # sparse box: almost surely disconnected, still valid
+
+
+def test_random_geometric_network_raises_when_connection_impossible():
+    rng = RandomSource(11)
+    with pytest.raises(TopologyError, match="connected"):
+        random_geometric_network(
+            40, side=100.0, c=1.6, grey_edge_probability=0.0, rng=rng, max_attempts=3
+        )
+
+
+def test_cluster_line_positions_geometry():
+    positions = cluster_line_positions(clusters=3, nodes_per_cluster=4, spacing=0.9)
+    assert len(positions) == 12
+    # Intra-cluster distances are tiny; inter-cluster ≈ spacing.
+    d_intra = math.dist(positions[0], positions[1])
+    d_inter = math.dist(positions[0], positions[4])
+    assert d_intra < 0.2
+    assert 0.7 < d_inter < 1.1
+
+
+def test_cluster_line_positions_rejects_bad_params():
+    with pytest.raises(TopologyError):
+        cluster_line_positions(0, 3)

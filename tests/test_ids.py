@@ -1,0 +1,59 @@
+"""Unit tests for messages and message assignments."""
+
+from __future__ import annotations
+
+from repro.ids import Message, MessageAssignment
+
+
+def test_message_equality_is_structural():
+    assert Message("m0", 1) == Message("m0", 1)
+    assert Message("m0", 1) != Message("m1", 1)
+
+
+def test_message_is_hashable():
+    assert len({Message("m0", 1), Message("m0", 1), Message("m1", 1)}) == 2
+
+
+def test_single_source_assignment():
+    a = MessageAssignment.single_source(3, 4)
+    assert a.k == 4
+    assert set(a.messages) == {3}
+    assert [m.mid for m in a.messages[3]] == ["m0", "m1", "m2", "m3"]
+    assert all(m.origin == 3 for m in a.messages[3])
+
+
+def test_one_each_assignment_is_singleton():
+    a = MessageAssignment.one_each([5, 7, 9])
+    assert a.k == 3
+    assert a.is_singleton()
+    assert {m.origin for m in a.all_messages()} == {5, 7, 9}
+
+
+def test_single_source_is_not_singleton_for_multiple_messages():
+    assert not MessageAssignment.single_source(0, 2).is_singleton()
+    assert MessageAssignment.single_source(0, 1).is_singleton()
+
+
+def test_all_messages_order_is_stable():
+    a = MessageAssignment(
+        {
+            2: (Message("b", 2),),
+            0: (Message("a", 0), Message("c", 0)),
+        }
+    )
+    assert [m.mid for m in a.all_messages()] == ["a", "c", "b"]
+
+
+def test_k_counts_every_message():
+    a = MessageAssignment({0: (Message("a", 0),), 1: (Message("b", 1), Message("c", 1))})
+    assert a.k == 3
+
+
+def test_custom_prefix():
+    a = MessageAssignment.single_source(0, 2, prefix="msg")
+    assert [m.mid for m in a.messages[0]] == ["msg0", "msg1"]
+
+
+def test_empty_assignment_has_zero_k():
+    assert MessageAssignment().k == 0
+    assert MessageAssignment().all_messages() == []

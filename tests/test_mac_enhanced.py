@@ -1,0 +1,138 @@
+"""Unit tests for the enhanced abstract MAC layer (abort + timers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.enhanced import EnhancedMACLayer
+from repro.mac.interfaces import Automaton
+from repro.mac.schedulers.base import Scheduler
+from repro.sim import Simulator
+from repro.topology import line_network
+
+
+class ManualScheduler(Scheduler):
+    def __init__(self):
+        super().__init__()
+        self.instances = []
+        self.terminated = []
+
+    def on_bcast(self, instance):
+        self.instances.append(instance)
+
+    def on_terminated(self, instance):
+        self.terminated.append(instance.iid)
+
+
+class Recorder(Automaton):
+    def __init__(self):
+        self.events = []
+
+    def on_receive(self, api, payload, sender):
+        self.events.append(("rcv", payload, sender))
+
+    def on_ack(self, api, payload):
+        self.events.append(("ack", payload))
+
+    def on_abort(self, api, payload):
+        self.events.append(("abort", payload))
+
+    def on_timer(self, api, tag):
+        self.events.append(("timer", tag, api.now))
+
+
+def make_stack(n=4, fack=10.0, fprog=1.0):
+    sim = Simulator()
+    dual = line_network(n)
+    scheduler = ManualScheduler()
+    mac = EnhancedMACLayer(sim, dual, scheduler, fack=fack, fprog=fprog)
+    automata = {v: Recorder() for v in dual.nodes}
+    for v, a in automata.items():
+        mac.register(v, a)
+    return sim, dual, scheduler, mac, automata
+
+
+def test_abort_terminates_instance_and_notifies_node():
+    sim, dual, sched, mac, automata = make_stack()
+    inst = mac.bcast(1, "p")
+    mac.schedule_delivery(inst, 0, 5.0)
+    mac.schedule_ack(inst, 6.0)
+    sim.schedule(2.0, mac.abort, 1)
+    sim.run()
+    assert inst.abort_time == 2.0
+    assert inst.ack_time is None
+    assert ("abort", "p") in automata[1].events
+    assert sched.terminated == [inst.iid]
+
+
+def test_abort_cancels_pending_deliveries():
+    sim, dual, sched, mac, automata = make_stack()
+    inst = mac.bcast(1, "p")
+    mac.schedule_delivery(inst, 0, 5.0)
+    sim.schedule(2.0, mac.abort, 1)
+    sim.run()
+    assert inst.rcv_times == {}
+    assert all(e[0] != "rcv" for e in automata[0].events)
+
+
+def test_deliveries_before_abort_stand():
+    sim, dual, sched, mac, automata = make_stack()
+    inst = mac.bcast(1, "p")
+    mac.schedule_delivery(inst, 0, 1.0)
+    sim.schedule(2.0, mac.abort, 1)
+    sim.run()
+    assert inst.rcv_times == {0: 1.0}
+
+
+def test_abort_with_nothing_pending_is_noop():
+    sim, dual, sched, mac, automata = make_stack()
+    assert mac.abort(1) is None
+    assert automata[1].events == []
+
+
+def test_node_can_bcast_again_after_abort():
+    sim, dual, sched, mac, _ = make_stack()
+    mac.bcast(1, "p1")
+    mac.abort(1)
+    inst2 = mac.bcast(1, "p2")
+    assert inst2.payload == "p2"
+
+
+def test_timers_fire_with_tag_and_time():
+    sim, dual, sched, mac, automata = make_stack()
+
+    binding = mac._bindings[2]
+    binding.set_timer(3.5, "tick")
+    sim.run()
+    assert automata[2].events == [("timer", "tick", 3.5)]
+
+
+def test_timer_cancellation():
+    sim, dual, sched, mac, automata = make_stack()
+    binding = mac._bindings[2]
+    handle = binding.set_timer(3.5, "tick")
+    handle.cancel()
+    sim.run()
+    assert automata[2].events == []
+
+
+def test_api_exposes_model_constants_and_clock():
+    sim, dual, sched, mac, _ = make_stack(fack=12.0, fprog=2.0)
+    binding = mac._bindings[0]
+    assert binding.fack == 12.0
+    assert binding.fprog == 2.0
+    assert binding.now == 0.0
+
+
+def test_slotted_broadcast_pattern():
+    """The FMMB idiom: bcast at slot start, abort at slot end."""
+    sim, dual, sched, mac, automata = make_stack(fack=10.0, fprog=1.0)
+
+    inst = mac.bcast(1, "slot-payload")
+    mac.schedule_delivery(inst, 0, 0.5)  # one neighbor receives in-slot
+    sim.schedule(1.0, mac.abort, 1)  # slot ends at Fprog
+    sim.run()
+    assert inst.rcv_times == {0: 0.5}
+    assert inst.abort_time == 1.0
+    assert ("rcv", "slot-payload", 1) in automata[0].events
+    assert ("abort", "slot-payload") in automata[1].events

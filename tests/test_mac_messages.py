@@ -1,0 +1,67 @@
+"""Unit tests for message-instance bookkeeping."""
+
+from __future__ import annotations
+
+import math
+
+from repro.mac.messages import InstanceLog
+
+
+def test_new_instances_get_sequential_ids():
+    log = InstanceLog()
+    a = log.new_instance(0, "x", 1.0)
+    b = log.new_instance(1, "y", 2.0)
+    assert (a.iid, b.iid) == (0, 1)
+    assert len(log) == 2
+    assert log[1] is b
+
+
+def test_instance_termination_states():
+    log = InstanceLog()
+    inst = log.new_instance(0, "x", 1.0)
+    assert not inst.terminated
+    assert inst.termination_time == math.inf
+    inst.ack_time = 3.0
+    assert inst.terminated
+    assert inst.termination_time == 3.0
+
+
+def test_abort_counts_as_termination():
+    log = InstanceLog()
+    inst = log.new_instance(0, "x", 1.0)
+    inst.abort_time = 2.5
+    assert inst.terminated
+    assert inst.termination_time == 2.5
+
+
+def test_delivered_to():
+    log = InstanceLog()
+    inst = log.new_instance(0, "x", 1.0)
+    assert not inst.delivered_to(3)
+    inst.rcv_times[3] = 1.5
+    assert inst.delivered_to(3)
+
+
+def test_pending_lists_unterminated():
+    log = InstanceLog()
+    a = log.new_instance(0, "x", 1.0)
+    b = log.new_instance(1, "y", 1.0)
+    a.ack_time = 2.0
+    assert log.pending() == [b]
+
+
+def test_by_sender_filters_and_orders():
+    log = InstanceLog()
+    a = log.new_instance(0, "x", 1.0)
+    log.new_instance(1, "y", 1.0)
+    c = log.new_instance(0, "z", 2.0)
+    assert log.by_sender(0) == [a, c]
+
+
+def test_total_rcv_events():
+    log = InstanceLog()
+    a = log.new_instance(0, "x", 1.0)
+    b = log.new_instance(1, "y", 1.0)
+    a.rcv_times.update({1: 1.1, 2: 1.2})
+    b.rcv_times.update({0: 1.3})
+    assert log.total_rcv_events() == 3

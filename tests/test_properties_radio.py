@@ -1,0 +1,134 @@
+"""Property-based tests for the radio substrate and axiom boundaries."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.axioms import check_axioms
+from repro.mac.messages import InstanceLog
+from repro.radio import DecaySchedule, SlottedRadioNetwork
+from repro.sim.rng import RandomSource
+from repro.topology import DualGraph, line_network
+
+FACK = 10.0
+FPROG = 1.0
+
+
+# ----------------------------------------------------------------------
+# Radio collision semantics
+# ----------------------------------------------------------------------
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    transmitter_mask=st.integers(min_value=1, max_value=1023),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_reception_invariants(n, transmitter_mask, seed):
+    dual = line_network(n)
+    radio = SlottedRadioNetwork(dual, RandomSource(seed))
+    transmitters = {v: f"p{v}" for v in range(n) if transmitter_mask & (1 << v)}
+    receptions = radio.run_slot(transmitters)
+    for listener, (sender, packet) in receptions.items():
+        # Receivers are listeners; senders are G'-neighbors; packet matches.
+        assert listener not in transmitters
+        assert sender in transmitters
+        assert sender in dual.gprime_neighbors(listener)
+        assert packet == transmitters[sender]
+    # On a reliable-only line, a listener with exactly one transmitting
+    # neighbor always receives; with two it never does.
+    for v in range(n):
+        if v in transmitters:
+            continue
+        tx_neighbors = [
+            u for u in dual.reliable_neighbors(v) if u in transmitters
+        ]
+        if len(tx_neighbors) == 1:
+            assert v in receptions
+        elif len(tx_neighbors) == 2:
+            assert v not in receptions
+
+
+@given(
+    depth=st.integers(min_value=0, max_value=6),
+    phases=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_decay_schedule_always_terminates_exactly(depth, phases, seed):
+    sched = DecaySchedule(depth, phases, RandomSource(seed))
+    transmitted = 0
+    steps = 0
+    while not sched.complete:
+        if sched.should_transmit():
+            transmitted += 1
+        steps += 1
+        assert steps <= phases * (depth + 1)
+    assert steps == phases * (depth + 1)
+    # Slot 0 of each phase always transmits, so at least `phases` sends.
+    assert transmitted >= phases
+
+
+# ----------------------------------------------------------------------
+# Axiom-checker boundary behavior
+# ----------------------------------------------------------------------
+@given(
+    ack_latency=st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_ack_bound_boundary_is_respected(ack_latency):
+    dual = line_network(3)
+    log = InstanceLog()
+    inst = log.new_instance(1, "m", 0.0)
+    inst.rcv_times.update({0: min(0.5, ack_latency), 2: min(0.5, ack_latency)})
+    inst.ack_time = ack_latency
+    report = check_axioms(log, dual, FACK, FPROG, check_progress=False)
+    assert report.ok == (ack_latency <= FACK + 1e-9)
+
+
+@given(
+    delay=st.floats(min_value=0.01, max_value=9.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_progress_boundary_single_instance(delay):
+    """With one lonely instance, the receiver's first rcv at ``delay`` is a
+    progress violation iff ``delay > Fprog`` (strictly, within tolerance)."""
+    dual = DualGraph.from_edges(2, [(0, 1)], [])
+    log = InstanceLog()
+    inst = log.new_instance(0, "m", 0.0)
+    inst.rcv_times[1] = delay
+    inst.ack_time = delay
+    report = check_axioms(log, dual, FACK, FPROG)
+    violated = any("progress violation" in v for v in report.violations)
+    if delay > FPROG + 1e-6:
+        assert violated
+    elif delay < FPROG - 1e-6:
+        assert not violated
+
+
+@given(
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_checker_accepts_every_uniform_scheduler_run(data):
+    """Random workloads through the real stack always certify."""
+    from repro.core.bmmb import BMMBNode
+    from repro.ids import MessageAssignment
+    from repro.mac.schedulers import UniformDelayScheduler
+    from repro.runtime.runner import run_standard
+
+    n = data.draw(st.integers(min_value=2, max_value=8))
+    k = data.draw(st.integers(min_value=1, max_value=3))
+    seed = data.draw(st.integers(min_value=0, max_value=2**16))
+    dual = line_network(n)
+    result = run_standard(
+        dual,
+        MessageAssignment.single_source(0, k),
+        lambda _: BMMBNode(),
+        UniformDelayScheduler(RandomSource(seed)),
+        FACK,
+        FPROG,
+    )
+    assert result.solved
+    report = check_axioms(result.instances, dual, FACK, FPROG)
+    assert report.ok, report.violations[:3]

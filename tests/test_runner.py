@@ -1,0 +1,118 @@
+"""Tests for the experiment runner and result assembly."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bmmb import BMMBNode
+from repro.errors import ExperimentError
+from repro.ids import MessageAssignment
+from repro.mac.enhanced import EnhancedMACLayer
+from repro.mac.schedulers import UniformDelayScheduler, WorstCaseAckScheduler
+from repro.runtime.runner import run_standard
+from repro.runtime.validate import missing_deliveries, required_deliveries, solved
+from repro.sim.rng import RandomSource
+from repro.topology import line_network
+
+from tests.conftest import FACK, FPROG, run_bmmb, single_source
+
+
+def test_empty_assignment_rejected():
+    dual = line_network(4)
+    with pytest.raises(ExperimentError, match="k >= 1"):
+        run_standard(
+            dual,
+            MessageAssignment(),
+            lambda _: BMMBNode(),
+            WorstCaseAckScheduler(),
+            FACK,
+            FPROG,
+        )
+
+
+def test_unknown_assignment_node_rejected():
+    dual = line_network(4)
+    with pytest.raises(ExperimentError, match="unknown node"):
+        run_standard(
+            dual,
+            MessageAssignment.single_source(99, 1),
+            lambda _: BMMBNode(),
+            WorstCaseAckScheduler(),
+            FACK,
+            FPROG,
+        )
+
+
+def test_max_time_truncates_run():
+    dual = line_network(20)
+    result = run_bmmb(dual, single_source(2), WorstCaseAckScheduler(), max_time=5.0)
+    assert not result.solved
+    assert result.completion_time == math.inf
+
+
+def test_keep_instances_false_drops_log():
+    rng = RandomSource(1)
+    dual = line_network(5)
+    result = run_bmmb(
+        dual, single_source(2), UniformDelayScheduler(rng), keep_instances=False
+    )
+    assert result.solved
+    assert result.instances is None
+    assert result.broadcast_count == dual.n * 2
+
+
+def test_result_counts_are_consistent():
+    rng = RandomSource(1)
+    dual = line_network(6)
+    result = run_bmmb(dual, single_source(2), UniformDelayScheduler(rng))
+    assert result.broadcast_count == len(list(result.instances))
+    assert result.rcv_count == sum(
+        len(inst.rcv_times) for inst in result.instances
+    )
+    assert result.sim_events > 0
+    assert result.wall_time >= 0.0
+
+
+def test_per_message_completion_covers_all_messages():
+    rng = RandomSource(1)
+    dual = line_network(6)
+    result = run_bmmb(dual, single_source(3), UniformDelayScheduler(rng))
+    assert set(result.per_message_completion) == {"m0", "m1", "m2"}
+    assert result.completion_time == max(result.per_message_completion.values())
+
+
+def test_runner_works_on_enhanced_layer():
+    rng = RandomSource(1)
+    dual = line_network(6)
+    result = run_standard(
+        dual,
+        single_source(2),
+        lambda _: BMMBNode(),
+        UniformDelayScheduler(rng),
+        FACK,
+        FPROG,
+        mac_class=EnhancedMACLayer,
+    )
+    assert result.solved
+
+
+def test_validate_helpers_agree_with_result():
+    rng = RandomSource(1)
+    dual = line_network(6)
+    assignment = single_source(2)
+    result = run_bmmb(dual, assignment, UniformDelayScheduler(rng))
+    assert solved(dual, assignment, result.deliveries) == result.solved
+    assert missing_deliveries(dual, assignment, result.deliveries) == {}
+    req = required_deliveries(dual, assignment)
+    assert req["m0"] == frozenset(dual.nodes)
+
+
+def test_missing_deliveries_reports_gap_on_truncated_run():
+    dual = line_network(20)
+    assignment = single_source(1)
+    result = run_bmmb(dual, assignment, WorstCaseAckScheduler(), max_time=0.5)
+    gaps = missing_deliveries(dual, assignment, result.deliveries)
+    assert "m0" in gaps
+    assert len(gaps["m0"]) > 0

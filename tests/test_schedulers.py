@@ -1,0 +1,178 @@
+"""Behavioral tests for the benign and worst-case message schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.ids import MessageAssignment
+from repro.mac.axioms import check_axioms
+from repro.mac.schedulers import (
+    ContentionScheduler,
+    UniformDelayScheduler,
+    WorstCaseAckScheduler,
+)
+from repro.sim.rng import RandomSource
+from repro.topology import line_network, star_network, with_arbitrary_unreliable
+from repro.topology.generators import line_graph
+
+from tests.conftest import FACK, FPROG, run_bmmb, single_source
+
+
+@pytest.mark.parametrize(
+    "make_scheduler",
+    [
+        lambda rng: UniformDelayScheduler(rng),
+        lambda rng: ContentionScheduler(rng),
+        lambda rng: WorstCaseAckScheduler(rng, p_unreliable=0.5),
+    ],
+    ids=["uniform", "contention", "worstcase"],
+)
+def test_every_scheduler_produces_axiom_clean_executions(make_scheduler):
+    rng = RandomSource(77)
+    dual = with_arbitrary_unreliable(line_graph(12), 6, rng.child("topo"))
+    result = run_bmmb(dual, single_source(4), make_scheduler(rng.child("sched")))
+    assert result.solved
+    report = check_axioms(result.instances, dual, FACK, FPROG)
+    assert report.ok, report.violations[:3]
+
+
+def test_uniform_delivers_within_fprog():
+    rng = RandomSource(3)
+    dual = line_network(8)
+    result = run_bmmb(dual, single_source(2), UniformDelayScheduler(rng))
+    for inst in result.instances:
+        for rtime in inst.rcv_times.values():
+            assert rtime - inst.bcast_time <= FPROG + 1e-9
+
+
+def test_uniform_p_unreliable_zero_never_uses_grey_links():
+    rng = RandomSource(3)
+    dual = with_arbitrary_unreliable(line_graph(10), 8, rng.child("t"))
+    result = run_bmmb(
+        dual, single_source(2), UniformDelayScheduler(rng.child("s"), p_unreliable=0.0)
+    )
+    for inst in result.instances:
+        for receiver in inst.rcv_times:
+            assert receiver in dual.reliable_neighbors(inst.sender)
+
+
+def test_uniform_p_unreliable_one_always_uses_grey_links():
+    rng = RandomSource(3)
+    dual = with_arbitrary_unreliable(line_graph(10), 8, rng.child("t"))
+    result = run_bmmb(
+        dual, single_source(1), UniformDelayScheduler(rng.child("s"), p_unreliable=1.0)
+    )
+    for inst in result.instances:
+        expected = dual.gprime_neighbors(inst.sender)
+        assert set(inst.rcv_times) == set(expected)
+
+
+def test_uniform_ack_lag_stays_within_fack():
+    rng = RandomSource(3)
+    dual = line_network(6)
+    result = run_bmmb(
+        dual,
+        single_source(3),
+        UniformDelayScheduler(rng, ack_lag_fraction=1.0),
+    )
+    assert result.solved
+    for inst in result.instances:
+        assert inst.ack_time - inst.bcast_time <= FACK + 1e-9
+
+
+def test_uniform_rejects_bad_parameters():
+    rng = RandomSource(3)
+    with pytest.raises(SchedulerError):
+        UniformDelayScheduler(rng, p_unreliable=1.5)
+    with pytest.raises(SchedulerError):
+        UniformDelayScheduler(rng, rcv_fraction=0.0)
+    with pytest.raises(SchedulerError):
+        UniformDelayScheduler(rng, ack_lag_fraction=-0.1)
+
+
+def test_contention_star_acks_scale_with_contention():
+    """Footnote 2's example: on a star where all leaves broadcast, the hub
+    receives a message every ~Fprog while individual acks queue up."""
+    rng = RandomSource(5)
+    n = 9
+    dual = star_network(n)
+    assignment = MessageAssignment.one_each(list(range(1, n)))
+    result = run_bmmb(
+        dual, assignment, ContentionScheduler(rng), fack=(n + 2) * FPROG
+    )
+    assert result.solved
+    leaf_instances = [
+        inst for inst in result.instances if inst.sender != 0 and inst.bcast_time == 0.0
+    ]
+    ack_latencies = sorted(
+        inst.ack_time - inst.bcast_time for inst in leaf_instances
+    )
+    # Hub serialization: the slowest initial ack waits for most of the queue.
+    assert ack_latencies[-1] >= (len(leaf_instances) / 2) * 0.45 * FPROG
+    # Hub progress: its first rcv arrives within one slot.
+    hub_rcvs = [
+        rtime
+        for inst in result.instances
+        for v, rtime in inst.rcv_times.items()
+        if v == 0 and inst.bcast_time == 0.0
+    ]
+    assert min(hub_rcvs) <= FPROG + 1e-9
+
+
+def test_contention_respects_ack_bound_under_heavy_load():
+    rng = RandomSource(5)
+    n = 12
+    dual = star_network(n)
+    assignment = MessageAssignment.one_each(list(range(1, n)))
+    fack = (n + 2) * FPROG
+    result = run_bmmb(dual, assignment, ContentionScheduler(rng), fack=fack)
+    assert result.solved
+    report = check_axioms(result.instances, dual, fack, FPROG)
+    assert report.ok, report.violations[:3]
+
+
+def test_contention_deadline_flush_rescues_tight_fack():
+    """With Fack too small for EDF alone, the flush still meets the bound."""
+    rng = RandomSource(5)
+    dual = star_network(8)
+    assignment = MessageAssignment.one_each(list(range(1, 8)))
+    fack = 3.0  # far below contention * Fprog
+    result = run_bmmb(dual, assignment, ContentionScheduler(rng), fack=fack)
+    assert result.solved
+    for inst in result.instances:
+        if inst.ack_time is not None:
+            assert inst.ack_time - inst.bcast_time <= fack + 1e-9
+
+
+def test_contention_rejects_bad_parameters():
+    rng = RandomSource(5)
+    with pytest.raises(SchedulerError):
+        ContentionScheduler(rng, slot_fraction=0.0)
+    with pytest.raises(SchedulerError):
+        ContentionScheduler(rng, deadline_fraction=1.5)
+
+
+def test_worstcase_acks_at_exactly_fack():
+    dual = line_network(5)
+    result = run_bmmb(dual, single_source(2), WorstCaseAckScheduler())
+    for inst in result.instances:
+        assert inst.ack_time - inst.bcast_time == pytest.approx(FACK)
+
+
+def test_worstcase_slows_bmmb_relative_to_uniform():
+    rng = RandomSource(8)
+    dual = line_network(10)
+    slow = run_bmmb(dual, single_source(3), WorstCaseAckScheduler())
+    fast = run_bmmb(dual, single_source(3), UniformDelayScheduler(rng))
+    assert slow.completion_time > 3 * fast.completion_time
+
+
+def test_worstcase_requires_rng_for_unreliable():
+    with pytest.raises(SchedulerError, match="rng"):
+        WorstCaseAckScheduler(None, p_unreliable=0.5)
+
+
+def test_worstcase_rejects_bad_rcv_fraction():
+    with pytest.raises(SchedulerError):
+        WorstCaseAckScheduler(rcv_fraction=1.0)

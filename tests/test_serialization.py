@@ -1,0 +1,64 @@
+"""Tests for dual-graph serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim.rng import RandomSource
+from repro.topology import random_geometric_network, with_r_restricted_unreliable
+from repro.topology.adversarial import parallel_lines_network
+from repro.topology.generators import line_graph
+from repro.topology.serialization import from_dict, load, save, to_dict
+
+
+def test_round_trip_plain_network():
+    rng = RandomSource(1)
+    dual = with_r_restricted_unreliable(line_graph(10), 3, 0.5, rng)
+    rebuilt = from_dict(to_dict(dual))
+    assert rebuilt.n == dual.n
+    assert set(rebuilt.reliable_graph.edges) == set(dual.reliable_graph.edges)
+    assert set(rebuilt.unreliable_graph.edges) == set(dual.unreliable_graph.edges)
+    assert rebuilt.positions is None
+
+
+def test_round_trip_preserves_embedding_and_name():
+    rng = RandomSource(2)
+    dual = random_geometric_network(15, 2.0, 1.6, 0.4, rng)
+    rebuilt = from_dict(to_dict(dual))
+    assert rebuilt.name == dual.name
+    assert rebuilt.positions == dual.positions
+    assert rebuilt.is_grey_zone(1.6)
+
+
+def test_round_trip_figure2_network():
+    net = parallel_lines_network(6)
+    rebuilt = from_dict(to_dict(net.dual))
+    assert rebuilt.unreliable_edge_count == net.dual.unreliable_edge_count
+    assert len(rebuilt.components()) == 2
+
+
+def test_file_round_trip(tmp_path):
+    rng = RandomSource(3)
+    dual = with_r_restricted_unreliable(line_graph(8), 2, 0.7, rng)
+    path = tmp_path / "net.json"
+    save(dual, path)
+    loaded = load(path)
+    assert set(loaded.unreliable_graph.edges) == set(dual.unreliable_graph.edges)
+
+
+def test_from_dict_rejects_unknown_schema():
+    with pytest.raises(TopologyError, match="schema"):
+        from_dict({"schema": 99, "n": 2})
+
+
+def test_from_dict_rejects_missing_fields():
+    with pytest.raises(TopologyError, match="missing field"):
+        from_dict({"schema": 1, "n": 2})
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{")
+    with pytest.raises(TopologyError, match="invalid topology JSON"):
+        load(path)

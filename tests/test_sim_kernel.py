@@ -1,0 +1,224 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired: list[str] = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired: list[int] = []
+    for i in range(10):
+        sim.schedule(5.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_time_ties():
+    sim = Simulator()
+    fired: list[str] = []
+    sim.schedule(1.0, fired.append, "low", priority=5)
+    sim.schedule(1.0, fired.append, "high", priority=-5)
+    sim.run()
+    assert fired == ["high", "low"]
+
+
+def test_zero_delay_chain_runs_without_time_passing():
+    sim = Simulator()
+    depths: list[float] = []
+
+    def cascade(depth: int) -> None:
+        depths.append(sim.now)
+        if depth > 0:
+            sim.schedule(0.0, cascade, depth - 1)
+
+    sim.schedule(2.0, cascade, 5)
+    sim.run()
+    assert depths == [2.0] * 6
+    assert sim.now == 2.0
+
+
+def test_zero_delay_events_run_after_existing_same_time_events():
+    sim = Simulator()
+    fired: list[str] = []
+
+    def first() -> None:
+        fired.append("first")
+        sim.schedule(0.0, fired.append, "chained")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, fired.append, "second")
+    sim.run()
+    assert fired == ["first", "second", "chained"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen: list[float] = []
+    sim.schedule(4.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.5]
+    assert sim.now == 4.5
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(2.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired: list[str] = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert handle.cancelled
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired: list[str] = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    handle.cancel()
+    assert fired == ["x"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired: list[str] = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    end = sim.run(until=5.0)
+    assert fired == ["early"]
+    assert end == 5.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_when_queue_empties():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    end = sim.run(until=7.0)
+    assert end == 7.0
+    assert sim.now == 7.0
+
+
+def test_step_runs_single_event():
+    sim = Simulator()
+    fired: list[str] = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert fired == ["a", "b"]
+    assert not sim.step()
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    fired: list[str] = []
+
+    def outer() -> None:
+        fired.append("outer")
+        sim.schedule(1.0, fired.append, "inner")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_event_budget_guards_against_livelock():
+    sim = Simulator(max_events=100)
+
+    def forever() -> None:
+        sim.schedule(0.0, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run()
+
+
+def test_processed_events_counts_only_fired():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert sim.processed_events == 1
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors: list[type] = []
+
+    def reenter() -> None:
+        try:
+            sim.run()
+        except SimulationError:
+            errors.append(SimulationError)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert errors == [SimulationError]
+
+
+def test_pending_events_tracks_queue_size():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_callback_arguments_passed_through():
+    sim = Simulator()
+    seen: list[tuple] = []
+    sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "two")
+    sim.run()
+    assert seen == [(1, "two")]
+
+
+def test_handle_reports_scheduled_time():
+    sim = Simulator()
+    handle = sim.schedule(3.5, lambda: None)
+    assert handle.time == 3.5

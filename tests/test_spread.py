@@ -1,0 +1,149 @@
+"""Tests for the FMMB spreading subroutine (paper §4.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fmmb.config import FMMBConfig
+from repro.core.fmmb.gather import gather_messages
+from repro.core.fmmb.mis import build_mis, require_valid_mis
+from repro.core.fmmb.overlay import build_overlay, overlay_diameter
+from repro.core.fmmb.spread import spread_messages
+from repro.ids import Message, MessageAssignment
+from repro.mac.rounds import RandomRoundScheduler
+from repro.runtime.validate import required_deliveries
+from repro.sim.rng import RandomSource
+from repro.topology import grid_network, line_network
+
+
+def run_spread(dual, assignment, seed=0, config=None, mis=None):
+    rng = RandomSource(seed, "spread-test")
+    scheduler = RandomRoundScheduler(rng.child("rounds"))
+    if mis is None:
+        mis = build_mis(dual, scheduler, rng.child("mis"), config).mis
+    require_valid_mis(dual, mis)
+    gather = gather_messages(
+        dual,
+        mis,
+        assignment.messages,
+        scheduler,
+        rng.child("gather"),
+        k=assignment.k,
+        config=config,
+    )
+    assert gather.complete
+    overlay = build_overlay(dual, mis)
+    required = required_deliveries(dual, assignment)
+    delivered = {
+        (node, m.mid)
+        for node, msgs in assignment.messages.items()
+        for m in msgs
+    }
+
+    class Recorder:
+        def __init__(self):
+            self.rounds = {}
+
+        def record(self, node, message, round_index):
+            self.rounds.setdefault((node, message.mid), round_index)
+
+    recorder = Recorder()
+    result = spread_messages(
+        dual,
+        mis,
+        gather.owned,
+        scheduler,
+        rng.child("spread"),
+        k=assignment.k,
+        overlay_diam=overlay_diameter(overlay),
+        required=required,
+        already_delivered=delivered,
+        config=config,
+        recorder=recorder,
+    )
+    return mis, result, recorder
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_spread_reaches_every_node(seed):
+    dual = grid_network(4, 4)
+    assignment = MessageAssignment.one_each([0, 7, 15])
+    mis, result, recorder = run_spread(dual, assignment, seed)
+    assert result.complete
+
+
+def test_all_mis_nodes_end_with_all_messages():
+    dual = line_network(15)
+    assignment = MessageAssignment.one_each([0, 7, 14])
+    mis, result, _ = run_spread(dual, assignment, seed=1)
+    assert result.complete
+    for u in mis:
+        assert set(result.owned[u]) == {"m0", "m1", "m2"}
+
+
+def test_spread_phase_budget_respected():
+    cfg = FMMBConfig()
+    dual = grid_network(4, 4)
+    assignment = MessageAssignment.one_each([0, 5])
+    mis, result, _ = run_spread(dual, assignment, seed=2, config=cfg)
+    # Reconstruct the budget from the actual overlay.
+    overlay_diam = overlay_diameter(build_overlay(dual, mis))
+    assert result.phases_used <= cfg.spread_phase_budget(
+        overlay_diam, assignment.k, dual.n
+    )
+
+
+def test_spread_with_single_mis_node():
+    """Star-like case: one MIS node already owns everything; spreading only
+    needs to reach the leaves."""
+    from repro.topology import star_network
+
+    dual = star_network(8)
+    assignment = MessageAssignment.single_source(0, 3)
+    mis, result, recorder = run_spread(dual, assignment, seed=3, mis=frozenset({0}))
+    assert result.complete
+    for leaf in range(1, 8):
+        for mid in ("m0", "m1", "m2"):
+            assert (leaf, mid) in recorder.rounds or (leaf, mid) in {
+                (node, m.mid)
+                for node, msgs in assignment.messages.items()
+                for m in msgs
+            }
+
+
+def test_spread_delivery_rounds_are_monotone_with_distance():
+    """On a long line, far nodes cannot receive before near nodes."""
+    dual = line_network(19)
+    assignment = MessageAssignment.single_source(0, 1)
+    mis, result, recorder = run_spread(dual, assignment, seed=4)
+    assert result.complete
+    r5 = recorder.rounds.get((5, "m0"))
+    r18 = recorder.rounds.get((18, "m0"))
+    assert r5 is not None and r18 is not None
+    assert r5 <= r18
+
+
+def test_spread_idles_when_nothing_to_do():
+    dual = line_network(5)
+    assignment = MessageAssignment.single_source(2, 1)
+    # All nodes already have the message.
+    mis = frozenset({0, 2, 4})
+    rng = RandomSource(5, "idle")
+    scheduler = RandomRoundScheduler(rng.child("rounds"))
+    owned = {u: ({"m0": Message("m0", 2)} if u == 2 else {}) for u in mis}
+    required = {"m0": frozenset(dual.nodes)}
+    delivered = {(v, "m0") for v in dual.nodes}
+    result = spread_messages(
+        dual,
+        mis,
+        owned,
+        scheduler,
+        rng.child("s"),
+        k=1,
+        overlay_diam=1,
+        required=required,
+        already_delivered=delivered,
+    )
+    assert result.complete
+    assert result.phases_used == 0
+    assert result.rounds_used == 0

@@ -1,0 +1,117 @@
+"""Stress and scale sanity: bigger inputs, still correct and bounded."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import bmmb_gg_bound
+from repro.core.bmmb import BMMBNode
+from repro.ids import MessageAssignment
+from repro.mac.schedulers import UniformDelayScheduler, WorstCaseAckScheduler
+from repro.runtime.runner import run_standard
+from repro.sim import Simulator
+from repro.sim.rng import RandomSource
+from repro.topology import grid_network, line_network
+
+FACK = 20.0
+FPROG = 1.0
+
+
+def test_kernel_handles_hundred_thousand_events_in_order():
+    sim = Simulator()
+    rng = RandomSource(1)
+    count = 100_000
+    seen: list[float] = []
+    for _ in range(count):
+        sim.schedule_at(rng.uniform(0, 1000.0), lambda t=None: None)
+    # Interleave a handful of observers to check monotonic time.
+    for t in range(0, 1000, 100):
+        sim.schedule_at(float(t), lambda: seen.append(sim.now))
+    sim.run()
+    assert sim.processed_events == count + 10
+    assert seen == sorted(seen)
+
+
+def test_bmmb_on_200_node_line_within_bound():
+    dual = line_network(200)
+    result = run_standard(
+        dual,
+        MessageAssignment.single_source(0, 3),
+        lambda _: BMMBNode(),
+        WorstCaseAckScheduler(),
+        FACK,
+        FPROG,
+        keep_instances=False,
+    )
+    assert result.solved
+    assert result.completion_time <= bmmb_gg_bound(199, 3, FACK, FPROG) + 1e-9
+    assert result.broadcast_count == 200 * 3
+
+
+def test_bmmb_on_10x10_grid_with_16_messages():
+    rng = RandomSource(2)
+    dual = grid_network(10, 10)
+    assignment = MessageAssignment.one_each(list(range(0, 96, 6)))
+    result = run_standard(
+        dual,
+        assignment,
+        lambda _: BMMBNode(),
+        UniformDelayScheduler(rng),
+        FACK,
+        FPROG,
+        keep_instances=False,
+    )
+    assert result.solved
+    assert result.broadcast_count == 100 * 16
+
+
+def test_axiom_checker_scales_to_thousands_of_instances():
+    rng = RandomSource(3)
+    from repro.mac.axioms import check_axioms
+
+    dual = grid_network(6, 6)
+    assignment = MessageAssignment.one_each(list(range(0, 36, 4)))
+    result = run_standard(
+        dual,
+        assignment,
+        lambda _: BMMBNode(),
+        UniformDelayScheduler(rng),
+        FACK,
+        FPROG,
+    )
+    assert result.broadcast_count == 36 * 9
+    report = check_axioms(result.instances, dual, FACK, FPROG)
+    assert report.ok
+    assert report.instances_checked == 36 * 9
+
+
+def test_adversarial_run_at_depth_200():
+    from repro.mac.schedulers import GreyZoneAdversary
+    from repro.topology.adversarial import parallel_lines_network
+
+    net = parallel_lines_network(200)
+    result = run_standard(
+        net.dual,
+        net.assignment,
+        lambda _: BMMBNode(),
+        GreyZoneAdversary(net),
+        FACK,
+        FPROG,
+        keep_instances=False,
+    )
+    assert result.solved
+    assert result.completion_time == pytest.approx(199 * FACK)
+
+
+def test_fmmb_on_150_node_network():
+    from repro.core.fmmb import run_fmmb
+    from repro.topology import random_geometric_network
+
+    rng = RandomSource(4)
+    dual = random_geometric_network(
+        150, side=6.0, c=1.6, grey_edge_probability=0.3, rng=rng
+    )
+    assignment = MessageAssignment.one_each(dual.nodes[:5])
+    result = run_fmmb(dual, assignment, fprog=FPROG, seed=4)
+    assert result.solved
+    assert result.mis_valid

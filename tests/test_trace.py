@@ -1,0 +1,101 @@
+"""Tests for trace flattening, JSONL persistence, and summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.mac.axioms import check_axioms
+from repro.mac.messages import InstanceLog
+from repro.mac.schedulers import UniformDelayScheduler
+from repro.runtime.trace import (
+    flatten,
+    load_trace,
+    summarize_trace,
+    write_trace,
+)
+from repro.sim.rng import RandomSource
+from repro.topology import line_network
+
+from tests.conftest import FACK, FPROG, run_bmmb, single_source
+
+
+def sample_log():
+    log = InstanceLog()
+    a = log.new_instance(1, "m0", 0.0)
+    a.rcv_times.update({0: 0.4, 2: 0.6})
+    a.ack_time = 0.7
+    b = log.new_instance(2, "m1", 0.5)
+    b.rcv_times.update({1: 0.9})
+    b.abort_time = 1.0
+    return log
+
+
+def test_flatten_orders_chronologically_with_kind_ties():
+    events = flatten(sample_log())
+    times = [e.time for e in events]
+    assert times == sorted(times)
+    kinds = [(e.time, e.kind) for e in events]
+    assert kinds[0] == (0.0, "bcast")
+    assert ("abort" in {e.kind for e in events})
+
+
+def test_flatten_bcast_precedes_same_time_rcv():
+    log = InstanceLog()
+    inst = log.new_instance(0, "m", 2.0)
+    inst.rcv_times[1] = 2.0
+    inst.ack_time = 2.0
+    kinds = [e.kind for e in flatten(log)]
+    assert kinds == ["bcast", "rcv", "ack"]
+
+
+def test_trace_round_trip(tmp_path):
+    log = sample_log()
+    path = tmp_path / "trace.jsonl"
+    count = write_trace(log, path)
+    assert count == 2
+    loaded = load_trace(path)
+    assert len(loaded) == 2
+    assert loaded[0].rcv_times == {0: 0.4, 2: 0.6}
+    assert loaded[0].ack_time == 0.7
+    assert loaded[1].abort_time == 1.0
+    assert loaded[1].payload == "m1"
+
+
+def test_round_tripped_trace_still_passes_axiom_checker(tmp_path):
+    rng = RandomSource(5)
+    dual = line_network(8)
+    result = run_bmmb(dual, single_source(3), UniformDelayScheduler(rng))
+    path = tmp_path / "run.jsonl"
+    write_trace(result.instances, path)
+    reloaded = load_trace(path)
+    report = check_axioms(reloaded, dual, FACK, FPROG)
+    assert report.ok, report.violations[:3]
+
+
+def test_load_rejects_bad_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("{not json}\n")
+    with pytest.raises(ExperimentError, match="bad trace line"):
+        load_trace(path)
+
+
+def test_empty_trace_file_loads_empty_log(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    write_trace(InstanceLog(), path)
+    assert len(load_trace(path)) == 0
+
+
+def test_summarize_trace():
+    summary = summarize_trace(sample_log())
+    assert summary.instances == 2
+    assert summary.rcv_events == 3
+    assert summary.aborted == 1
+    assert summary.first_time == 0.0
+    assert summary.last_time == 1.0
+    assert summary.mean_ack_latency == pytest.approx(0.7)
+
+
+def test_summarize_empty_trace_rejected():
+    with pytest.raises(ExperimentError):
+        summarize_trace(InstanceLog())
