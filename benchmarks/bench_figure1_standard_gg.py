@@ -15,40 +15,31 @@ case is faster still.
 from __future__ import annotations
 
 from repro import (
-    BMMBNode,
-    ContentionScheduler,
-    RandomSource,
-    WorstCaseAckScheduler,
+    ExperimentSpec,
+    ModelSpec,
+    SchedulerSpec,
+    TopologySpec,
+    WorkloadSpec,
     bmmb_gg_bound,
-    line_network,
-    run_standard,
+    run,
 )
 from repro.analysis.fitting import linear_fit
 from repro.analysis.tables import render_table
-from repro.ids import MessageAssignment
 
 FACK = 20.0
 FPROG = 1.0
 
 
 def run_line(n: int, k: int, scheduler_kind: str = "worstcase", seed: int = 0):
-    rng = RandomSource(seed, f"e1-{n}-{k}")
-    dual = line_network(n)
-    assignment = MessageAssignment.single_source(0, k)
-    scheduler = (
-        WorstCaseAckScheduler()
-        if scheduler_kind == "worstcase"
-        else ContentionScheduler(rng)
+    spec = ExperimentSpec(
+        name=f"e1-line-{n}-k{k}",
+        topology=TopologySpec("line", {"n": n}),
+        workload=WorkloadSpec("single_source", {"node": 0, "count": k}),
+        scheduler=SchedulerSpec(scheduler_kind),
+        model=ModelSpec(fack=FACK, fprog=FPROG),
+        seed=seed,
     )
-    return run_standard(
-        dual,
-        assignment,
-        lambda _: BMMBNode(),
-        scheduler,
-        FACK,
-        FPROG,
-        keep_instances=False,
-    )
+    return run(spec, keep_raw=False)
 
 
 def bench_standard_gg_scaling(benchmark, report):

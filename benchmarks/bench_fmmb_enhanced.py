@@ -12,32 +12,42 @@ degrades with ``Fack``.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro import (
-    BMMBNode,
-    RandomSource,
-    WorstCaseAckScheduler,
-    random_geometric_network,
-    run_fmmb,
-    run_standard,
+    AlgorithmSpec,
+    ExperimentSpec,
+    ModelSpec,
+    SchedulerSpec,
+    TopologySpec,
+    WorkloadSpec,
+    materialize_topology,
+    run,
 )
 from repro.analysis.bounds import fmmb_bound_rounds
 from repro.analysis.tables import render_table
-from repro.ids import MessageAssignment
 
 FPROG = 1.0
 
 
-def grey(n: int, side: float, seed: int):
-    rng = RandomSource(seed, f"e6-net-{n}")
-    return random_geometric_network(
-        n, side=side, c=1.6, grey_edge_probability=0.4, rng=rng
+def fmmb_spec(n: int, side: float, k: int, seed: int = 0) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"e6-fmmb-n{n}-k{k}",
+        topology=TopologySpec(
+            "random_geometric",
+            {"n": n, "side": side, "c": 1.6, "grey_edge_probability": 0.4},
+        ),
+        algorithm=AlgorithmSpec("fmmb", {"c": 1.6}),
+        workload=WorkloadSpec("one_each", {"k": k}),
+        model=ModelSpec(fprog=FPROG),
+        substrate="rounds",
+        seed=seed,
     )
 
 
 def run_one(n: int, side: float, k: int, seed: int = 0):
-    dual = grey(n, side, seed)
-    assignment = MessageAssignment.one_each(dual.nodes[:k])
-    return dual, run_fmmb(dual, assignment, fprog=FPROG, seed=seed)
+    spec = fmmb_spec(n, side, k, seed)
+    return materialize_topology(spec), run(spec, keep_raw=False)
 
 
 def bench_fmmb_scaling(benchmark, report):
@@ -45,22 +55,23 @@ def bench_fmmb_scaling(benchmark, report):
     for n, side, k in ((20, 2.0, 2), (40, 3.0, 4), (80, 4.5, 4), (80, 4.5, 12)):
         dual, result = run_one(n, side, k)
         assert result.solved
-        assert result.mis_valid
+        assert result.metrics["mis_valid"]
+        total_rounds = int(result.metrics["rounds_total"])
         budget = fmmb_bound_rounds(dual.diameter(), k, n, c=1.6)
         rows.append(
             {
                 "n": n,
                 "D": dual.diameter(),
                 "k": k,
-                "rounds(MIS)": result.mis_result.rounds_used,
-                "rounds(gather)": result.gather_result.rounds_used,
-                "rounds(spread)": result.spread_result.rounds_used,
-                "rounds(total)": result.total_rounds,
+                "rounds(MIS)": int(result.metrics["rounds_mis"]),
+                "rounds(gather)": int(result.metrics["rounds_gather"]),
+                "rounds(spread)": int(result.metrics["rounds_spread"]),
+                "rounds(total)": total_rounds,
                 "budget shape": round(budget),
-                "ratio": result.total_rounds / budget,
+                "ratio": total_rounds / budget,
             }
         )
-        assert result.total_rounds <= 5 * budget
+        assert total_rounds <= 5 * budget
     report(
         "E6 Figure 1 (Enhanced, grey zone): FMMB rounds vs "
         "(D log n + k log n + log^3 n) budget",
@@ -68,20 +79,20 @@ def bench_fmmb_scaling(benchmark, report):
     )
 
     # The no-Fack property, measured: BMMB pays for Fack, FMMB does not.
-    dual = grey(40, 3.0, 1)
-    assignment = MessageAssignment.one_each(dual.nodes[:4])
-    fmmb_result = run_fmmb(dual, assignment, fprog=FPROG, seed=1)
+    # Same topology spec + seed => both substrates run the same network.
+    base = fmmb_spec(40, 3.0, 4, seed=1)
+    fmmb_result = run(base, keep_raw=False)
     fack_rows = []
     for fack in (5.0, 50.0, 500.0):
-        bmmb = run_standard(
-            dual,
-            assignment,
-            lambda _: BMMBNode(),
-            WorstCaseAckScheduler(),
-            fack,
-            FPROG,
-            keep_instances=False,
+        bmmb_spec = replace(
+            base,
+            name=f"e6-bmmb-fack{fack}",
+            algorithm=AlgorithmSpec("bmmb"),
+            scheduler=SchedulerSpec("worstcase", {"p_unreliable": 0.0}),
+            model=ModelSpec(fack=fack, fprog=FPROG),
+            substrate="standard",
         )
+        bmmb = run(bmmb_spec, keep_raw=False)
         fack_rows.append(
             {
                 "Fack/Fprog": fack,

@@ -10,60 +10,66 @@ validity), and records completion-time scaling with the diameter.
 from __future__ import annotations
 
 from repro import (
-    ContentionScheduler,
-    RandomSource,
-    UniformDelayScheduler,
-    WorstCaseAckScheduler,
-    line_network,
+    AlgorithmSpec,
+    ExperimentSpec,
+    ModelSpec,
+    SchedulerSpec,
+    TopologySpec,
+    materialize_topology,
+    run,
 )
 from repro.analysis.fitting import linear_fit
 from repro.analysis.tables import render_table
-from repro.core.consensus import FloodConsensusNode, consensus_reached
-from repro.core.leader import FloodMaxNode, elected_correctly
-from repro.runtime.runner import run_protocol
 
 FACK = 20.0
 FPROG = 1.0
 
 
+def _protocol_spec(algorithm: str, n: int, scheduler_kind: str, seed: int):
+    return ExperimentSpec(
+        name=f"e14-{algorithm}-n{n}-{scheduler_kind}",
+        topology=TopologySpec("line", {"n": n}),
+        algorithm=AlgorithmSpec(algorithm),
+        scheduler=SchedulerSpec(scheduler_kind),
+        workload=None,
+        model=ModelSpec(fack=FACK, fprog=FPROG),
+        substrate="protocol",
+        seed=seed,
+    )
+
+
 def run_leader(n: int, scheduler_kind: str, seed: int = 0):
-    rng = RandomSource(seed, f"e14-{n}-{scheduler_kind}")
-    dual = line_network(n)
-    scheduler = {
-        "uniform": lambda: UniformDelayScheduler(rng.child("s")),
-        "contention": lambda: ContentionScheduler(rng.child("s")),
-        "worstcase": lambda: WorstCaseAckScheduler(),
-    }[scheduler_kind]()
-    run = run_protocol(dual, lambda _: FloodMaxNode(), scheduler, FACK, FPROG)
-    assert run.quiesced
-    assert elected_correctly(dual, run.automata)
-    return dual, run
+    spec = _protocol_spec("flood_max", n, scheduler_kind, seed)
+    result = run(spec, keep_raw=False)
+    # solved == quiesced + elected_correctly (the registry postcondition).
+    assert result.solved
+    return materialize_topology(spec), result
 
 
 def bench_leader_election(benchmark, report):
     rows = []
     series = []
     for n in (8, 16, 32, 64):
-        dual, run = run_leader(n, "uniform")
-        series.append((dual.diameter(), run.end_time))
+        dual, result = run_leader(n, "uniform")
+        series.append((dual.diameter(), result.completion_time))
         rows.append(
             {
                 "n": n,
                 "D": dual.diameter(),
                 "scheduler": "uniform",
-                "stabilized at": run.end_time,
-                "broadcasts": run.broadcast_count,
+                "stabilized at": result.completion_time,
+                "broadcasts": result.broadcast_count,
             }
         )
     for kind in ("contention", "worstcase"):
-        dual, run = run_leader(16, kind)
+        dual, result = run_leader(16, kind)
         rows.append(
             {
                 "n": 16,
                 "D": dual.diameter(),
                 "scheduler": kind,
-                "stabilized at": run.end_time,
-                "broadcasts": run.broadcast_count,
+                "stabilized at": result.completion_time,
+                "broadcasts": result.broadcast_count,
             }
         )
     fit = linear_fit([x for x, _ in series], [y for _, y in series])
@@ -78,31 +84,24 @@ def bench_leader_election(benchmark, report):
 
 
 def run_consensus(n: int, seed: int = 0):
-    rng = RandomSource(seed, f"e14c-{n}")
-    dual = line_network(n)
-    run = run_protocol(
-        dual,
-        lambda v: FloodConsensusNode(f"v{v}"),
-        UniformDelayScheduler(rng.child("s")),
-        FACK,
-        FPROG,
-    )
-    assert run.quiesced
-    assert consensus_reached(dual, run.automata)
-    return dual, run
+    spec = _protocol_spec("flood_consensus", n, "uniform", seed)
+    result = run(spec, keep_raw=False)
+    # solved == quiesced + consensus_reached (the registry postcondition).
+    assert result.solved
+    return materialize_topology(spec), result
 
 
 def bench_consensus(benchmark, report):
     rows = []
     for n in (6, 12, 24):
-        dual, run = run_consensus(n)
+        dual, result = run_consensus(n)
         rows.append(
             {
                 "n": n,
                 "decided": f"v{max(dual.nodes)}",
-                "stabilized at": run.end_time,
-                "broadcasts": run.broadcast_count,
-                "broadcasts = n^2": run.broadcast_count == n * n,
+                "stabilized at": result.completion_time,
+                "broadcasts": result.broadcast_count,
+                "broadcasts = n^2": result.broadcast_count == n * n,
             }
         )
     report(

@@ -13,34 +13,34 @@ ratio growing roughly linearly with contention.
 
 from __future__ import annotations
 
-from repro import RandomSource, star_network
+from repro import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    ModelSpec,
+    TopologySpec,
+    WorkloadSpec,
+    run,
+)
 from repro.analysis.fitting import linear_fit
 from repro.analysis.stats import summarize
 from repro.analysis.tables import render_table
-from repro.core.bmmb import BMMBNode
-from repro.ids import MessageAssignment
-from repro.radio import RadioMACLayer
 
 SEEDS = range(3)
 
 
 def run_radio_star(n: int, seed: int):
-    dual = star_network(n)
-    layer = RadioMACLayer(dual, RandomSource(seed, f"e13-{n}"))
-    for v in dual.nodes:
-        layer.register(v, BMMBNode())
-    assignment = MessageAssignment.one_each(list(range(1, n)))
-    for node, msgs in sorted(assignment.messages.items()):
-        for m in msgs:
-            layer.inject_arrival(node, m)
-    layer.run(max_slots=500_000)
-    solved = all(
-        (v, m.mid) in layer.deliveries
-        for v in dual.nodes
-        for m in assignment.all_messages()
+    spec = ExperimentSpec(
+        name=f"e13-star-{n}",
+        topology=TopologySpec("star", {"n": n}),
+        algorithm=AlgorithmSpec("bmmb"),
+        workload=WorkloadSpec("one_each", {"nodes": list(range(1, n))}),
+        model=ModelSpec(params={"max_slots": 500_000}),
+        substrate="radio",
+        seed=seed,
     )
-    assert solved
-    return layer.empirical_bounds()
+    result = run(spec, keep_raw=False)
+    assert result.solved
+    return result.metrics
 
 
 def bench_radio_footnote2(benchmark, report):
@@ -49,9 +49,9 @@ def bench_radio_footnote2(benchmark, report):
     fprog_series = []
     for n in (6, 12, 24, 48):
         bounds = [run_radio_star(n, seed) for seed in SEEDS]
-        fack = summarize([b.fack for b in bounds])
-        fprog = summarize([b.fprog for b in bounds])
-        assert all(b.delivery_success_rate == 1.0 for b in bounds)
+        fack = summarize([b["empirical_fack"] for b in bounds])
+        fprog = summarize([b["empirical_fprog"] for b in bounds])
+        assert all(b["delivery_success_rate"] == 1.0 for b in bounds)
         fack_series.append((n, fack.mean))
         fprog_series.append((n, fprog.mean))
         rows.append(

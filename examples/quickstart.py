@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Quickstart: run BMMB on a grey-zone wireless network.
+"""Quickstart: run BMMB on a grey-zone wireless network, declaratively.
 
-Builds a random geometric network (unit-disk reliable links, unreliable
-links up to distance c = 1.6), injects four messages, floods them with the
-paper's BMMB protocol under a realistic contention scheduler, and compares
-the measured completion time against the theoretical envelope.  Finally it
-certifies the produced execution against the abstract-MAC-layer axioms.
+Describes the whole experiment as an :class:`ExperimentSpec` — a frozen,
+JSON-round-trippable value — then hands it to ``run``.  Because topology
+construction is seed-deterministic, the network can be materialized first
+to provision ``Fack`` for its worst-case contention, and the final spec
+rebuilds the *same* network inside the runner.  Finally the produced
+execution is certified against the abstract-MAC-layer axioms.
 
 Run:  python examples/quickstart.py [seed]
 """
@@ -13,58 +14,61 @@ Run:  python examples/quickstart.py [seed]
 from __future__ import annotations
 
 import sys
+from dataclasses import replace
 
 from repro import (
-    BMMBNode,
-    ContentionScheduler,
-    MessageAssignment,
-    RandomSource,
+    ExperimentSpec,
+    ModelSpec,
+    SchedulerSpec,
+    TopologySpec,
+    WorkloadSpec,
     bmmb_arbitrary_bound,
     check_axioms,
-    random_geometric_network,
-    run_standard,
+    materialize_topology,
+    run,
 )
 from repro.topology.metrics import minimum_fack_for_contention, summarize
 
 
 def main(seed: int = 7) -> None:
-    rng = RandomSource(seed, "quickstart")
-
-    # 1. A 40-node grey-zone network in a 3x3 box.
-    net = random_geometric_network(
-        40, side=3.0, c=1.6, grey_edge_probability=0.4, rng=rng.child("net")
+    # 1. Declare the experiment: a 40-node grey-zone network in a 3x3 box,
+    #    four messages at one node, BMMB under the contention scheduler.
+    spec = ExperimentSpec(
+        name="quickstart",
+        topology=TopologySpec(
+            "random_geometric",
+            {"n": 40, "side": 3.0, "c": 1.6, "grey_edge_probability": 0.4},
+        ),
+        workload=WorkloadSpec("single_source", {"count": 4}),
+        scheduler=SchedulerSpec("contention"),
+        seed=seed,
     )
+
+    # 2. Materialize the (deterministic) network to provision the model:
+    #    Fprog = 1 time unit; Fack sized for worst-case receiver contention.
+    net = materialize_topology(spec)
     info = summarize(net)
     print("network:", info.as_dict())
-
-    # 2. Model constants: Fprog = 1 time unit; Fack provisioned for the
-    #    worst-case receiver contention of this topology.
     fprog = 1.0
     fack = minimum_fack_for_contention(net, fprog)
+    spec = replace(spec, model=ModelSpec(fack=fack, fprog=fprog))
     print(f"model: Fprog={fprog}, Fack={fack} (contention-provisioned)")
+    print(f"spec (JSON): {spec.to_json()[:72]}...")
 
-    # 3. Four messages injected at one corner node at time 0.
-    assignment = MessageAssignment.single_source(net.nodes[0], 4)
-
-    # 4. Run BMMB to quiescence.
-    result = run_standard(
-        net,
-        assignment,
-        lambda _: BMMBNode(),
-        ContentionScheduler(rng.child("sched")),
-        fack,
-        fprog,
-    )
-    bound = bmmb_arbitrary_bound(info.diameter, assignment.k, fack)
+    # 3. Run to quiescence; the runner rebuilds the same network from seed.
+    result = run(spec)
+    k = spec.workload.params["count"]
+    bound = bmmb_arbitrary_bound(info.diameter, k, fack)
     print(f"solved:        {result.solved}")
     print(f"completion:    {result.completion_time:.2f} time units")
     print(f"Thm 3.1 bound: {bound:.2f}  (measured/bound = "
           f"{result.completion_time / bound:.3f})")
     print(f"broadcasts:    {result.broadcast_count} "
-          f"(= n*k = {net.n * assignment.k})")
+          f"(= n*k = {net.n * k})")
 
-    # 5. Certify the execution against the five MAC-layer axioms.
-    report = check_axioms(result.instances, net, fack, fprog)
+    # 4. Certify the execution against the five MAC-layer axioms
+    #    (result.raw is the underlying standard-model RunResult).
+    report = check_axioms(result.raw.instances, net, fack, fprog)
     print(f"axiom check:   ok={report.ok} "
           f"({report.instances_checked} instances, "
           f"{report.progress_windows_checked} progress windows)")

@@ -1,12 +1,14 @@
 #!/usr/bin/env python
-"""Scheduler gallery: one algorithm, one network, every scheduler.
+"""Scheduler gallery: one algorithm, one network, every registered scheduler.
 
 The abstract MAC layer's nondeterminism is a *scheduler*; the paper's
-results are statements about which schedulers can exist.  This example runs
-BMMB on a single r-restricted network under every scheduler in the package
-and shows how the same algorithm's completion time moves between the
-``D·Fprog``-dominated regime (friendly scheduling) and the
-``(D+k)·Fack``-dominated regime (hostile-but-legal scheduling).
+results are statements about which schedulers can exist.  This example
+enumerates the scheduler registry (``list_schedulers()``) — so any
+scheduler registered by downstream code appears automatically — and runs
+BMMB on a single r-restricted network under each entry, showing how the
+same algorithm's completion time moves between the ``D·Fprog``-dominated
+regime (friendly scheduling) and the ``(D+k)·Fack``-dominated regime
+(hostile-but-legal scheduling).
 
 Run:  python examples/scheduler_gallery.py
 """
@@ -14,72 +16,72 @@ Run:  python examples/scheduler_gallery.py
 from __future__ import annotations
 
 from repro import (
-    BMMBNode,
-    ContentionScheduler,
-    MessageAssignment,
-    RandomSource,
-    UniformDelayScheduler,
-    WorstCaseAckScheduler,
+    ExperimentSpec,
+    ModelSpec,
+    SchedulerSpec,
+    TopologySpec,
+    WorkloadSpec,
     bmmb_arbitrary_bound,
     bmmb_r_restricted_bound,
     check_axioms,
-    run_standard,
-    with_r_restricted_unreliable,
+    list_schedulers,
+    materialize_topology,
+    run,
 )
 from repro.analysis.tables import render_table
-from repro.topology.generators import line_graph
 
 FACK = 20.0
 FPROG = 1.0
 R = 3
 K = 5
 
+LABELS = {
+    "uniform": "friendly MAC",
+    "contention": "loaded MAC",
+    "worstcase": "hostile but legal",
+    "choke": "Lemma 3.18 acks",
+}
+
 
 def main() -> None:
-    rng = RandomSource(99, "gallery")
-    net = with_r_restricted_unreliable(
-        line_graph(20), r=R, probability=0.5, rng=rng.child("topo")
+    base = ExperimentSpec(
+        name="gallery",
+        topology=TopologySpec(
+            "r_restricted_line", {"n": 20, "r": R, "probability": 0.5}
+        ),
+        workload=WorkloadSpec("single_source", {"node": 0, "count": K}),
+        model=ModelSpec(fack=FACK, fprog=FPROG),
+        seed=99,
     )
-    assignment = MessageAssignment.single_source(0, K)
+    net = materialize_topology(base)
     d = net.diameter()
     print(f"network: 20-node line + r={R}-restricted unreliable links "
           f"({net.unreliable_edge_count} of them), D={d}, k={K}")
     print(f"model: Fack={FACK}, Fprog={FPROG}\n")
 
-    schedulers = [
-        (
-            "uniform (friendly MAC)",
-            UniformDelayScheduler(rng.child("u"), p_unreliable=0.5),
-        ),
-        (
-            "contention (loaded MAC)",
-            ContentionScheduler(rng.child("c")),
-        ),
-        (
-            "worst-case acks (hostile but legal)",
-            WorstCaseAckScheduler(rng.child("w"), p_unreliable=0.5),
-        ),
-    ]
     rows = []
-    for name, scheduler in schedulers:
-        result = run_standard(
-            net,
-            assignment,
-            lambda _: BMMBNode(),
-            scheduler,
-            FACK,
-            FPROG,
+    for name in list_schedulers():
+        result = run(
+            ExperimentSpec(
+                name=f"gallery-{name}",
+                topology=base.topology,
+                workload=base.workload,
+                scheduler=SchedulerSpec(name),
+                model=base.model,
+                seed=base.seed,
+            )
         )
-        certificate = check_axioms(result.instances, net, FACK, FPROG)
+        certificate = check_axioms(result.raw.instances, net, FACK, FPROG)
+        label = LABELS.get(name, "registered scheduler")
         rows.append(
             {
-                "scheduler": name,
+                "scheduler": f"{name} ({label})",
                 "completion": result.completion_time,
                 "axiom-clean": certificate.ok,
-                "rcv events": result.rcv_count,
+                "rcv events": int(result.metrics["rcv_count"]),
             }
         )
-    print(render_table(rows, title="BMMB under every scheduler"))
+    print(render_table(rows, title="BMMB under every registered scheduler"))
 
     t1 = bmmb_r_restricted_bound(d, K, R, FACK, FPROG)
     arb = bmmb_arbitrary_bound(d, K, FACK)

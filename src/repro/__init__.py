@@ -12,24 +12,37 @@ The package implements the paper's model and algorithms end to end:
   the model (:mod:`repro.mac`),
 * the BMMB and FMMB algorithms and baselines (:mod:`repro.core`),
 * an experiment runtime and analysis helpers
-  (:mod:`repro.runtime`, :mod:`repro.analysis`).
+  (:mod:`repro.runtime`, :mod:`repro.analysis`),
+* a declarative experiment API — specs, registries, one ``run``
+  dispatcher, and a process-parallel sweep engine
+  (:mod:`repro.experiments`).
 
 Quickstart::
 
     from repro import (
-        MessageAssignment, RandomSource, run_standard, BMMBNode,
-        ContentionScheduler, random_geometric_network,
+        ExperimentSpec, ModelSpec, SchedulerSpec, TopologySpec,
+        WorkloadSpec, run,
     )
 
-    rng = RandomSource(7)
-    net = random_geometric_network(40, side=3.0, c=1.6,
-                                   grey_edge_probability=0.4, rng=rng)
-    assignment = MessageAssignment.single_source(node=0, count=4)
-    result = run_standard(
-        net, assignment, lambda _: BMMBNode(),
-        ContentionScheduler(rng.child("sched")), fack=20.0, fprog=1.0,
+    spec = ExperimentSpec(
+        topology=TopologySpec("random_geometric", {
+            "n": 40, "side": 3.0, "c": 1.6, "grey_edge_probability": 0.4,
+        }),
+        workload=WorkloadSpec("single_source", {"count": 4}),
+        scheduler=SchedulerSpec("contention"),
+        model=ModelSpec(fack=20.0, fprog=1.0),
+        seed=7,
     )
+    result = run(spec)
     print(result.solved, result.completion_time)
+
+Specs are frozen and JSON-round-trippable (``ExperimentSpec.from_json(
+spec.to_json()) == spec``), every random stream derives from ``spec.seed``,
+and ``run_sweep(Sweep.grid(spec, axes), workers=N)`` fans a parameter grid
+out over processes.  ``list_topologies()`` / ``list_schedulers()`` /
+``list_algorithms()`` enumerate what a spec can name; the imperative
+entry points (:func:`run_standard`, :func:`run_protocol`,
+:func:`repro.core.fmmb.run_fmmb`) remain available underneath.
 """
 
 from repro.version import __version__
@@ -98,6 +111,30 @@ from repro.analysis import (
     choke_lower_bound,
     figure2_lower_bound,
     fmmb_bound_time,
+)
+from repro.experiments import (
+    AlgorithmSpec,
+    ExperimentResult,
+    ExperimentSpec,
+    ModelSpec,
+    SchedulerSpec,
+    Sweep,
+    SweepResult,
+    TopologySpec,
+    WorkloadSpec,
+    list_algorithms,
+    list_macs,
+    list_schedulers,
+    list_topologies,
+    list_workloads,
+    materialize_topology,
+    register_algorithm,
+    register_mac,
+    register_scheduler,
+    register_topology,
+    register_workload,
+    run,
+    run_sweep,
 )
 
 __all__ = [
@@ -175,4 +212,27 @@ __all__ = [
     "figure2_lower_bound",
     "choke_lower_bound",
     "fmmb_bound_time",
+    # declarative experiment API
+    "ExperimentSpec",
+    "TopologySpec",
+    "SchedulerSpec",
+    "AlgorithmSpec",
+    "WorkloadSpec",
+    "ModelSpec",
+    "ExperimentResult",
+    "run",
+    "run_sweep",
+    "Sweep",
+    "SweepResult",
+    "materialize_topology",
+    "list_topologies",
+    "list_schedulers",
+    "list_algorithms",
+    "list_macs",
+    "list_workloads",
+    "register_topology",
+    "register_scheduler",
+    "register_algorithm",
+    "register_mac",
+    "register_workload",
 ]

@@ -48,3 +48,33 @@ def success_rate(outcomes: Sequence[bool]) -> float:
     if not outcomes:
         raise ExperimentError("cannot compute a rate over no outcomes")
     return sum(1 for ok in outcomes if ok) / len(outcomes)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (linear interpolation between ranks).
+
+    Args:
+        values: A non-empty series (need not be sorted).
+        p: Percentile in ``[0, 100]``; 50 is the median.
+    """
+    if not values:
+        raise ExperimentError("cannot take a percentile of an empty series")
+    if not 0.0 <= p <= 100.0:
+        raise ExperimentError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def percentiles(
+    values: Sequence[float], ps: Sequence[float] = (50.0, 90.0, 99.0)
+) -> dict[float, float]:
+    """Several percentiles of one series (see :func:`percentile`)."""
+    return {p: percentile(values, p) for p in ps}

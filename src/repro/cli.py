@@ -2,18 +2,26 @@
 
 Subcommands:
 
-* ``info`` — generate a topology and print its summary.
+* ``info`` — generate a topology, print its summary, and list the
+  experiment registries.
+* ``registry`` — list every registered topology, scheduler, algorithm,
+  MAC layer, and workload.
 * ``bmmb`` — run BMMB on a generated topology with a chosen scheduler and
   print completion vs the paper's bound.
 * ``fmmb`` — run FMMB on a grey-zone network and print per-subroutine
   round counts vs the Theorem 4.1 budget.
+* ``sweep`` — replicate a BMMB experiment over derived seeds (and optional
+  ``--param`` axes), optionally across worker processes, and print
+  aggregate percentiles.
 * ``lowerbound`` — run the Figure 2 adversary (or the Lemma 3.18 choke)
   and print the measured floor plus the axiom certificate.
 * ``radio`` — run BMMB over the decay-backed radio MAC on a star and print
   the realized (empirical) ``Fack``/``Fprog`` gap.
 
-All subcommands accept ``--seed`` and print plain tables; exit status 0
-means the run solved/validated.
+All run-style subcommands build an :class:`~repro.experiments.ExperimentSpec`
+and hand it to :func:`repro.experiments.run` — the CLI contains no
+simulator plumbing of its own.  Exit status 0 means the run
+solved/validated.
 """
 
 from __future__ import annotations
@@ -30,67 +38,100 @@ from repro.analysis.bounds import (
 )
 from repro.analysis.tables import render_table
 from repro.core.bmmb import BMMBNode
-from repro.core.fmmb import run_fmmb
-from repro.ids import MessageAssignment
-from repro.mac.axioms import check_axioms
-from repro.mac.schedulers import (
-    ChokeAdversary,
-    ContentionScheduler,
-    GreyZoneAdversary,
-    UniformDelayScheduler,
-    WorstCaseAckScheduler,
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ALGORITHMS,
+    MACS,
+    SCHEDULERS,
+    TOPOLOGIES,
+    WORKLOADS,
+    AlgorithmSpec,
+    ExperimentSpec,
+    ModelSpec,
+    SchedulerSpec,
+    Sweep,
+    TopologySpec,
+    WorkloadSpec,
+    materialize_topology,
+    run,
+    run_sweep,
 )
-from repro.radio import RadioMACLayer
+from repro.mac.axioms import check_axioms
+from repro.mac.schedulers import ChokeAdversary, GreyZoneAdversary
 from repro.runtime.runner import run_standard
-from repro.sim.rng import RandomSource
-from repro.topology import random_geometric_network
 from repro.topology.adversarial import choke_star_network, parallel_lines_network
 from repro.topology.metrics import summarize
 
 
-def _make_network(args: argparse.Namespace):
-    rng = RandomSource(args.seed, "cli")
-    return random_geometric_network(
-        args.n,
-        side=args.side,
-        c=args.c,
-        grey_edge_probability=args.grey_probability,
-        rng=rng.child("net"),
+def _topology_spec(args: argparse.Namespace) -> TopologySpec:
+    """The grey-zone network every generative subcommand shares."""
+    return TopologySpec(
+        "random_geometric",
+        {
+            "n": args.n,
+            "side": args.side,
+            "c": args.c,
+            "grey_edge_probability": args.grey_probability,
+        },
     )
 
 
-def _make_scheduler(name: str, rng: RandomSource):
-    if name == "uniform":
-        return UniformDelayScheduler(rng, p_unreliable=0.5)
-    if name == "contention":
-        return ContentionScheduler(rng)
-    if name == "worstcase":
-        return WorstCaseAckScheduler(rng, p_unreliable=0.5)
-    raise ValueError(f"unknown scheduler {name!r}")
+_REGISTRIES = (
+    ("topology", TOPOLOGIES),
+    ("scheduler", SCHEDULERS),
+    ("algorithm", ALGORITHMS),
+    ("mac", MACS),
+    ("workload", WORKLOADS),
+)
+
+
+def _registry_rows() -> list[dict[str, object]]:
+    return [
+        {"registry": label, "entries": ", ".join(registry.names())}
+        for label, registry in _REGISTRIES
+    ]
 
 
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_info(args: argparse.Namespace) -> int:
-    dual = _make_network(args)
+    spec = ExperimentSpec(topology=_topology_spec(args), seed=args.seed)
+    dual = materialize_topology(spec)
     print(render_table([summarize(dual).as_dict()], title="topology summary"))
+    print()
+    print(render_table(_registry_rows(), title="experiment registries"))
     return 0
 
 
-def cmd_bmmb(args: argparse.Namespace) -> int:
-    dual = _make_network(args)
-    rng = RandomSource(args.seed, "cli-bmmb")
-    assignment = MessageAssignment.one_each(dual.nodes[: args.k])
-    result = run_standard(
-        dual,
-        assignment,
-        lambda _: BMMBNode(),
-        _make_scheduler(args.scheduler, rng.child("sched")),
-        args.fack,
-        args.fprog,
-        keep_instances=False,
+def cmd_registry(args: argparse.Namespace) -> int:
+    rows = []
+    for label, registry in _REGISTRIES:
+        for name in registry.names():
+            row: dict[str, object] = {"registry": label, "name": name}
+            if label == "algorithm":
+                row["substrates"] = ", ".join(registry.get(name).substrates)
+            rows.append(row)
+    print(render_table(rows, title="registered experiment components"))
+    return 0
+
+
+def _bmmb_spec(args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="cli-bmmb",
+        topology=_topology_spec(args),
+        algorithm=AlgorithmSpec("bmmb"),
+        scheduler=SchedulerSpec(args.scheduler),
+        workload=WorkloadSpec("one_each", {"k": args.k}),
+        model=ModelSpec(fack=args.fack, fprog=args.fprog),
+        seed=args.seed,
     )
+
+
+def cmd_bmmb(args: argparse.Namespace) -> int:
+    spec = _bmmb_spec(args)
+    dual = materialize_topology(spec)
+    result = run(spec, keep_raw=False)
     bound = bmmb_arbitrary_bound(dual.diameter(), args.k, args.fack)
     print(render_table(
         [
@@ -108,19 +149,27 @@ def cmd_bmmb(args: argparse.Namespace) -> int:
 
 
 def cmd_fmmb(args: argparse.Namespace) -> int:
-    dual = _make_network(args)
-    assignment = MessageAssignment.one_each(dual.nodes[: args.k])
-    result = run_fmmb(dual, assignment, fprog=args.fprog, seed=args.seed)
+    spec = ExperimentSpec(
+        name="cli-fmmb",
+        topology=_topology_spec(args),
+        algorithm=AlgorithmSpec("fmmb", {"c": args.c}),
+        workload=WorkloadSpec("one_each", {"k": args.k}),
+        model=ModelSpec(fprog=args.fprog, fack=max(args.fprog, 20.0)),
+        substrate="rounds",
+        seed=args.seed,
+    )
+    dual = materialize_topology(spec)
+    result = run(spec, keep_raw=False)
     budget = fmmb_bound_rounds(dual.diameter(), args.k, dual.n, c=args.c)
     print(render_table(
         [
             {
                 "solved": result.solved,
-                "MIS valid": result.mis_valid,
-                "rounds MIS": result.mis_result.rounds_used,
-                "rounds gather": result.gather_result.rounds_used,
-                "rounds spread": result.spread_result.rounds_used,
-                "rounds total": result.total_rounds,
+                "MIS valid": bool(result.metrics["mis_valid"]),
+                "rounds MIS": int(result.metrics["rounds_mis"]),
+                "rounds gather": int(result.metrics["rounds_gather"]),
+                "rounds spread": int(result.metrics["rounds_spread"]),
+                "rounds total": int(result.metrics["rounds_total"]),
                 "budget": round(budget),
             }
         ],
@@ -129,7 +178,63 @@ def cmd_fmmb(args: argparse.Namespace) -> int:
     return 0 if result.solved else 1
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    base = _bmmb_spec(args)
+    axes: dict[str, list] = {}
+    for item in args.param or []:
+        try:
+            path, raw_values = item.split("=", 1)
+        except ValueError:
+            raise SystemExit(
+                f"--param needs path=v1,v2,... syntax, got {item!r}"
+            )
+        values = []
+        for token in raw_values.split(","):
+            try:
+                values.append(int(token))
+            except ValueError:
+                try:
+                    values.append(float(token))
+                except ValueError:
+                    values.append(token)
+        axes[path] = values
+    try:
+        specs = Sweep.grid(base, axes=axes, repeats=args.seeds)
+        sweep = run_sweep(specs, workers=args.workers)
+    except (ExperimentError, TypeError) as exc:
+        # TypeError: a --param axis fed a builder a kwarg it doesn't take.
+        print(f"sweep error: {exc}", file=sys.stderr)
+        return 2
+    pcts = (
+        sweep.completion_percentiles((50.0, 90.0, 100.0))
+        if any(r.solved for r in sweep)
+        else {50.0: float("inf"), 90.0: float("inf"), 100.0: float("inf")}
+    )
+    print(render_table(
+        [
+            {
+                "runs": len(sweep),
+                "workers": args.workers,
+                "solved rate": sweep.solved_rate,
+                "p50 completion": pcts[50.0],
+                "p90 completion": pcts[90.0],
+                "max completion": pcts[100.0],
+            }
+        ],
+        title=f"BMMB sweep: {len(specs)} runs "
+              f"({args.seeds} seeds x {max(1, len(specs) // args.seeds)} "
+              f"grid points), scheduler={args.scheduler}",
+    ))
+    if args.verbose:
+        print()
+        print(render_table(sweep.table_rows(), title="per-run results"))
+    return 0 if sweep.solved_rate == 1.0 else 1
+
+
 def cmd_lowerbound(args: argparse.Namespace) -> int:
+    # The lower-bound adversaries are bound to their gadget networks
+    # (the Figure 2 scheduler needs the line structure), so this command
+    # stays on the imperative runner rather than the registries.
     if args.gadget == "figure2":
         net = parallel_lines_network(args.depth)
         scheduler = GreyZoneAdversary(net)
@@ -166,37 +271,32 @@ def cmd_lowerbound(args: argparse.Namespace) -> int:
 
 
 def cmd_radio(args: argparse.Namespace) -> int:
-    from repro.topology import star_network
-
-    dual = star_network(args.n)
-    layer = RadioMACLayer(dual, RandomSource(args.seed, "cli-radio"))
-    for v in dual.nodes:
-        layer.register(v, BMMBNode())
-    assignment = MessageAssignment.one_each(list(range(1, args.n)))
-    for node, msgs in sorted(assignment.messages.items()):
-        for m in msgs:
-            layer.inject_arrival(node, m)
-    slots = layer.run(max_slots=args.max_slots)
-    bounds = layer.empirical_bounds()
-    solved = all(
-        (v, m.mid) in layer.deliveries
-        for v in dual.nodes
-        for m in assignment.all_messages()
+    spec = ExperimentSpec(
+        name="cli-radio",
+        topology=TopologySpec("star", {"n": args.n}),
+        algorithm=AlgorithmSpec("bmmb"),
+        workload=WorkloadSpec("one_each", {"nodes": list(range(1, args.n))}),
+        model=ModelSpec(params={"max_slots": args.max_slots}),
+        substrate="radio",
+        seed=args.seed,
     )
+    result = run(spec, keep_raw=False)
+    fack = result.metrics["empirical_fack"]
+    fprog = result.metrics["empirical_fprog"]
     print(render_table(
         [
             {
-                "solved": solved,
-                "slots": slots,
-                "empirical Fack": bounds.fack,
-                "empirical Fprog": bounds.fprog,
-                "Fack/Fprog": bounds.fack / max(bounds.fprog, 1e-9),
-                "delivery rate": bounds.delivery_success_rate,
+                "solved": result.solved,
+                "slots": int(result.metrics["slots"]),
+                "empirical Fack": fack,
+                "empirical Fprog": fprog,
+                "Fack/Fprog": fack / max(fprog, 1e-9),
+                "delivery rate": result.metrics["delivery_success_rate"],
             }
         ],
         title=f"BMMB over decay radio MAC, star n={args.n} (footnote 2)",
     ))
-    return 0 if solved else 1
+    return 0 if result.solved else 1
 
 
 # ----------------------------------------------------------------------
@@ -219,6 +319,17 @@ def _add_model_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fprog", type=float, default=1.0, help="Fprog bound")
 
 
+def _add_bmmb_options(parser: argparse.ArgumentParser) -> None:
+    _add_network_options(parser)
+    _add_model_options(parser)
+    parser.add_argument("--k", type=int, default=4, help="message count")
+    parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS.names(),
+        default="contention",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,19 +339,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_info = sub.add_parser("info", help="print a generated topology summary")
+    p_info = sub.add_parser(
+        "info", help="print a generated topology summary and the registries"
+    )
     _add_network_options(p_info)
     p_info.set_defaults(func=cmd_info)
 
-    p_bmmb = sub.add_parser("bmmb", help="run BMMB on a grey-zone network")
-    _add_network_options(p_bmmb)
-    _add_model_options(p_bmmb)
-    p_bmmb.add_argument("--k", type=int, default=4, help="message count")
-    p_bmmb.add_argument(
-        "--scheduler",
-        choices=["uniform", "contention", "worstcase"],
-        default="contention",
+    p_registry = sub.add_parser(
+        "registry", help="list registered experiment components"
     )
+    p_registry.set_defaults(func=cmd_registry)
+
+    p_bmmb = sub.add_parser("bmmb", help="run BMMB on a grey-zone network")
+    _add_bmmb_options(p_bmmb)
     p_bmmb.set_defaults(func=cmd_bmmb)
 
     p_fmmb = sub.add_parser("fmmb", help="run FMMB on a grey-zone network")
@@ -248,6 +359,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_fmmb.add_argument("--k", type=int, default=4, help="message count")
     p_fmmb.add_argument("--fprog", type=float, default=1.0, help="Fprog bound")
     p_fmmb.set_defaults(func=cmd_fmmb)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="replicate a BMMB experiment over seeds and axes"
+    )
+    _add_bmmb_options(p_sweep)
+    p_sweep.add_argument(
+        "--seeds", type=int, default=8, help="replications per grid point"
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    p_sweep.add_argument(
+        "--param",
+        action="append",
+        metavar="PATH=V1,V2,...",
+        help="sweep axis, e.g. --param workload.k=2,4,8 or "
+        "--param model.fack=10,20,40 (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--verbose", action="store_true", help="also print per-run rows"
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_lb = sub.add_parser("lowerbound", help="run a lower-bound adversary")
     _add_model_options(p_lb)

@@ -1,0 +1,101 @@
+"""Declarative experiments: specs, registries, one runner, parallel sweeps.
+
+This subsystem is the single way to describe and run executions:
+
+* :mod:`~repro.experiments.specs` — frozen, JSON-round-trippable
+  descriptions (:class:`ExperimentSpec` and its component specs);
+* :mod:`~repro.experiments.registries` — string-keyed registries of
+  topologies, schedulers, algorithms, MAC layers, and workloads, populated
+  with everything the package ships and open to extension via the
+  ``@register_*`` decorators;
+* :mod:`~repro.experiments.runner` — ``run(spec)``, dispatching to the
+  standard, protocol, FMMB-round, and radio substrates;
+* :mod:`~repro.experiments.sweep` — spec grids with derived per-point
+  seeds and a process-parallel ``run_sweep``.
+
+Example::
+
+    from repro.experiments import ExperimentSpec, TopologySpec, run
+
+    spec = ExperimentSpec(
+        topology=TopologySpec("random_geometric", {"n": 40, "side": 3.0}),
+        seed=7,
+    )
+    result = run(spec)
+"""
+
+from repro.experiments.registries import (
+    ALGORITHMS,
+    MACS,
+    SCHEDULERS,
+    TOPOLOGIES,
+    WORKLOADS,
+    AlgorithmEntry,
+    Registry,
+    list_algorithms,
+    list_macs,
+    list_schedulers,
+    list_topologies,
+    list_workloads,
+    register_algorithm,
+    register_mac,
+    register_scheduler,
+    register_topology,
+    register_workload,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    RadioRun,
+    materialize_topology,
+    materialize_workload,
+    run,
+)
+from repro.experiments.specs import (
+    SUBSTRATES,
+    AlgorithmSpec,
+    ExperimentSpec,
+    ModelSpec,
+    SchedulerSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.experiments.sweep import Sweep, SweepResult, run_sweep
+
+__all__ = [
+    # specs
+    "ExperimentSpec",
+    "TopologySpec",
+    "SchedulerSpec",
+    "AlgorithmSpec",
+    "WorkloadSpec",
+    "ModelSpec",
+    "SUBSTRATES",
+    # registries
+    "Registry",
+    "AlgorithmEntry",
+    "TOPOLOGIES",
+    "SCHEDULERS",
+    "ALGORITHMS",
+    "MACS",
+    "WORKLOADS",
+    "register_topology",
+    "register_scheduler",
+    "register_algorithm",
+    "register_mac",
+    "register_workload",
+    "list_topologies",
+    "list_schedulers",
+    "list_algorithms",
+    "list_macs",
+    "list_workloads",
+    # runner
+    "run",
+    "ExperimentResult",
+    "RadioRun",
+    "materialize_topology",
+    "materialize_workload",
+    # sweep
+    "Sweep",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,341 @@
+"""The single entry point: ``run(spec) -> ExperimentResult``.
+
+The dispatcher materializes a spec's components from the registries and
+routes to the right execution engine:
+
+* ``standard`` — :func:`repro.runtime.runner.run_standard` (event-driven
+  abstract MAC, MMB workloads);
+* ``protocol`` — :func:`repro.runtime.runner.run_protocol` (wakeup-driven
+  protocols such as leader election and consensus, no arrivals);
+* ``rounds`` — :func:`repro.core.fmmb.run_fmmb` (FMMB's lock-step round
+  substrate on the enhanced model);
+* ``radio`` — :class:`repro.radio.RadioMACLayer` (the slotted collision
+  radio below the abstraction, with empirical ``Fack``/``Fprog``).
+
+Stream derivation is fixed and documented: the root stream is
+``RandomSource(spec.seed, "experiment")`` and components draw from the
+children ``topology``, ``scheduler``, ``workload``, and ``radio``.  The
+``rounds`` substrate passes ``spec.seed`` straight to ``run_fmmb`` so a
+spec run reproduces the legacy entry point exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.core.fmmb import run_fmmb
+from repro.core.problem import ArrivalSchedule
+from repro.errors import ExperimentError
+from repro.experiments.registries import (
+    ALGORITHMS,
+    MACS,
+    SCHEDULERS,
+    TOPOLOGIES,
+    WORKLOADS,
+    AlgorithmEntry,
+)
+from repro.experiments.specs import ExperimentSpec
+from repro.ids import MessageAssignment
+from repro.runtime.runner import run_protocol, run_standard
+from repro.runtime.validate import required_deliveries
+from repro.sim.rng import RandomSource
+from repro.topology.dualgraph import DualGraph
+
+#: Name of the root stream every spec-driven execution derives from.
+ROOT_STREAM = "experiment"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Substrate-independent summary of one spec execution.
+
+    Equality ignores ``wall_time`` and ``raw``, so two runs of the same
+    spec — in the same process or different ones — compare equal exactly
+    when their observable outcomes match.
+
+    Attributes:
+        spec: The spec that produced this result.
+        solved: Whether the execution met its success criterion (MMB
+            solved; protocol postcondition at quiescence; radio MMB
+            solved within the slot budget).
+        completion_time: Solution time (substrate units: simulated time,
+            or slots × slot duration for radio); ``inf`` when unsolved.
+        broadcast_count: Number of ``bcast`` events (0 on the rounds
+            substrate, which counts rounds in ``metrics`` instead).
+        delivered_count: Number of recorded MMB deliveries.
+        metrics: Substrate-specific scalar metrics (round counts,
+            empirical bounds, event totals, ...).
+        wall_time: Host seconds the run took (excluded from equality).
+        raw: The legacy result object (``RunResult``, ``ProtocolRun``,
+            ``FMMBResult``, or ``RadioRun``); ``None`` when summarized for
+            a sweep.  Excluded from equality.
+    """
+
+    spec: ExperimentSpec
+    solved: bool
+    completion_time: float
+    broadcast_count: int
+    delivered_count: int
+    metrics: dict[str, float] = field(default_factory=dict)
+    wall_time: float = field(default=0.0, compare=False)
+    raw: Any = field(default=None, compare=False, repr=False)
+
+
+@dataclass
+class RadioRun:
+    """Raw outcome of a radio-substrate execution.
+
+    Attributes:
+        layer: The radio MAC adapter after the run (instances, deliveries,
+            empirical-bound extraction).
+        slots: Radio slots consumed.
+        automata: The per-node automata after the run.
+    """
+
+    layer: Any
+    slots: int
+    automata: dict[int, Any]
+
+
+def root_stream(spec: ExperimentSpec) -> RandomSource:
+    """The root random stream of a spec execution."""
+    return RandomSource(spec.seed, ROOT_STREAM)
+
+
+def materialize_topology(spec: ExperimentSpec) -> DualGraph:
+    """Build the spec's network exactly as :func:`run` will.
+
+    Useful for computing topology-dependent model constants (diameters,
+    contention-provisioned ``Fack``) before constructing the final spec:
+    the build is deterministic in ``spec.seed`` and ``spec.topology``, so
+    the network returned here is the one the run will use.
+    """
+    build = TOPOLOGIES.get(spec.topology.kind)
+    return build(root_stream(spec).child("topology"), **spec.topology.params)
+
+
+def materialize_workload(spec: ExperimentSpec, dual: DualGraph):
+    """Build the spec's workload against an already-built network."""
+    if spec.workload is None:
+        raise ExperimentError(
+            f"substrate {spec.substrate!r} needs a workload, got None"
+        )
+    build = WORKLOADS.get(spec.workload.kind)
+    return build(dual, root_stream(spec).child("workload"), **spec.workload.params)
+
+
+def _algorithm_entry(spec: ExperimentSpec) -> AlgorithmEntry:
+    entry = ALGORITHMS.get(spec.algorithm.kind)
+    if spec.substrate not in entry.substrates:
+        raise ExperimentError(
+            f"algorithm {spec.algorithm.kind!r} does not run on substrate "
+            f"{spec.substrate!r} (supported: {', '.join(entry.substrates)})"
+        )
+    return entry
+
+
+def _static_assignment(workload) -> MessageAssignment:
+    if isinstance(workload, ArrivalSchedule):
+        return workload.as_assignment()
+    return workload
+
+
+# ----------------------------------------------------------------------
+# Substrate runners
+# ----------------------------------------------------------------------
+def _run_standard(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
+    root = root_stream(spec)
+    dual = materialize_topology(spec)
+    entry = _algorithm_entry(spec)
+    factory = entry.build(**spec.algorithm.params)
+    scheduler = SCHEDULERS.get(spec.scheduler.kind)(
+        root.child("scheduler"), **spec.scheduler.params
+    )
+    workload = materialize_workload(spec, dual)
+    mac_class = MACS.get(spec.model.mac)
+    result = run_standard(
+        dual,
+        workload,
+        factory,
+        scheduler,
+        spec.model.fack,
+        spec.model.fprog,
+        max_time=spec.model.max_time,
+        max_events=spec.model.max_events,
+        keep_instances=keep_raw,
+        mac_class=mac_class,
+    )
+    return ExperimentResult(
+        spec=spec,
+        solved=result.solved,
+        completion_time=result.completion_time,
+        broadcast_count=result.broadcast_count,
+        delivered_count=len(result.deliveries.times),
+        metrics={
+            "rcv_count": float(result.rcv_count),
+            "sim_events": float(result.sim_events),
+            "max_latency": result.max_latency,
+        },
+        raw=result if keep_raw else None,
+    )
+
+
+def _run_protocol(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
+    root = root_stream(spec)
+    dual = materialize_topology(spec)
+    entry = _algorithm_entry(spec)
+    factory = entry.build(**spec.algorithm.params)
+    scheduler = SCHEDULERS.get(spec.scheduler.kind)(
+        root.child("scheduler"), **spec.scheduler.params
+    )
+    mac_class = MACS.get(spec.model.mac)
+    result = run_protocol(
+        dual,
+        factory,
+        scheduler,
+        spec.model.fack,
+        spec.model.fprog,
+        max_time=spec.model.max_time,
+        max_events=spec.model.max_events,
+        mac_class=mac_class,
+    )
+    solved = result.quiesced and (
+        entry.postcondition is None
+        or entry.postcondition(dual, result.automata)
+    )
+    return ExperimentResult(
+        spec=spec,
+        solved=solved,
+        completion_time=result.end_time if solved else math.inf,
+        broadcast_count=result.broadcast_count,
+        delivered_count=0,
+        metrics={
+            "end_time": result.end_time,
+            "quiesced": float(result.quiesced),
+        },
+        raw=result if keep_raw else None,
+    )
+
+
+def _run_rounds(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
+    dual = materialize_topology(spec)
+    entry = _algorithm_entry(spec)
+    config = entry.build(**spec.algorithm.params)
+    workload = materialize_workload(spec, dual)
+    if isinstance(workload, ArrivalSchedule):
+        raise ExperimentError(
+            "the rounds substrate takes time-0 assignments, not arrival "
+            "schedules"
+        )
+    result = run_fmmb(
+        dual,
+        workload,
+        fprog=spec.model.fprog,
+        seed=spec.seed,
+        config=config,
+    )
+    return ExperimentResult(
+        spec=spec,
+        solved=result.solved,
+        completion_time=result.completion_time,
+        broadcast_count=0,
+        delivered_count=len(result.delivery_rounds),
+        metrics={
+            "rounds_total": float(result.total_rounds),
+            "rounds_mis": float(result.mis_result.rounds_used),
+            "rounds_gather": float(result.gather_result.rounds_used),
+            "rounds_spread": float(result.spread_result.rounds_used),
+            "completion_rounds": float(result.completion_rounds),
+            "mis_valid": float(result.mis_valid),
+        },
+        raw=result if keep_raw else None,
+    )
+
+
+def _run_radio(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
+    root = root_stream(spec)
+    dual = materialize_topology(spec)
+    entry = _algorithm_entry(spec)
+    factory = entry.build(**spec.algorithm.params)
+    params = dict(spec.model.params)
+    max_slots = int(params.pop("max_slots", 500_000))
+    layer = MACS.get("radio")(dual, root.child("radio"), **params)
+    automata = {node: factory(node) for node in dual.nodes}
+    for node, automaton in automata.items():
+        layer.register(node, automaton)
+    workload = materialize_workload(spec, dual)
+    if isinstance(workload, ArrivalSchedule):
+        for arrival in workload.sorted_by_time():
+            layer.inject_arrival(arrival.node, arrival.message, time=arrival.time)
+    else:
+        for node, messages in sorted(workload.messages.items()):
+            for message in messages:
+                layer.inject_arrival(node, message)
+    slots = layer.run(max_slots=max_slots)
+    static = _static_assignment(workload)
+    required = required_deliveries(dual, static)
+    solved = True
+    completion = 0.0
+    for mid, nodes in required.items():
+        for node in nodes:
+            delivered_at = layer.deliveries.get((node, mid))
+            if delivered_at is None:
+                solved = False
+                completion = math.inf
+                break
+            completion = max(completion, delivered_at)
+        if not solved:
+            break
+    bounds = layer.empirical_bounds()
+    return ExperimentResult(
+        spec=spec,
+        solved=solved,
+        completion_time=completion,
+        broadcast_count=len(layer.instances),
+        delivered_count=len(layer.deliveries),
+        metrics={
+            "slots": float(slots),
+            "empirical_fack": bounds.fack,
+            "empirical_fprog": bounds.fprog,
+            "delivery_success_rate": bounds.delivery_success_rate,
+        },
+        raw=RadioRun(layer=layer, slots=slots, automata=automata)
+        if keep_raw
+        else None,
+    )
+
+
+_SUBSTRATE_RUNNERS: dict[str, Callable[[ExperimentSpec, bool], ExperimentResult]] = {
+    "standard": _run_standard,
+    "protocol": _run_protocol,
+    "rounds": _run_rounds,
+    "radio": _run_radio,
+}
+
+
+def run(spec: ExperimentSpec, keep_raw: bool = True) -> ExperimentResult:
+    """Execute one spec and summarize the outcome.
+
+    Args:
+        spec: The experiment description.
+        keep_raw: Retain the substrate's native result object in
+            ``result.raw`` (instance logs, automata, delivery tables).
+            Disable for sweeps — summaries stay small, picklable, and
+            comparable across processes.
+
+    Returns:
+        The :class:`ExperimentResult`.
+    """
+    try:
+        runner = _SUBSTRATE_RUNNERS[spec.substrate]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown substrate {spec.substrate!r}; choose from "
+            f"{', '.join(sorted(_SUBSTRATE_RUNNERS))}"
+        ) from None
+    started = _time.perf_counter()
+    result = runner(spec, keep_raw)
+    return replace(result, wall_time=_time.perf_counter() - started)

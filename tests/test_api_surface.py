@@ -48,6 +48,11 @@ def test_star_import_matches_all():
         "repro.runtime.trace",
         "repro.analysis",
         "repro.analysis.ascii_art",
+        "repro.experiments",
+        "repro.experiments.specs",
+        "repro.experiments.registries",
+        "repro.experiments.runner",
+        "repro.experiments.sweep",
         "repro.cli",
     ],
 )
@@ -58,28 +63,70 @@ def test_submodules_import_cleanly(module):
 def test_quickstart_docstring_snippet_runs():
     """The package docstring's example must stay executable."""
     from repro import (
-        BMMBNode,
-        ContentionScheduler,
-        MessageAssignment,
-        RandomSource,
-        random_geometric_network,
-        run_standard,
+        ExperimentSpec,
+        ModelSpec,
+        SchedulerSpec,
+        TopologySpec,
+        WorkloadSpec,
+        run,
     )
 
-    rng = RandomSource(7)
-    net = random_geometric_network(
-        20, side=2.5, c=1.6, grey_edge_probability=0.4, rng=rng
+    spec = ExperimentSpec(
+        topology=TopologySpec("random_geometric", {
+            "n": 20, "side": 2.5, "c": 1.6, "grey_edge_probability": 0.4,
+        }),
+        workload=WorkloadSpec("single_source", {"count": 2}),
+        scheduler=SchedulerSpec("contention"),
+        model=ModelSpec(fack=20.0, fprog=1.0),
+        seed=7,
     )
-    assignment = MessageAssignment.single_source(node=net.nodes[0], count=2)
-    result = run_standard(
-        net,
-        assignment,
-        lambda _: BMMBNode(),
-        ContentionScheduler(rng.child("sched")),
-        fack=20.0,
-        fprog=1.0,
-    )
+    result = run(spec)
     assert result.solved
+
+
+def test_experiment_api_is_exported():
+    """The declarative experiment surface ships from the package root."""
+    for name in (
+        "ExperimentSpec",
+        "TopologySpec",
+        "SchedulerSpec",
+        "AlgorithmSpec",
+        "WorkloadSpec",
+        "ModelSpec",
+        "ExperimentResult",
+        "run",
+        "run_sweep",
+        "Sweep",
+        "SweepResult",
+        "materialize_topology",
+        "list_topologies",
+        "list_schedulers",
+        "list_algorithms",
+        "list_macs",
+        "list_workloads",
+        "register_topology",
+        "register_scheduler",
+        "register_algorithm",
+        "register_mac",
+        "register_workload",
+    ):
+        assert name in repro.__all__, f"{name} missing from repro.__all__"
+        assert hasattr(repro, name)
+
+
+def test_registry_listings_are_sorted_and_nonempty():
+    import repro as pkg
+
+    for lister in (
+        pkg.list_topologies,
+        pkg.list_schedulers,
+        pkg.list_algorithms,
+        pkg.list_macs,
+        pkg.list_workloads,
+    ):
+        names = lister()
+        assert names, f"{lister.__name__} returned nothing"
+        assert names == sorted(names)
 
 
 def test_errors_form_one_hierarchy():

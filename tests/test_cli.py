@@ -15,6 +15,49 @@ def test_info_prints_summary(capsys):
     assert "15" in out
 
 
+def test_info_lists_registries(capsys):
+    status = main(["info", "--n", "12", "--side", "2.0"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "experiment registries" in out
+    assert "random_geometric" in out
+    assert "contention" in out
+
+
+def test_registry_lists_components(capsys):
+    status = main(["registry"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "bmmb" in out
+    assert "fmmb" in out
+    assert "one_each" in out
+    assert "rounds" in out  # the fmmb entry's substrate column
+
+
+def test_sweep_serial(capsys):
+    status = main(
+        ["sweep", "--n", "12", "--side", "2.0", "--k", "2", "--seeds", "3"]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "p50 completion" in out
+    assert "solved rate" in out
+
+
+def test_sweep_parallel_with_axis(capsys):
+    status = main(
+        [
+            "sweep", "--n", "12", "--side", "2.0", "--k", "2",
+            "--seeds", "2", "--workers", "2",
+            "--param", "workload.k=1,2", "--verbose",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "4 runs" in out
+    assert "per-run results" in out
+
+
 def test_bmmb_runs_and_reports_bound(capsys):
     status = main(
         ["--seed", "3", "bmmb", "--n", "20", "--side", "2.5", "--k", "3"]
