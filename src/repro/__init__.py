@@ -116,6 +116,7 @@ from repro.experiments import (
     AlgorithmSpec,
     ExperimentResult,
     ExperimentSpec,
+    FaultSpec,
     ModelSpec,
     SchedulerSpec,
     Sweep,
@@ -123,18 +124,27 @@ from repro.experiments import (
     TopologySpec,
     WorkloadSpec,
     list_algorithms,
+    list_faults,
     list_macs,
     list_schedulers,
     list_topologies,
     list_workloads,
     materialize_topology,
     register_algorithm,
+    register_fault,
     register_mac,
     register_scheduler,
     register_topology,
     register_workload,
     run,
     run_sweep,
+)
+from repro.faults import (
+    FaultEngine,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    survivor_outcome,
 )
 
 __all__ = [
@@ -218,6 +228,7 @@ __all__ = [
     "SchedulerSpec",
     "AlgorithmSpec",
     "WorkloadSpec",
+    "FaultSpec",
     "ModelSpec",
     "ExperimentResult",
     "run",
@@ -230,9 +241,17 @@ __all__ = [
     "list_algorithms",
     "list_macs",
     "list_workloads",
+    "list_faults",
     "register_topology",
     "register_scheduler",
     "register_algorithm",
     "register_mac",
     "register_workload",
+    "register_fault",
+    # fault & dynamics injection
+    "FaultEngine",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "survivor_outcome",
 ]

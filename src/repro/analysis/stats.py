@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import ExperimentError
@@ -11,13 +11,21 @@ from repro.errors import ExperimentError
 
 @dataclass(frozen=True)
 class Summary:
-    """Mean / spread summary of one measured series."""
+    """Mean / spread summary of one measured series.
+
+    Order statistics (:attr:`median`, :attr:`p05`, :attr:`p95`) are
+    available when the summary was produced by :func:`summarize`, which
+    retains the sorted series; a hand-built ``Summary`` without values
+    raises on them.  ``values`` is excluded from equality so summaries
+    still compare by their scalar statistics.
+    """
 
     count: int
     mean: float
     stdev: float
     minimum: float
     maximum: float
+    values: tuple[float, ...] = field(default=(), compare=False, repr=False)
 
     @property
     def half_width_95(self) -> float:
@@ -25,6 +33,29 @@ class Summary:
         if self.count < 2:
             return 0.0
         return 1.96 * self.stdev / math.sqrt(self.count)
+
+    def _order_statistic(self, q: float) -> float:
+        if not self.values:
+            raise ExperimentError(
+                "order statistics need the retained series; build this "
+                "Summary with summarize()"
+            )
+        return percentile(self.values, q)
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile of the summarized series."""
+        return self._order_statistic(50.0)
+
+    @property
+    def p05(self) -> float:
+        """The 5th percentile of the summarized series."""
+        return self._order_statistic(5.0)
+
+    @property
+    def p95(self) -> float:
+        """The 95th percentile of the summarized series."""
+        return self._order_statistic(95.0)
 
 
 def summarize(values: Sequence[float]) -> Summary:
@@ -40,6 +71,7 @@ def summarize(values: Sequence[float]) -> Summary:
         stdev=math.sqrt(variance),
         minimum=min(values),
         maximum=max(values),
+        values=tuple(sorted(values)),
     )
 
 

@@ -12,11 +12,16 @@ Subcommands:
   round counts vs the Theorem 4.1 budget.
 * ``sweep`` — replicate a BMMB experiment over derived seeds (and optional
   ``--param`` axes), optionally across worker processes, and print
-  aggregate percentiles.
+  aggregate percentiles; ``--json`` dumps the per-run rows (with each
+  run's spec) for external analysis.
 * ``lowerbound`` — run the Figure 2 adversary (or the Lemma 3.18 choke)
   and print the measured floor plus the axiom certificate.
 * ``radio`` — run BMMB over the decay-backed radio MAC on a star and print
   the realized (empirical) ``Fack``/``Fprog`` gap.
+
+Run-style subcommands accept ``--fault kind:param=value,...`` to inject a
+registered fault scenario (crashes, churn, link flapping) into the
+execution; under faults, "solved" means solved among the surviving nodes.
 
 All run-style subcommands build an :class:`~repro.experiments.ExperimentSpec`
 and hand it to :func:`repro.experiments.run` — the CLI contains no
@@ -27,8 +32,10 @@ solved/validated.
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.analysis.bounds import (
     bmmb_arbitrary_bound,
@@ -41,12 +48,14 @@ from repro.core.bmmb import BMMBNode
 from repro.errors import ExperimentError
 from repro.experiments import (
     ALGORITHMS,
+    FAULTS,
     MACS,
     SCHEDULERS,
     TOPOLOGIES,
     WORKLOADS,
     AlgorithmSpec,
     ExperimentSpec,
+    FaultSpec,
     ModelSpec,
     SchedulerSpec,
     Sweep,
@@ -82,7 +91,56 @@ _REGISTRIES = (
     ("algorithm", ALGORITHMS),
     ("mac", MACS),
     ("workload", WORKLOADS),
+    ("fault", FAULTS),
 )
+
+
+def _parse_scalar(token: str) -> Any:
+    """CLI value literal: int, then float, then bool, then bare string."""
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            pass
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    return token
+
+
+def _parse_fault(text: str | None) -> FaultSpec:
+    """Parse ``--fault kind[:param=value,...]`` into a :class:`FaultSpec`."""
+    if not text:
+        return FaultSpec("none")
+    kind, _, rest = text.partition(":")
+    if kind not in FAULTS:
+        raise SystemExit(
+            f"--fault: unknown fault scenario {kind!r}; registered: "
+            f"{', '.join(FAULTS.names())}"
+        )
+    params: dict[str, Any] = {}
+    if rest:
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key or not value:
+                raise SystemExit(
+                    f"--fault needs kind:param=value,... syntax, got {text!r}"
+                )
+            params[key] = _parse_scalar(value)
+    return FaultSpec(kind, params)
+
+
+def _fault_columns(result) -> dict[str, object]:
+    """Extra table columns for a faulted run (empty when fault-free)."""
+    if not result.spec.fault.enabled:
+        return {}
+    metrics = result.metrics
+    return {
+        "survivors": int(metrics.get("survivors", 0)),
+        "crashed": int(
+            metrics.get("nodes_crashed", 0) + metrics.get("nodes_left", 0)
+        ),
+        "msgs lost": int(metrics.get("messages_lost", 0)),
+    }
 
 
 def _registry_rows() -> list[dict[str, object]]:
@@ -123,6 +181,7 @@ def _bmmb_spec(args: argparse.Namespace) -> ExperimentSpec:
         algorithm=AlgorithmSpec("bmmb"),
         scheduler=SchedulerSpec(args.scheduler),
         workload=WorkloadSpec("one_each", {"k": args.k}),
+        fault=_parse_fault(getattr(args, "fault", None)),
         model=ModelSpec(fack=args.fack, fprog=args.fprog),
         seed=args.seed,
     )
@@ -140,10 +199,12 @@ def cmd_bmmb(args: argparse.Namespace) -> int:
                 "completion": result.completion_time,
                 "(D+k)*Fack bound": bound,
                 "broadcasts": result.broadcast_count,
+                **_fault_columns(result),
             }
         ],
         title=f"BMMB on n={dual.n} grey-zone network, k={args.k}, "
-              f"scheduler={args.scheduler}",
+              f"scheduler={args.scheduler}"
+              + (f", fault={spec.fault.kind}" if spec.fault.enabled else ""),
     ))
     return 0 if result.solved else 1
 
@@ -154,6 +215,7 @@ def cmd_fmmb(args: argparse.Namespace) -> int:
         topology=_topology_spec(args),
         algorithm=AlgorithmSpec("fmmb", {"c": args.c}),
         workload=WorkloadSpec("one_each", {"k": args.k}),
+        fault=_parse_fault(getattr(args, "fault", None)),
         model=ModelSpec(fprog=args.fprog, fack=max(args.fprog, 20.0)),
         substrate="rounds",
         seed=args.seed,
@@ -171,11 +233,40 @@ def cmd_fmmb(args: argparse.Namespace) -> int:
                 "rounds spread": int(result.metrics["rounds_spread"]),
                 "rounds total": int(result.metrics["rounds_total"]),
                 "budget": round(budget),
+                **_fault_columns(result),
             }
         ],
-        title=f"FMMB on n={dual.n} grey-zone network, k={args.k}",
+        title=f"FMMB on n={dual.n} grey-zone network, k={args.k}"
+              + (f", fault={spec.fault.kind}" if spec.fault.enabled else ""),
     ))
     return 0 if result.solved else 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Strict-JSON value: non-finite floats become None, containers recurse."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _sweep_json_payload(base, sweep) -> dict:
+    """The ``--json`` document: base spec + per-run rows with spec/metrics."""
+    runs = []
+    for row, result in zip(sweep.table_rows(), sweep):
+        runs.append(
+            {**row, "metrics": result.metrics, "spec": result.spec.to_dict()}
+        )
+    return _json_safe(
+        {
+            "base_spec": base.to_dict(),
+            "solved_rate": sweep.solved_rate,
+            "runs": runs,
+        }
+    )
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -188,16 +279,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"--param needs path=v1,v2,... syntax, got {item!r}"
             )
-        values = []
-        for token in raw_values.split(","):
-            try:
-                values.append(int(token))
-            except ValueError:
-                try:
-                    values.append(float(token))
-                except ValueError:
-                    values.append(token)
-        axes[path] = values
+        axes[path] = [_parse_scalar(token) for token in raw_values.split(",")]
     try:
         specs = Sweep.grid(base, axes=axes, repeats=args.seeds)
         sweep = run_sweep(specs, workers=args.workers)
@@ -205,6 +287,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # TypeError: a --param axis fed a builder a kwarg it doesn't take.
         print(f"sweep error: {exc}", file=sys.stderr)
         return 2
+    json_dest = args.json
+    if json_dest is not None:
+        payload = json.dumps(_sweep_json_payload(base, sweep), sort_keys=True)
+        if json_dest == "-":
+            # JSON mode owns stdout: no tables, just the document.
+            print(payload)
+            return 0 if sweep.solved_rate == 1.0 else 1
+        with open(json_dest, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
     pcts = (
         sweep.completion_percentiles((50.0, 90.0, 100.0))
         if any(r.solved for r in sweep)
@@ -276,6 +367,7 @@ def cmd_radio(args: argparse.Namespace) -> int:
         topology=TopologySpec("star", {"n": args.n}),
         algorithm=AlgorithmSpec("bmmb"),
         workload=WorkloadSpec("one_each", {"nodes": list(range(1, args.n))}),
+        fault=_parse_fault(getattr(args, "fault", None)),
         model=ModelSpec(params={"max_slots": args.max_slots}),
         substrate="radio",
         seed=args.seed,
@@ -292,9 +384,11 @@ def cmd_radio(args: argparse.Namespace) -> int:
                 "empirical Fprog": fprog,
                 "Fack/Fprog": fack / max(fprog, 1e-9),
                 "delivery rate": result.metrics["delivery_success_rate"],
+                **_fault_columns(result),
             }
         ],
-        title=f"BMMB over decay radio MAC, star n={args.n} (footnote 2)",
+        title=f"BMMB over decay radio MAC, star n={args.n} (footnote 2)"
+              + (f", fault={spec.fault.kind}" if spec.fault.enabled else ""),
     ))
     return 0 if result.solved else 1
 
@@ -319,9 +413,19 @@ def _add_model_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fprog", type=float, default=1.0, help="Fprog bound")
 
 
+def _add_fault_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault",
+        metavar="KIND[:P=V,...]",
+        help="inject a fault scenario, e.g. --fault crash_random:fraction=0.2 "
+        f"(registered: {', '.join(FAULTS.names())})",
+    )
+
+
 def _add_bmmb_options(parser: argparse.ArgumentParser) -> None:
     _add_network_options(parser)
     _add_model_options(parser)
+    _add_fault_option(parser)
     parser.add_argument("--k", type=int, default=4, help="message count")
     parser.add_argument(
         "--scheduler",
@@ -356,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fmmb = sub.add_parser("fmmb", help="run FMMB on a grey-zone network")
     _add_network_options(p_fmmb)
+    _add_fault_option(p_fmmb)
     p_fmmb.add_argument("--k", type=int, default=4, help="message count")
     p_fmmb.add_argument("--fprog", type=float, default=1.0, help="Fprog bound")
     p_fmmb.set_defaults(func=cmd_fmmb)
@@ -380,6 +485,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--verbose", action="store_true", help="also print per-run rows"
     )
+    p_sweep.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="dump per-run rows + specs as JSON to FILE ('-' or no value: "
+        "stdout only, suppressing the tables)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_lb = sub.add_parser("lowerbound", help="run a lower-bound adversary")
@@ -398,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_radio.add_argument(
         "--max-slots", type=int, default=500_000, help="slot budget"
     )
+    _add_fault_option(p_radio)
     p_radio.set_defaults(func=cmd_radio)
     return parser
 
@@ -406,7 +520,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ExperimentError as exc:
+        # Bad spec composition (unknown registry key, invalid scenario
+        # parameter): report it like the sweep subcommand does instead of
+        # dumping a traceback.  Deliberately narrow — anything else is a
+        # bug and should keep its stack trace.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # A downstream consumer (head, jq, ...) closed the pipe early;
+        # that truncates our output but is not an error on our side.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

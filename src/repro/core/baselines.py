@@ -62,6 +62,11 @@ class SequentialFloodingNode(Automaton):
             self.pending.popleft()
         self._maybe_send(api)
 
+    def on_abort(self, api: MACApi, payload: Message) -> None:
+        """Crash-recovery abort: the head stays pending; retransmit."""
+        self.sending = False
+        self._maybe_send(api)
+
     def release(self, message: Message) -> None:
         """Coordinator callback: start flooding ``message`` if we hold it."""
         if message.mid in self.rcvd and self._api is not None:
@@ -151,6 +156,11 @@ class RedundantFloodingNode(Automaton):
 
     def on_ack(self, api: MACApi, payload: Message) -> None:
         self.bcastq.popleft()
+        self.sending = False
+        self._maybe_send(api)
+
+    def on_abort(self, api: MACApi, payload: Message) -> None:
+        """Crash-recovery abort: the head stays queued; retransmit."""
         self.sending = False
         self._maybe_send(api)
 

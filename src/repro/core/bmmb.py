@@ -73,6 +73,13 @@ class BMMBNode(Automaton):
         self.sent_count += 1
         self._maybe_send(api)
 
+    def on_abort(self, api: MACApi, payload: Message) -> None:
+        """An environment-initiated abort (crash recovery): the message is
+        still at the queue head, so retransmit it.  BMMB itself never
+        aborts — this only fires under fault injection."""
+        self.sending = False
+        self._maybe_send(api)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -77,6 +77,11 @@ class FloodConsensusNode(Automaton):
         self.sending = False
         self._maybe_send(api)
 
+    def on_abort(self, api: MACApi, payload: Proposal) -> None:
+        """Crash-recovery abort: the proposal stays queued; retransmit."""
+        self.sending = False
+        self._maybe_send(api)
+
     def _adopt(self, proposal: Proposal) -> None:
         if self.best is None or proposal.proposer > self.best.proposer:
             self.best = proposal

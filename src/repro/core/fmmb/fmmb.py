@@ -76,6 +76,7 @@ def run_fmmb(
     seed: int = 0,
     config: FMMBConfig | None = None,
     scheduler: RoundScheduler | None = None,
+    fault_engine=None,
 ) -> FMMBResult:
     """Run FMMB end-to-end on the enhanced model's round substrate.
 
@@ -86,6 +87,13 @@ def run_fmmb(
         seed: Root seed for all algorithmic and scheduler randomness.
         config: FMMB constants.
         scheduler: Per-round delivery policy; defaults to the random one.
+        fault_engine: Optional fault/dynamics engine; when set, the round
+            scheduler is wrapped in
+            :class:`~repro.faults.rounds.FaultyRoundScheduler`, so crashed
+            nodes neither transmit nor receive and flapped edges move
+            between reliable and grey round by round.  ``solved`` keeps
+            the full-component criterion; judge faulted runs with
+            :func:`repro.faults.survivor_outcome`.
 
     Returns:
         The :class:`FMMBResult`.
@@ -95,6 +103,10 @@ def run_fmmb(
     cfg = config or FMMBConfig()
     rng = RandomSource(seed, "fmmb")
     sched = scheduler or RandomRoundScheduler(rng.child("round-scheduler"))
+    if fault_engine is not None:
+        from repro.faults.rounds import FaultyRoundScheduler
+
+        sched = FaultyRoundScheduler(sched, fault_engine, fprog)
     recorder = RoundDeliveryRecorder()
 
     # Environment arrivals: each origin holds (and has delivered) its

@@ -83,6 +83,15 @@ class FloodMaxNode(Automaton):
         else:
             self.pending_improvement = None
 
+    def on_abort(self, api: MACApi, payload: LeaderClaim) -> None:
+        """Crash-recovery abort: re-flood the best maximum known now
+        (which subsumes both the aborted claim and any coalesced
+        improvement)."""
+        self.sending = False
+        self.pending_improvement = None
+        if self.known_max is not None:
+            self._queue_improvement(api, self.known_max)
+
     def _queue_improvement(self, api: MACApi, candidate: NodeId) -> None:
         if self.sending:
             # Coalesce: only the newest (largest) improvement matters.

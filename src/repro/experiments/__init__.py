@@ -26,6 +26,7 @@ Example::
 
 from repro.experiments.registries import (
     ALGORITHMS,
+    FAULTS,
     MACS,
     SCHEDULERS,
     TOPOLOGIES,
@@ -33,11 +34,13 @@ from repro.experiments.registries import (
     AlgorithmEntry,
     Registry,
     list_algorithms,
+    list_faults,
     list_macs,
     list_schedulers,
     list_topologies,
     list_workloads,
     register_algorithm,
+    register_fault,
     register_mac,
     register_scheduler,
     register_topology,
@@ -46,6 +49,7 @@ from repro.experiments.registries import (
 from repro.experiments.runner import (
     ExperimentResult,
     RadioRun,
+    materialize_fault_engine,
     materialize_topology,
     materialize_workload,
     run,
@@ -54,6 +58,7 @@ from repro.experiments.specs import (
     SUBSTRATES,
     AlgorithmSpec,
     ExperimentSpec,
+    FaultSpec,
     ModelSpec,
     SchedulerSpec,
     TopologySpec,
@@ -68,6 +73,7 @@ __all__ = [
     "SchedulerSpec",
     "AlgorithmSpec",
     "WorkloadSpec",
+    "FaultSpec",
     "ModelSpec",
     "SUBSTRATES",
     # registries
@@ -78,20 +84,24 @@ __all__ = [
     "ALGORITHMS",
     "MACS",
     "WORKLOADS",
+    "FAULTS",
     "register_topology",
     "register_scheduler",
     "register_algorithm",
     "register_mac",
     "register_workload",
+    "register_fault",
     "list_topologies",
     "list_schedulers",
     "list_algorithms",
     "list_macs",
     "list_workloads",
+    "list_faults",
     # runner
     "run",
     "ExperimentResult",
     "RadioRun",
+    "materialize_fault_engine",
     "materialize_topology",
     "materialize_workload",
     # sweep

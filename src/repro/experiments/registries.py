@@ -126,6 +126,7 @@ SCHEDULERS = Registry("scheduler")
 ALGORITHMS = Registry("algorithm")
 MACS = Registry("mac layer")
 WORKLOADS = Registry("workload")
+FAULTS = Registry("fault scenario")
 
 
 def register_topology(name: str):
@@ -146,6 +147,15 @@ def register_mac(name: str):
 def register_workload(name: str):
     """Register ``build(dual, rng, **params) -> workload`` under ``name``."""
     return WORKLOADS.register(name)
+
+
+def register_fault(name: str):
+    """Register ``build(dual, rng, **params) -> FaultPlan`` under ``name``.
+
+    The built-in scenarios live in :mod:`repro.faults.scenarios`; a spec
+    selects one with its ``fault`` field (``FaultSpec(kind, params)``).
+    """
+    return FAULTS.register(name)
 
 
 def register_algorithm(
@@ -193,6 +203,11 @@ def list_macs() -> list[str]:
 def list_workloads() -> list[str]:
     """Registered workload keys."""
     return WORKLOADS.names()
+
+
+def list_faults() -> list[str]:
+    """Registered fault-scenario keys."""
+    return FAULTS.names()
 
 
 # ----------------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.core.problem import ArrivalSchedule
 from repro.errors import ExperimentError
 from repro.experiments.registries import (
     ALGORITHMS,
+    FAULTS,
     MACS,
     SCHEDULERS,
     TOPOLOGIES,
@@ -38,6 +39,8 @@ from repro.experiments.registries import (
     AlgorithmEntry,
 )
 from repro.experiments.specs import ExperimentSpec
+from repro.faults.engine import FaultEngine
+from repro.faults.outcome import survivor_outcome
 from repro.ids import MessageAssignment
 from repro.runtime.runner import run_protocol, run_standard
 from repro.runtime.validate import required_deliveries
@@ -46,6 +49,8 @@ from repro.topology.dualgraph import DualGraph
 
 #: Name of the root stream every spec-driven execution derives from.
 ROOT_STREAM = "experiment"
+#: Child stream fault scenarios compile their plans from.
+FAULT_STREAM = "faults"
 
 
 @dataclass(frozen=True)
@@ -127,6 +132,56 @@ def materialize_workload(spec: ExperimentSpec, dual: DualGraph):
     return build(dual, root_stream(spec).child("workload"), **spec.workload.params)
 
 
+def materialize_fault_engine(
+    spec: ExperimentSpec, dual: DualGraph
+) -> FaultEngine | None:
+    """Compile the spec's fault scenario into an engine (None when off).
+
+    The plan draws only from the ``faults`` child stream, so enabling or
+    tuning faults never perturbs the topology/scheduler/workload streams —
+    and ``FaultSpec("none")`` builds nothing at all, keeping fault-free
+    specs bit-identical to pre-fault behavior.
+    """
+    fault = spec.fault
+    if fault is None or not fault.enabled:
+        return None
+    build = FAULTS.get(fault.kind)
+    try:
+        plan = build(dual, root_stream(spec).child(FAULT_STREAM), **fault.params)
+    except TypeError as exc:
+        # A param the builder doesn't take, or a value of the wrong type:
+        # surface it as a spec-composition error, not a traceback.
+        raise ExperimentError(
+            f"fault scenario {fault.kind!r} rejected params "
+            f"{sorted(fault.params)}: {exc}"
+        ) from exc
+    return FaultEngine(dual, plan)
+
+
+def _fault_mmb_result(
+    dual: DualGraph,
+    workload,
+    delivery_times,
+    engine: FaultEngine,
+) -> tuple[bool, float, dict[str, float]]:
+    """Among-survivors verdict + fault metrics for an MMB execution."""
+    arrival_times = (
+        workload.arrival_times()
+        if isinstance(workload, ArrivalSchedule)
+        else None
+    )
+    outcome = survivor_outcome(
+        dual,
+        _static_assignment(workload),
+        delivery_times,
+        engine,
+        arrival_times=arrival_times,
+    )
+    metrics = engine.metrics()
+    metrics.update(outcome.metrics())
+    return outcome.solved, outcome.completion_time, metrics
+
+
 def _algorithm_entry(spec: ExperimentSpec) -> AlgorithmEntry:
     entry = ALGORITHMS.get(spec.algorithm.kind)
     if spec.substrate not in entry.substrates:
@@ -156,6 +211,7 @@ def _run_standard(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
     )
     workload = materialize_workload(spec, dual)
     mac_class = MACS.get(spec.model.mac)
+    engine = materialize_fault_engine(spec, dual)
     result = run_standard(
         dual,
         workload,
@@ -167,18 +223,27 @@ def _run_standard(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
         max_events=spec.model.max_events,
         keep_instances=keep_raw,
         mac_class=mac_class,
+        fault_engine=engine,
     )
+    solved = result.solved
+    completion = result.completion_time
+    metrics = {
+        "rcv_count": float(result.rcv_count),
+        "sim_events": float(result.sim_events),
+        "max_latency": result.max_latency,
+    }
+    if engine is not None:
+        solved, completion, fault_metrics = _fault_mmb_result(
+            dual, workload, result.deliveries.times, engine
+        )
+        metrics.update(fault_metrics)
     return ExperimentResult(
         spec=spec,
-        solved=result.solved,
-        completion_time=result.completion_time,
+        solved=solved,
+        completion_time=completion,
         broadcast_count=result.broadcast_count,
         delivered_count=len(result.deliveries.times),
-        metrics={
-            "rcv_count": float(result.rcv_count),
-            "sim_events": float(result.sim_events),
-            "max_latency": result.max_latency,
-        },
+        metrics=metrics,
         raw=result if keep_raw else None,
     )
 
@@ -192,6 +257,7 @@ def _run_protocol(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
         root.child("scheduler"), **spec.scheduler.params
     )
     mac_class = MACS.get(spec.model.mac)
+    engine = materialize_fault_engine(spec, dual)
     result = run_protocol(
         dual,
         factory,
@@ -201,21 +267,39 @@ def _run_protocol(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
         max_time=spec.model.max_time,
         max_events=spec.model.max_events,
         mac_class=mac_class,
+        fault_engine=engine,
     )
-    solved = result.quiesced and (
-        entry.postcondition is None
-        or entry.postcondition(dual, result.automata)
-    )
+    metrics = {
+        "end_time": result.end_time,
+        "quiesced": float(result.quiesced),
+    }
+    if engine is None:
+        solved = result.quiesced and (
+            entry.postcondition is None
+            or entry.postcondition(dual, result.automata)
+        )
+        completion = result.end_time
+    else:
+        # Judge the postcondition among survivors: the engine's view
+        # answers the same component queries as the static graph.
+        view = engine.view()
+        survivors = {v: result.automata[v] for v in view.nodes}
+        solved = result.quiesced and (
+            entry.postcondition is None
+            or entry.postcondition(view, survivors)
+        )
+        # end_time includes draining the installed fault timeline; the
+        # protocol's actual end is the last MAC/automaton event.
+        completion = result.last_activity
+        metrics["last_activity"] = result.last_activity
+        metrics.update(engine.metrics())
     return ExperimentResult(
         spec=spec,
         solved=solved,
-        completion_time=result.end_time if solved else math.inf,
+        completion_time=completion if solved else math.inf,
         broadcast_count=result.broadcast_count,
         delivered_count=0,
-        metrics={
-            "end_time": result.end_time,
-            "quiesced": float(result.quiesced),
-        },
+        metrics=metrics,
         raw=result if keep_raw else None,
     )
 
@@ -230,27 +314,46 @@ def _run_rounds(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
             "the rounds substrate takes time-0 assignments, not arrival "
             "schedules"
         )
+    engine = materialize_fault_engine(spec, dual)
     result = run_fmmb(
         dual,
         workload,
         fprog=spec.model.fprog,
         seed=spec.seed,
         config=config,
+        fault_engine=engine,
     )
+    solved = result.solved
+    completion = result.completion_time
+    metrics = {
+        "rounds_total": float(result.total_rounds),
+        "rounds_mis": float(result.mis_result.rounds_used),
+        "rounds_gather": float(result.gather_result.rounds_used),
+        "rounds_spread": float(result.spread_result.rounds_used),
+        "completion_rounds": float(result.completion_rounds),
+        "mis_valid": float(result.mis_valid),
+    }
+    if engine is not None:
+        # Replay any fault events past the last simulated round so the
+        # final engine state (survivors, joins) is judged at the same
+        # cutoff as the other substrates, which drain the timeline.
+        engine.advance_to(math.inf)
+        # A delivery in round r is available by the end of slot r.
+        delivery_times = {
+            key: (rnd + 1) * spec.model.fprog
+            for key, rnd in result.delivery_rounds.items()
+        }
+        solved, completion, fault_metrics = _fault_mmb_result(
+            dual, workload, delivery_times, engine
+        )
+        metrics.update(fault_metrics)
     return ExperimentResult(
         spec=spec,
-        solved=result.solved,
-        completion_time=result.completion_time,
+        solved=solved,
+        completion_time=completion,
         broadcast_count=0,
         delivered_count=len(result.delivery_rounds),
-        metrics={
-            "rounds_total": float(result.total_rounds),
-            "rounds_mis": float(result.mis_result.rounds_used),
-            "rounds_gather": float(result.gather_result.rounds_used),
-            "rounds_spread": float(result.spread_result.rounds_used),
-            "completion_rounds": float(result.completion_rounds),
-            "mis_valid": float(result.mis_valid),
-        },
+        metrics=metrics,
         raw=result if keep_raw else None,
     )
 
@@ -262,6 +365,9 @@ def _run_radio(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
     factory = entry.build(**spec.algorithm.params)
     params = dict(spec.model.params)
     max_slots = int(params.pop("max_slots", 500_000))
+    engine = materialize_fault_engine(spec, dual)
+    if engine is not None:
+        params["fault_engine"] = engine
     layer = MACS.get("radio")(dual, root.child("radio"), **params)
     automata = {node: factory(node) for node in dual.nodes}
     for node, automaton in automata.items():
@@ -276,32 +382,41 @@ def _run_radio(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
                 layer.inject_arrival(node, message)
     slots = layer.run(max_slots=max_slots)
     static = _static_assignment(workload)
-    required = required_deliveries(dual, static)
-    solved = True
-    completion = 0.0
-    for mid, nodes in required.items():
-        for node in nodes:
-            delivered_at = layer.deliveries.get((node, mid))
-            if delivered_at is None:
-                solved = False
-                completion = math.inf
+    metrics: dict[str, float] = {}
+    if engine is not None:
+        solved, completion, metrics = _fault_mmb_result(
+            dual, workload, layer.deliveries, engine
+        )
+    else:
+        required = required_deliveries(dual, static)
+        solved = True
+        completion = 0.0
+        for mid, nodes in required.items():
+            for node in nodes:
+                delivered_at = layer.deliveries.get((node, mid))
+                if delivered_at is None:
+                    solved = False
+                    completion = math.inf
+                    break
+                completion = max(completion, delivered_at)
+            if not solved:
                 break
-            completion = max(completion, delivered_at)
-        if not solved:
-            break
     bounds = layer.empirical_bounds()
+    metrics.update(
+        {
+            "slots": float(slots),
+            "empirical_fack": bounds.fack,
+            "empirical_fprog": bounds.fprog,
+            "delivery_success_rate": bounds.delivery_success_rate,
+        }
+    )
     return ExperimentResult(
         spec=spec,
         solved=solved,
         completion_time=completion,
         broadcast_count=len(layer.instances),
         delivered_count=len(layer.deliveries),
-        metrics={
-            "slots": float(slots),
-            "empirical_fack": bounds.fack,
-            "empirical_fprog": bounds.fprog,
-            "delivery_success_rate": bounds.delivery_success_rate,
-        },
+        metrics=metrics,
         raw=RadioRun(layer=layer, slots=slots, automata=automata)
         if keep_raw
         else None,

@@ -70,6 +70,42 @@ class WorkloadSpec(_KindSpec):
     """Names a workload generator: ``kind`` ∈ ``list_workloads()``."""
 
 
+class FaultSpec(_KindSpec):
+    """Names a fault scenario: ``kind`` ∈ ``list_faults()``.
+
+    ``FaultSpec("none")`` (the default) disables fault injection entirely:
+    the runner builds no engine and the execution is bit-identical to one
+    from a spec without the field.  Any other kind compiles to a
+    :class:`~repro.faults.plan.FaultPlan` from the seed-derived ``faults``
+    stream; scenario parameters live in ``params`` and are sweepable as
+    ``fault.<param>`` dotted paths.
+
+    ``none`` rejects params: sweeping ``fault.fraction`` over a base spec
+    that never names a scenario would otherwise be a silent no-op — every
+    grid point fault-free — which turns a resilience comparison into
+    meaningless numbers.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kind == "none" and self.params:
+            raise ExperimentError(
+                "fault kind 'none' takes no params "
+                f"(got {sorted(self.params)}); name a scenario kind — e.g. "
+                "FaultSpec('crash_random', ...) or a 'fault.kind' sweep "
+                "axis / CLI --fault — for fault.* parameters to apply"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when the spec actually injects faults."""
+        return self.kind != "none"
+
+
+def _default_fault() -> FaultSpec:
+    return FaultSpec("none")
+
+
 @dataclass(frozen=True)
 class ModelSpec:
     """The abstract-MAC model constants plus execution budgets.
@@ -142,6 +178,8 @@ class ExperimentSpec:
             the ``radio`` substrate, where contention *is* the scheduler).
         workload: The MMB message workload; ``None`` for workload-free
             protocols (leader election, consensus).
+        fault: The fault/dynamics scenario injected into the execution
+            (crashes, churn, link flapping); defaults to ``none``.
         model: Model constants and budgets.
         substrate: Which execution engine runs the spec — ``standard``
             (event-driven abstract MAC), ``protocol`` (wakeup-driven, no
@@ -157,6 +195,7 @@ class ExperimentSpec:
         default_factory=lambda: SchedulerSpec("uniform")
     )
     workload: WorkloadSpec | None = field(default_factory=_default_workload)
+    fault: FaultSpec = field(default_factory=_default_fault)
     model: ModelSpec = field(default_factory=ModelSpec)
     substrate: str = "standard"
     seed: int = 0
@@ -185,6 +224,7 @@ class ExperimentSpec:
             "algorithm": self.algorithm.to_dict(),
             "scheduler": self.scheduler.to_dict(),
             "workload": self.workload.to_dict() if self.workload else None,
+            "fault": self.fault.to_dict(),
             "model": self.model.to_dict(),
             "substrate": self.substrate,
             "seed": self.seed,
@@ -203,6 +243,7 @@ class ExperimentSpec:
                 data.get("scheduler", {"kind": "uniform"})
             ),
             workload=WorkloadSpec.from_dict(workload) if workload else None,
+            fault=FaultSpec.from_dict(data.get("fault") or {"kind": "none"}),
             model=ModelSpec.from_dict(data.get("model", {})),
             substrate=data.get("substrate", "standard"),
             seed=data.get("seed", 0),

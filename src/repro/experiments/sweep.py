@@ -119,7 +119,16 @@ class Sweep:
         specs: list[ExperimentSpec] = []
         for values in itertools.product(*(axes[key] for key in keys)):
             point = base
-            for key, value in zip(keys, values):
+            # Apply *.kind axes before sibling param axes: a grid pairing
+            # "fault.kind" with "fault.fraction" must set the kind first,
+            # or the intermediate spec (e.g. kind "none" + params) would
+            # fail component validation.  Labels and derived seeds still
+            # use the sorted-axis order, so existing sweeps are unchanged.
+            ordered = sorted(
+                zip(keys, values),
+                key=lambda kv: (kv[0].rpartition(".")[2] != "kind", kv[0]),
+            )
+            for key, value in ordered:
                 point = _with_path(point, key, value)
             label = ",".join(f"{k}={v}" for k, v in zip(keys, values))
             for rep in range(repeats):

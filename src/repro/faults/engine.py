@@ -1,0 +1,406 @@
+"""The fault engine: replays a :class:`~repro.faults.plan.FaultPlan`.
+
+One engine instance drives one execution.  It owns the dynamic state the
+plan induces — which nodes are active, which grey-zone edges are currently
+promoted to reliable — and exposes it two ways:
+
+* **point queries** (:meth:`FaultEngine.is_active`,
+  :meth:`FaultEngine.is_reliable_edge`) for the MAC layers' hot paths;
+* an :class:`EffectiveDualView` snapshot (:meth:`FaultEngine.view`) with
+  the same neighbor-query surface as :class:`~repro.topology.DualGraph`,
+  so schedulers and postconditions written against the static topology run
+  unmodified against the faulted one.
+
+Time advancement comes in two flavors matching the substrates' clocks:
+
+* :meth:`install` chains the plan into a discrete-event
+  :class:`~repro.sim.kernel.Simulator` (standard/protocol substrates) at
+  priority :data:`PRIORITY_FAULT`, so fault transitions apply before any
+  same-instant MAC event;
+* :meth:`advance_to` applies all events up to a given time (rounds and
+  radio substrates, which poll once per slot).
+
+The engine consumes **no randomness** — every choice was drawn when the
+plan was built — so a faulted run is exactly as reproducible as a
+fault-free one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ExperimentError
+from repro.faults.events import Edge, FaultEvent, FaultKind
+from repro.faults.plan import FaultPlan, validate_plan
+from repro.ids import TIME_EPS, NodeId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+    from repro.topology.dualgraph import DualGraph
+
+#: Event priority for fault transitions: below the MAC's wakeups (-2),
+#: arrivals (-1), rcv (0), and ack (1) events, so a same-instant fault
+#: applies before the execution reacts to that instant.
+PRIORITY_FAULT = -3
+
+
+class EffectiveDualView:
+    """A read-only, fault-filtered snapshot of a dual graph.
+
+    Exposes the neighbor/component query surface of
+    :class:`~repro.topology.DualGraph` restricted to active nodes, with
+    flapped-up grey edges counted as reliable.  Queries about inactive
+    nodes return empty sets rather than raising, so schedulers iterating a
+    stale node id degrade gracefully.
+    """
+
+    def __init__(
+        self,
+        base: "DualGraph",
+        active: frozenset[NodeId],
+        up_edges: frozenset[Edge],
+    ):
+        self.base = base
+        self._active = active
+        self._up_edges = up_edges
+        up_adjacent: dict[NodeId, set[NodeId]] = {}
+        for u, v in up_edges:
+            up_adjacent.setdefault(u, set()).add(v)
+            up_adjacent.setdefault(v, set()).add(u)
+        self._rel: dict[NodeId, frozenset[NodeId]] = {}
+        self._gp: dict[NodeId, frozenset[NodeId]] = {}
+        for v in base.nodes:
+            if v not in active:
+                continue
+            promoted = up_adjacent.get(v, ())
+            self._rel[v] = (
+                base.reliable_neighbors(v) | frozenset(promoted)
+            ) & active
+            self._gp[v] = base.gprime_neighbors(v) & active
+
+    # ------------------------------------------------------------------
+    # DualGraph query surface
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of active nodes."""
+        return len(self._rel)
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        """Active nodes in sorted order."""
+        return sorted(self._rel)
+
+    def is_active(self, v: NodeId) -> bool:
+        """True when ``v`` participates in the execution right now."""
+        return v in self._active
+
+    def reliable_neighbors(self, v: NodeId) -> frozenset[NodeId]:
+        """Active effective-``G`` neighbors (base reliable + flapped-up)."""
+        return self._rel.get(v, frozenset())
+
+    def gprime_neighbors(self, v: NodeId) -> frozenset[NodeId]:
+        """Active ``G'`` neighbors."""
+        return self._gp.get(v, frozenset())
+
+    def unreliable_only_neighbors(self, v: NodeId) -> frozenset[NodeId]:
+        """Active neighbors currently reachable only unreliably."""
+        return self._gp.get(v, frozenset()) - self._rel.get(v, frozenset())
+
+    def is_reliable_edge(self, u: NodeId, v: NodeId) -> bool:
+        """True if ``(u, v)`` currently counts as a reliable edge."""
+        return v in self._rel.get(u, frozenset())
+
+    def is_gprime_edge(self, u: NodeId, v: NodeId) -> bool:
+        """True if ``(u, v)`` is usable at all right now."""
+        return v in self._gp.get(u, frozenset())
+
+    def max_gprime_degree(self) -> int:
+        """Maximum active ``G'`` degree."""
+        return max((len(adj) for adj in self._gp.values()), default=0)
+
+    def components(self) -> list[frozenset[NodeId]]:
+        """Connected components of the effective reliable graph."""
+        seen: set[NodeId] = set()
+        components: list[frozenset[NodeId]] = []
+        for start in self.nodes:
+            if start in seen:
+                continue
+            stack = [start]
+            component: set[NodeId] = set()
+            while stack:
+                v = stack.pop()
+                if v in component:
+                    continue
+                component.add(v)
+                stack.extend(self._rel[v] - component)
+            seen |= component
+            components.append(frozenset(component))
+        return components
+
+    def component_of(self, v: NodeId) -> frozenset[NodeId]:
+        """The effective component containing ``v`` (empty if inactive)."""
+        for component in self.components():
+            if v in component:
+                return component
+        return frozenset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EffectiveDualView(n={self.n}/{self.base.n}, "
+            f"up_edges={len(self._up_edges)})"
+        )
+
+
+class FaultEngine:
+    """Applies one fault plan to one execution, deterministically.
+
+    Args:
+        dual: The base network (validated against the plan).
+        plan: The fault timeline to replay.
+
+    Attributes:
+        listener: Optional substrate hook object; if set, the engine calls
+            ``fault_node_down(node, kind)``, ``fault_node_up(node, kind)``,
+            and ``fault_link_changed(edge, up)`` as transitions apply (only
+            the methods that exist are called).
+    """
+
+    def __init__(self, dual: "DualGraph", plan: FaultPlan):
+        validate_plan(plan, dual)
+        self.dual = dual
+        self.plan = plan
+        self.listener = None
+        self._cursor = 0
+        self._down: set[NodeId] = set(plan.initially_absent)
+        self._awaiting_join: set[NodeId] = set(plan.initially_absent)
+        self._join_times: dict[NodeId, Time] = {}
+        for event in plan.events:
+            if (
+                event.kind is FaultKind.JOIN
+                and event.node in plan.initially_absent
+                and event.node not in self._join_times
+            ):
+                self._join_times[event.node] = event.time
+        self._up_edges: set[Edge] = set()
+        self._up_adjacent: dict[NodeId, set[NodeId]] = {}
+        self._view: EffectiveDualView | None = None
+        self._sim: "Simulator" | None = None
+        self.counters: dict[str, int] = {
+            "crashes": 0,
+            "recoveries": 0,
+            "joins": 0,
+            "leaves": 0,
+            "link_flaps": 0,
+            "messages_lost": 0,
+            "messages_deferred": 0,
+            "bcasts_aborted": 0,
+            "bcasts_suppressed": 0,
+            "deliveries_dropped": 0,
+        }
+        self.lost_message_ids: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    def is_active(self, node: NodeId) -> bool:
+        """True when ``node`` is currently participating."""
+        return node not in self._down
+
+    def is_awaiting_join(self, node: NodeId) -> bool:
+        """True when ``node`` is a churn arrival that has not joined yet."""
+        return node in self._awaiting_join
+
+    def join_time(self, node: NodeId) -> Time | None:
+        """When a churn arrival (initially absent node) joins; None if the
+        node was present from the start."""
+        return self._join_times.get(node)
+
+    def active_nodes(self) -> list[NodeId]:
+        """Currently active nodes, sorted."""
+        return [v for v in self.dual.nodes if v not in self._down]
+
+    def is_reliable_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Effective reliability of ``(u, v)`` (ignores node liveness)."""
+        return self.dual.is_reliable_edge(u, v) or (
+            v in self._up_adjacent.get(u, ())
+        )
+
+    def effective_reliable_neighbors(self, v: NodeId) -> frozenset[NodeId]:
+        """Active effective-reliable neighbors of ``v`` right now.
+
+        Point query in O(deg(v)) — the broadcast hot path calls this per
+        bcast, and flap scenarios invalidate the full-view cache on every
+        link event, so rebuilding the view here would be quadratic.
+        """
+        base = self.dual.reliable_neighbors(v)
+        promoted = self._up_adjacent.get(v)
+        if promoted:
+            base = base | promoted
+        if not self._down:
+            return frozenset(base)
+        return frozenset(u for u in base if u not in self._down)
+
+    def view(self) -> EffectiveDualView:
+        """The current effective topology (cached until the next event)."""
+        if self._view is None:
+            self._view = EffectiveDualView(
+                self.dual,
+                frozenset(v for v in self.dual.nodes if v not in self._down),
+                frozenset(self._up_edges),
+            )
+        return self._view
+
+    def classify_arrival(self, node: NodeId, mid: str) -> tuple[str, Time | None]:
+        """Disposition of an environment arrival at ``node`` right now.
+
+        Returns ``("deliver", None)`` for an active node, ``("defer", t)``
+        when the node is a churn arrival joining at ``t`` (the message
+        travels with it), or ``("lost", None)`` when the node is dead.
+        The deferred/lost accounting happens here, so every substrate
+        reports churn identically.
+        """
+        if self.is_awaiting_join(node):
+            join_at = self.next_up_time(node)
+            if join_at is not None:
+                self.note("messages_deferred")
+                return ("defer", join_at)
+            # Unreachable in practice: plans validate that absentees join.
+            self.note_lost_message(mid)
+            return ("lost", None)
+        if not self.is_active(node):
+            self.note_lost_message(mid)
+            return ("lost", None)
+        return ("deliver", None)
+
+    def next_up_time(self, node: NodeId) -> Time | None:
+        """Time of the node's next pending JOIN/RECOVER event, if any."""
+        for event in self._remaining():
+            if event.node == node and event.kind in (
+                FaultKind.JOIN,
+                FaultKind.RECOVER,
+            ):
+                return event.time
+        return None
+
+    def _remaining(self) -> Iterator[FaultEvent]:
+        return iter(self.plan.events[self._cursor :])
+
+    @property
+    def pending_events(self) -> int:
+        """Number of plan events not yet applied."""
+        return len(self.plan.events) - self._cursor
+
+    # ------------------------------------------------------------------
+    # Time advancement
+    # ------------------------------------------------------------------
+    def advance_to(self, time: Time) -> int:
+        """Apply every event with ``event.time <= time``; returns how many."""
+        applied = 0
+        while self._cursor < len(self.plan.events):
+            event = self.plan.events[self._cursor]
+            if event.time > time + TIME_EPS:
+                break
+            self._apply(event)
+            applied += 1
+        return applied
+
+    def install(self, sim: "Simulator") -> None:
+        """Chain the plan into a simulator (one pending event at a time)."""
+        if self._sim is not None:
+            raise ExperimentError("fault engine already installed")
+        self._sim = sim
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        assert self._sim is not None
+        if self._cursor < len(self.plan.events):
+            event = self.plan.events[self._cursor]
+            self._sim.schedule_at(
+                event.time, self._fire_installed, priority=PRIORITY_FAULT
+            )
+
+    def _fire_installed(self) -> None:
+        self._apply(self.plan.events[self._cursor])
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    # Transition application
+    # ------------------------------------------------------------------
+    def _apply(self, event: FaultEvent) -> None:
+        self._cursor += 1
+        kind = event.kind
+        if kind is FaultKind.CRASH or kind is FaultKind.LEAVE:
+            if event.node in self._down:
+                return  # already down; nothing changes
+            self._down.add(event.node)
+            self.counters["crashes" if kind is FaultKind.CRASH else "leaves"] += 1
+            self._invalidate()
+            self._notify("fault_node_down", event.node, kind)
+        elif kind is FaultKind.RECOVER or kind is FaultKind.JOIN:
+            if event.node not in self._down:
+                return
+            self._down.discard(event.node)
+            self._awaiting_join.discard(event.node)
+            self.counters[
+                "recoveries" if kind is FaultKind.RECOVER else "joins"
+            ] += 1
+            self._invalidate()
+            self._notify("fault_node_up", event.node, kind)
+        elif kind is FaultKind.LINK_UP:
+            if event.edge not in self._up_edges:
+                self._up_edges.add(event.edge)
+                u, v = event.edge
+                self._up_adjacent.setdefault(u, set()).add(v)
+                self._up_adjacent.setdefault(v, set()).add(u)
+                self.counters["link_flaps"] += 1
+                self._invalidate()
+                self._notify("fault_link_changed", event.edge, True)
+        else:  # LINK_DOWN
+            if event.edge in self._up_edges:
+                self._up_edges.discard(event.edge)
+                u, v = event.edge
+                self._up_adjacent[u].discard(v)
+                self._up_adjacent[v].discard(u)
+                self.counters["link_flaps"] += 1
+                self._invalidate()
+                self._notify("fault_link_changed", event.edge, False)
+
+    def _invalidate(self) -> None:
+        self._view = None
+
+    def _notify(self, hook: str, *args) -> None:
+        if self.listener is not None:
+            method = getattr(self.listener, hook, None)
+            if method is not None:
+                method(*args)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def note(self, counter: str, count: int = 1) -> None:
+        """Increment a substrate-reported counter (e.g. dropped deliveries)."""
+        self.counters[counter] = self.counters.get(counter, 0) + count
+
+    def note_lost_message(self, mid: str) -> None:
+        """Record an environment message that could not be injected."""
+        self.lost_message_ids.add(mid)
+        self.note("messages_lost")
+
+    def metrics(self) -> dict[str, float]:
+        """Scalar fault metrics for :class:`ExperimentResult.metrics`."""
+        c = self.counters
+        return {
+            "fault_events_applied": float(self._cursor),
+            "nodes_crashed": float(c["crashes"]),
+            "nodes_recovered": float(c["recoveries"]),
+            "nodes_joined": float(c["joins"]),
+            "nodes_left": float(c["leaves"]),
+            "link_flap_events": float(c["link_flaps"]),
+            "messages_lost": float(c["messages_lost"]),
+            "messages_deferred": float(c["messages_deferred"]),
+            "bcasts_aborted_by_fault": float(c["bcasts_aborted"]),
+            "bcasts_suppressed": float(c["bcasts_suppressed"]),
+            "deliveries_dropped": float(c["deliveries_dropped"]),
+            "survivors": float(len(self.dual.nodes) - len(self._down)),
+        }

@@ -1,0 +1,99 @@
+"""Timed fault events: the atoms every fault scenario compiles down to.
+
+A fault *scenario* (see :mod:`repro.faults.scenarios`) is a recipe; what the
+substrates actually consume is a :class:`~repro.faults.plan.FaultPlan` — a
+sorted, immutable timeline of :class:`FaultEvent` records.  Keeping the
+event vocabulary tiny (six kinds over nodes and grey-zone edges) is what
+lets one :class:`~repro.faults.engine.FaultEngine` drive all four execution
+substrates identically.
+
+Link semantics: a flapping edge is always a ``G' \\ G`` (grey-zone) edge of
+the *base* dual graph.  ``LINK_UP`` promotes it into the effective reliable
+graph ``G``; ``LINK_DOWN`` demotes it back to merely-unreliable.  ``G'``
+itself never changes, so every delivery a scheduler plans stays
+edge-admissible — only the reliable/grey split (and hence progress and
+acknowledgment obligations) is dynamic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.ids import NodeId, Time
+
+#: An undirected edge in canonical (sorted-endpoint) form.
+Edge = tuple[NodeId, NodeId]
+
+
+def canonical_edge(u: NodeId, v: NodeId) -> Edge:
+    """The canonical undirected form of ``(u, v)``."""
+    if u == v:
+        raise ExperimentError(f"fault edge cannot be a self-loop: ({u}, {v})")
+    return (u, v) if u <= v else (v, u)
+
+
+class FaultKind(enum.Enum):
+    """The six primitive fault transitions."""
+
+    #: Node stops: pending broadcast aborted, no further sends/receives.
+    CRASH = "crash"
+    #: A crashed node resumes: automaton state intact, and the broadcast
+    #: the crash aborted (if any) is reported to it as ``on_abort`` so
+    #: queue-driven protocols can pick up where they left off.
+    RECOVER = "recover"
+    #: A churn arrival: an initially-absent node enters the network.
+    JOIN = "join"
+    #: A churn departure: a node leaves permanently (same effect as CRASH).
+    LEAVE = "leave"
+    #: A flapping grey-zone edge becomes reliable (counts as ``G``).
+    LINK_UP = "link_up"
+    #: A flapping edge reverts to merely-unreliable (``G' \\ G``).
+    LINK_DOWN = "link_down"
+
+
+#: Kinds that take a node operand.
+NODE_KINDS = frozenset(
+    {FaultKind.CRASH, FaultKind.RECOVER, FaultKind.JOIN, FaultKind.LEAVE}
+)
+#: Kinds that take an edge operand.
+LINK_KINDS = frozenset({FaultKind.LINK_UP, FaultKind.LINK_DOWN})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault transition.
+
+    Attributes:
+        time: Absolute simulated time at which the transition applies.
+        kind: What happens.
+        node: The affected node (node kinds only).
+        edge: The affected grey-zone edge in canonical form (link kinds
+            only).
+    """
+
+    time: Time
+    kind: FaultKind
+    node: NodeId | None = None
+    edge: Edge | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ExperimentError(f"fault event time must be >= 0: {self.time}")
+        if self.kind in NODE_KINDS:
+            if self.node is None or self.edge is not None:
+                raise ExperimentError(
+                    f"{self.kind.value} event takes a node operand only"
+                )
+        else:
+            if self.edge is None or self.node is not None:
+                raise ExperimentError(
+                    f"{self.kind.value} event takes an edge operand only"
+                )
+            object.__setattr__(self, "edge", canonical_edge(*self.edge))
+
+    def sort_key(self) -> tuple:
+        """Deterministic total order: time, then kind, then operand."""
+        operand = self.edge if self.edge is not None else (self.node, self.node)
+        return (self.time, self.kind.value, operand)

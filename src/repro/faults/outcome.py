@@ -1,0 +1,116 @@
+"""Solution criteria under faults: MMB among the survivors.
+
+The paper's MMB criterion — every message reaches its origin's whole
+``G``-component — is unattainable once nodes crash.  The faulted criterion
+implemented here is the standard relaxation from the crash-fault
+literature: a run *solves MMB among survivors* when every message that was
+actually injected (not lost to a dead origin) reaches every **surviving**
+node of its origin's base-graph component.  Nodes that crashed or left owe
+nothing; messages the environment could not inject require nothing (they
+are tallied in ``messages_lost`` instead); and — per the dynamic-network
+convention — a churn arrival is owed only the messages that arrive at or
+after its join (plus its own), since no algorithm can deliver a flood that
+finished before the node existed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.faults.engine import FaultEngine
+from repro.ids import MessageAssignment, MessageId, NodeId, Time
+from repro.topology.dualgraph import DualGraph
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """MMB outcome of a faulted execution.
+
+    Attributes:
+        solved: True when every surviving requirement was met.
+        completion_time: Time of the last surviving required delivery
+            (``inf`` when unsolved, 0.0 when nothing was required).
+        required: Number of (survivor, message) delivery obligations.
+        met: How many of them were fulfilled.
+    """
+
+    solved: bool
+    completion_time: Time
+    required: int
+    met: int
+
+    def metrics(self) -> dict[str, float]:
+        """Scalar metrics for :class:`ExperimentResult.metrics`."""
+        return {
+            "survivor_required": float(self.required),
+            "survivor_delivered": float(self.met),
+            "survivor_solved": float(self.solved),
+        }
+
+
+def survivor_outcome(
+    dual: DualGraph,
+    assignment: MessageAssignment,
+    delivery_times: Mapping[tuple[NodeId, MessageId], Time],
+    engine: FaultEngine,
+    arrival_times: Mapping[MessageId, Time] | None = None,
+) -> FaultOutcome:
+    """Evaluate the among-survivors MMB criterion for one execution.
+
+    Args:
+        dual: The base network (components are taken in the static ``G``;
+            a fault-induced partition shows up as unmet obligations, which
+            is the honest accounting for a resilience benchmark).
+        assignment: The static message placement.
+        delivery_times: ``(node, mid) -> time`` of every recorded delivery.
+        engine: The fault engine after the run (final aliveness, join
+            times, and the lost message ids).
+        arrival_times: ``mid -> injection time``; defaults to time 0 for
+            every message (the paper's main-body workload).  Used to
+            excuse churn arrivals from messages that predate their join.
+
+    Returns:
+        The :class:`FaultOutcome`.
+    """
+    arrivals = arrival_times or {}
+    solved = True
+    completion: Time = 0.0
+    required = 0
+    met = 0
+    for node, messages in sorted(assignment.messages.items()):
+        component = dual.component_of(node)
+        survivors = [v for v in sorted(component) if engine.is_active(v)]
+        origin_join = engine.join_time(node)
+        for message in messages:
+            if message.mid in engine.lost_message_ids:
+                continue
+            arrived_at = arrivals.get(message.mid, 0.0)
+            if origin_join is not None:
+                # A churn-in origin's messages travel with it: they are
+                # actually injected at its join, not at their nominal time.
+                arrived_at = max(arrived_at, origin_join)
+            for member in survivors:
+                joined_at = engine.join_time(member)
+                if (
+                    joined_at is not None
+                    and member != node
+                    and arrived_at < joined_at
+                ):
+                    # A churn arrival is not owed floods that finished (or
+                    # started) before it existed — only its own messages
+                    # and those injected from its join onward.
+                    continue
+                required += 1
+                time = delivery_times.get((member, message.mid))
+                if time is None:
+                    solved = False
+                else:
+                    met += 1
+                    completion = max(completion, time)
+    if not solved:
+        completion = math.inf
+    return FaultOutcome(
+        solved=solved, completion_time=completion, required=required, met=met
+    )

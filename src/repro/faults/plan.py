@@ -1,0 +1,124 @@
+"""The fault plan: an immutable, pre-materialized fault timeline.
+
+Scenario builders (:mod:`repro.faults.scenarios`) draw every random choice
+up front from a seed-derived stream and compile it into a
+:class:`FaultPlan`.  Executions then replay the plan; no randomness is
+consumed at fault-application time, which is what makes a faulty run
+bit-identical across processes and across the four substrates' different
+clocks (event-driven time, lock-step rounds, radio slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ExperimentError
+from repro.faults.events import LINK_KINDS, NODE_KINDS, Edge, FaultEvent
+from repro.ids import NodeId, Time
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A sorted timeline of fault events plus the initial churn state.
+
+    Attributes:
+        events: The transitions in deterministic ``sort_key`` order.
+        initially_absent: Nodes that have not yet joined at time 0 (churn
+            arrivals); each must have a later ``JOIN`` event to ever
+            participate.  Environment messages addressed to an
+            initially-absent node arrive when the node joins.
+        name: Human label (the scenario key that built the plan).
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    initially_absent: frozenset[NodeId] = frozenset()
+    name: str = "faults"
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=FaultEvent.sort_key))
+        object.__setattr__(self, "events", ordered)
+        object.__setattr__(
+            self, "initially_absent", frozenset(self.initially_absent)
+        )
+
+    @staticmethod
+    def of(
+        events: Iterable[FaultEvent],
+        initially_absent: Iterable[NodeId] = (),
+        name: str = "faults",
+    ) -> "FaultPlan":
+        """Build a plan from any event iterable (sorted automatically)."""
+        return FaultPlan(
+            events=tuple(events),
+            initially_absent=frozenset(initially_absent),
+            name=name,
+        )
+
+    @property
+    def horizon(self) -> Time:
+        """Time of the last planned event (0.0 for an empty plan)."""
+        return self.events[-1].time if self.events else 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan changes nothing (no events, no absentees)."""
+        return not self.events and not self.initially_absent
+
+    def node_events(self) -> tuple[FaultEvent, ...]:
+        """The node-kind events, in timeline order."""
+        return tuple(e for e in self.events if e.kind in NODE_KINDS)
+
+    def link_events(self) -> tuple[FaultEvent, ...]:
+        """The link-kind events, in timeline order."""
+        return tuple(e for e in self.events if e.kind in LINK_KINDS)
+
+    def touched_nodes(self) -> frozenset[NodeId]:
+        """Every node referenced by the plan."""
+        nodes = set(self.initially_absent)
+        nodes.update(e.node for e in self.node_events())
+        return frozenset(nodes)
+
+    def touched_edges(self) -> frozenset[Edge]:
+        """Every flapping edge referenced by the plan."""
+        return frozenset(e.edge for e in self.link_events())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def validate_plan(plan: FaultPlan, dual) -> None:
+    """Check a plan against the network it will be applied to.
+
+    Raises:
+        ExperimentError: If an event references an unknown node, a link
+            event references an edge outside ``G' \\ G``, or an
+            initially-absent node never joins.
+    """
+    known = set(dual.nodes)
+    for event in plan.node_events():
+        if event.node not in known:
+            raise ExperimentError(
+                f"fault plan references unknown node {event.node}"
+            )
+    for event in plan.link_events():
+        u, v = event.edge
+        if u not in known or v not in known:
+            raise ExperimentError(
+                f"fault plan references unknown edge {event.edge}"
+            )
+        if not dual.is_gprime_edge(u, v) or dual.is_reliable_edge(u, v):
+            raise ExperimentError(
+                f"flapping edge {event.edge} must be a grey-zone "
+                f"(G' \\ G) edge of the base network"
+            )
+    joining = {
+        e.node for e in plan.node_events() if e.kind.value == "join"
+    }
+    stranded = plan.initially_absent - joining
+    if stranded:
+        raise ExperimentError(
+            f"initially-absent nodes never join: {sorted(stranded)[:5]}"
+        )
+    if plan.initially_absent >= known:
+        raise ExperimentError("a fault plan cannot start with every node absent")

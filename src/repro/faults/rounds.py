@@ -1,0 +1,64 @@
+"""Fault adapter for the lock-step round substrate.
+
+The FMMB subroutines drive an arbitrary
+:class:`~repro.mac.rounds.RoundScheduler` against the static dual graph.
+:class:`FaultyRoundScheduler` interposes on that single choke point: before
+each round it advances the fault engine to the round's start time
+(``round_index x Fprog``), substitutes the engine's
+:class:`~repro.faults.engine.EffectiveDualView` for the static graph, and
+filters crashed nodes out of both the broadcast intents and the delivery
+map.  The wrapped scheduler — random or adversarial — runs unmodified, so
+every round policy in the package is fault-capable for free.
+"""
+
+from __future__ import annotations
+
+from repro.faults.engine import FaultEngine
+from repro.ids import Time
+from repro.mac.rounds import Deliveries, Intents, RoundScheduler
+from repro.topology.dualgraph import DualGraph
+
+
+class FaultyRoundScheduler(RoundScheduler):
+    """Wraps a round scheduler with crash/churn/flap awareness.
+
+    Args:
+        inner: The policy that picks deliveries among live contenders.
+        engine: The execution's fault engine.
+        fprog: Round length (converts round indices to engine time).
+    """
+
+    def __init__(self, inner: RoundScheduler, engine: FaultEngine, fprog: Time):
+        self.inner = inner
+        self.engine = engine
+        self.fprog = fprog
+        self._suppressed_nodes: set = set()
+
+    def deliveries(
+        self, round_index: int, intents: Intents, dual: DualGraph
+    ) -> Deliveries:
+        engine = self.engine
+        engine.advance_to(round_index * self.fprog)
+        view = engine.view()
+        live_intents: Intents = {
+            u: payload
+            for u, payload in sorted(intents.items())
+            if view.is_active(u)
+        }
+        # Count each dead intender once, not once per round it keeps
+        # re-intending, so the metric stays comparable with the
+        # per-broadcast-attempt semantics of the other substrates.
+        newly_suppressed = (
+            set(intents) - set(live_intents)
+        ) - self._suppressed_nodes
+        if newly_suppressed:
+            self._suppressed_nodes |= newly_suppressed
+            engine.note("bcasts_suppressed", len(newly_suppressed))
+        received = self.inner.deliveries(round_index, live_intents, view)
+        delivered: Deliveries = {}
+        for v, messages in received.items():
+            if view.is_active(v):
+                delivered[v] = messages
+            else:
+                engine.note("deliveries_dropped", len(messages))
+        return delivered

@@ -51,6 +51,9 @@ class _EnhancedBinding(_NodeBinding):
         return self._mac.sim.schedule(delay, self._fire_timer, tag)
 
     def _fire_timer(self, tag: Any) -> None:
+        if not self._mac.node_active(self._node_id):
+            return  # timers of crashed nodes die with them
+        self._mac.mark_activity()
         self.automaton.on_timer(self, tag)
 
 

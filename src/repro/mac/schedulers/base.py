@@ -38,8 +38,15 @@ class SchedulerContext:
 
     @property
     def dual(self) -> "DualGraph":
-        """The network topology."""
-        return self._mac.dual
+        """The network topology as the scheduler should see it *now*.
+
+        Fault-free this is the static dual graph.  Under fault injection
+        it is the engine's :class:`~repro.faults.engine.EffectiveDualView`
+        (same query surface), so schedulers plan deliveries only to nodes
+        that are currently alive and treat flapped-up grey edges as
+        reliable — without any fault-specific code of their own.
+        """
+        return self._mac.effective_dual
 
     @property
     def fack(self) -> Time:

@@ -21,7 +21,7 @@ sets them at the same instant.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import MACError, SchedulerError, WellFormednessError
 from repro.ids import TIME_EPS, Message, NodeId, Time
@@ -31,6 +31,9 @@ from repro.mac.schedulers.base import Scheduler, SchedulerContext
 from repro.sim.events import EventHandle
 from repro.sim.kernel import Simulator
 from repro.topology.dualgraph import DualGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.engine import FaultEngine
 
 #: Event priority for ``rcv`` events (fires before acks at equal times).
 PRIORITY_RCV = 0
@@ -83,6 +86,16 @@ class StandardMACLayer:
         fprog: Progress bound for this execution (``fprog <= fack``).
         delivery_sink: Optional callback invoked on every MMB
             ``deliver(m)_i`` output (wired up by the experiment runner).
+        fault_engine: Optional :class:`~repro.faults.engine.FaultEngine`.
+            When set, the layer honors the engine's dynamics: crashed
+            nodes' pending broadcasts are aborted, deliveries to dead
+            receivers are dropped (and excused at acknowledgment time),
+            recovered/joining nodes are re-woken, arrivals addressed to a
+            not-yet-joined node are deferred to its join, and schedulers
+            observe the engine's effective topology through ``ctx.dual``.
+            The layer also schedules a fallback acknowledgment at
+            ``bcast + Fack`` per instance so broadcasts whose reliable
+            neighbors died cannot outlive the acknowledgment bound.
     """
 
     def __init__(
@@ -93,6 +106,7 @@ class StandardMACLayer:
         fack: Time,
         fprog: Time,
         delivery_sink: DeliverySink | None = None,
+        fault_engine: "FaultEngine | None" = None,
     ):
         if fprog <= 0 or fack <= 0:
             raise MACError(f"bounds must be positive (fack={fack}, fprog={fprog})")
@@ -105,11 +119,23 @@ class StandardMACLayer:
         self.scheduler = scheduler
         self.instances = InstanceLog()
         self.delivery_sink = delivery_sink
+        #: Time of the last MAC/automaton event (bcast, rcv, ack, arrival,
+        #: timer, re-wake).  Under faults the simulator keeps running to
+        #: drain the installed fault timeline, so ``sim.now`` at quiescence
+        #: reflects the fault horizon; this is the protocol's actual end.
+        self.last_activity: Time = 0.0
         self._bindings: dict[NodeId, _NodeBinding] = {}
         self._pending: dict[NodeId, MessageInstance | None] = {}
         self._handles: dict[int, list[EventHandle]] = {}
         self._scheduled_receivers: dict[int, set[NodeId]] = {}
         self._delivered: dict[tuple[NodeId, str], Time] = {}
+        self.faults = fault_engine
+        self._fault_required: dict[int, frozenset[NodeId]] = {}
+        self._fault_dropped: dict[int, set[NodeId]] = {}
+        self._fault_aborted: dict[NodeId, Any] = {}
+        self._fault_unwoken: set[NodeId] = set()
+        if fault_engine is not None:
+            fault_engine.listener = self
         scheduler.bind(SchedulerContext(self))
 
     # ------------------------------------------------------------------
@@ -125,15 +151,34 @@ class StandardMACLayer:
         self._pending[node_id] = None
 
     def start(self) -> None:
-        """Schedule the environment's wake-up event at every node (time 0)."""
+        """Schedule the environment's wake-up event at every node (time 0).
+
+        Under faults, nodes that are absent at time 0 (churn arrivals) are
+        woken when they join instead; the fault plan itself is installed
+        into the simulator here.
+        """
         for node_id in sorted(self._bindings):
+            if not self.node_active(node_id):
+                self._fault_unwoken.add(node_id)
+                continue
             binding = self._bindings[node_id]
             self.sim.schedule_at(
                 0.0,
-                binding.automaton.on_wakeup,
+                self._fire_wakeup,
                 binding,
                 priority=PRIORITY_WAKEUP,
             )
+        if self.faults is not None:
+            self.faults.install(self.sim)
+
+    def _fire_wakeup(self, binding: _NodeBinding) -> None:
+        if not self.node_active(binding.node_id):
+            # Crashed in the same instant, before its wakeup fired (fault
+            # events run first): deliver the wakeup if it ever comes back.
+            self._fault_unwoken.add(binding.node_id)
+            return
+        self.mark_activity()
+        binding.automaton.on_wakeup(binding)
 
     def inject_arrival(
         self, node_id: NodeId, message: Message, time: Time = 0.0
@@ -143,11 +188,31 @@ class StandardMACLayer:
         binding = self._binding(node_id)
         self.sim.schedule_at(
             time,
-            binding.automaton.on_arrive,
+            self._fire_arrival,
             binding,
             message,
             priority=PRIORITY_ARRIVE,
         )
+
+    def _fire_arrival(self, binding: _NodeBinding, message: Message) -> None:
+        if self.faults is not None:
+            disposition, join_at = self.faults.classify_arrival(
+                binding.node_id, message.mid
+            )
+            if disposition == "lost":
+                return
+            if disposition == "defer":
+                # A late node brings its messages along when it joins.
+                self.sim.schedule_at(
+                    join_at,
+                    self._fire_arrival,
+                    binding,
+                    message,
+                    priority=PRIORITY_ARRIVE,
+                )
+                return
+        self.mark_activity()
+        binding.automaton.on_arrive(binding, message)
 
     def _binding(self, node_id: NodeId) -> _NodeBinding:
         try:
@@ -156,20 +221,103 @@ class StandardMACLayer:
             raise MACError(f"node {node_id} has no registered automaton") from None
 
     # ------------------------------------------------------------------
+    # Fault plumbing
+    # ------------------------------------------------------------------
+    def node_active(self, node_id: NodeId) -> bool:
+        """True when the node currently participates (always, fault-free)."""
+        return self.faults is None or self.faults.is_active(node_id)
+
+    def mark_activity(self) -> None:
+        """Record that a MAC/automaton event happened at the current time."""
+        self.last_activity = self.sim.now
+
+    @property
+    def effective_dual(self) -> Any:
+        """What schedulers see as the topology: faulted view or the base."""
+        return self.dual if self.faults is None else self.faults.view()
+
+    def fault_node_down(self, node_id: NodeId, kind: Any) -> None:
+        """Fault-engine hook: a node crashed or left.
+
+        Its pending broadcast (if any) is aborted — undelivered receives
+        are cancelled and the scheduler is told the instance terminated.
+        The automaton gets no callback: the node is dead.
+        """
+        instance = self._pending.get(node_id)
+        if instance is None:
+            return
+        instance.abort_time = self.sim.now
+        self._pending[node_id] = None
+        self._fault_aborted[node_id] = instance.payload
+        for handle in self._handles.get(instance.iid, ()):
+            handle.cancel()
+        self._cleanup_instance(instance)
+        assert self.faults is not None
+        self.faults.note("bcasts_aborted")
+        self.scheduler.on_terminated(instance)
+
+    def fault_node_up(self, node_id: NodeId, kind: Any) -> None:
+        """Fault-engine hook: a node recovered or joined.
+
+        A node that never woke (a churn join, or a crash that beat its
+        time-0 wakeup) gets its first ``on_wakeup`` now.  A *recovery*
+        resumes an automaton whose state survived the crash — no second
+        wakeup (protocols like FloodMax would reset themselves), but the
+        broadcast the crash aborted is reported as ``on_abort`` so
+        queue-driven protocols can retransmit instead of waiting forever
+        for an ack that died.
+        """
+        binding = self._bindings.get(node_id)
+        if binding is None:
+            return
+        if node_id in self._fault_unwoken:
+            self._fault_unwoken.discard(node_id)
+            self.mark_activity()
+            binding.automaton.on_wakeup(binding)
+            return
+        if node_id in self._fault_aborted:
+            payload = self._fault_aborted.pop(node_id)
+            self.mark_activity()
+            binding.automaton.on_abort(binding, payload)
+
+    # ------------------------------------------------------------------
     # Broadcast / deliver / ack machinery
     # ------------------------------------------------------------------
-    def bcast(self, sender: NodeId, payload: Any) -> MessageInstance:
-        """Start an acknowledged local broadcast (called via the node API)."""
+    def bcast(self, sender: NodeId, payload: Any) -> MessageInstance | None:
+        """Start an acknowledged local broadcast (called via the node API).
+
+        Under faults a broadcast by a currently-dead node is suppressed
+        (returns None): the environment, not the automaton, killed it, so
+        it is not a well-formedness violation.
+        """
         binding = self._binding(sender)
+        if self.faults is not None and not self.faults.is_active(sender):
+            # Dead nodes transmit nothing — but remember the payload so a
+            # recovery replays it as on_abort: external drivers (e.g. the
+            # sequential-flooding coordinator) may have flipped the
+            # automaton's sending flag, and nothing else would unwedge it.
+            self.faults.note("bcasts_suppressed")
+            self._fault_aborted[sender] = payload
+            return None
         if self._pending[sender] is not None:
             raise WellFormednessError(
                 f"node {sender} bcast while instance "
                 f"{self._pending[sender].iid} is unacknowledged"
             )
         instance = self.instances.new_instance(sender, payload, self.sim.now)
+        self.mark_activity()
         self._pending[sender] = instance
         self._handles[instance.iid] = []
         self._scheduled_receivers[instance.iid] = set()
+        if self.faults is not None:
+            # Acknowledgment obligations are fixed at bcast time: the
+            # effective reliable neighbors alive right now.  A fallback
+            # ack at bcast + Fack guarantees termination even when a
+            # scheduler's own ack logic stalls on a receiver that died.
+            self._fault_required[instance.iid] = (
+                self.faults.effective_reliable_neighbors(sender)
+            )
+            self.schedule_ack(instance, instance.bcast_time + self.fack)
         self.scheduler.on_bcast(instance)
         del binding  # bindings participate only via callbacks
         return instance
@@ -227,11 +375,18 @@ class StandardMACLayer:
             # Deliveries racing an abort are dropped (the model allows them
             # within eps_abort; we take the simple choice of cancelling).
             return
+        if self.faults is not None and not self.faults.is_active(receiver):
+            # The receiver died after this delivery was planned: drop it
+            # and excuse the pair at acknowledgment time.
+            self._fault_dropped.setdefault(instance.iid, set()).add(receiver)
+            self.faults.note("deliveries_dropped")
+            return
         if instance.delivered_to(receiver):
             raise SchedulerError(
                 f"instance {instance.iid}: duplicate rcv at {receiver}"
             )
         instance.rcv_times[receiver] = self.sim.now
+        self.mark_activity()
         self.scheduler.on_delivered(instance, receiver)
         binding = self._binding(receiver)
         binding.automaton.on_receive(binding, instance.payload, instance.sender)
@@ -239,26 +394,58 @@ class StandardMACLayer:
     def _fire_ack(self, instance: MessageInstance) -> None:
         if instance.terminated:
             return
-        missing = [
-            v
-            for v in self.dual.reliable_neighbors(instance.sender)
-            if not instance.delivered_to(v)
-        ]
+        missing = self._ack_missing(instance)
         if missing:
             raise SchedulerError(
                 f"instance {instance.iid}: ack before delivery to "
                 f"G-neighbors {missing}"
             )
         instance.ack_time = self.sim.now
+        self.mark_activity()
         self._pending[instance.sender] = None
+        if self.faults is not None:
+            # Cancel the redundant ack (fallback or scheduler's own) so a
+            # terminated instance leaves nothing in the event queue.
+            for handle in self._handles.get(instance.iid, ()):
+                handle.cancel()
         self._cleanup_instance(instance)
         self.scheduler.on_terminated(instance)
         binding = self._binding(instance.sender)
         binding.automaton.on_ack(binding, instance.payload)
 
+    def _ack_missing(self, instance: MessageInstance) -> list[NodeId]:
+        """Receivers whose missing ``rcv`` blocks the acknowledgment.
+
+        Fault-free: every ``G``-neighbor of the sender.  Under faults: the
+        effective reliable neighbors captured at bcast time, excused when
+        they have since died, had their planned delivery dropped by a
+        crash, or had their flapped-up grey edge go back down — the MAC
+        owes deliveries only to receivers that stayed reliably reachable
+        the whole time (schedulers judge "everyone got it" against the
+        *current* effective topology, so the two views must agree here).
+        """
+        if self.faults is None:
+            return [
+                v
+                for v in self.dual.reliable_neighbors(instance.sender)
+                if not instance.delivered_to(v)
+            ]
+        required = self._fault_required.get(instance.iid, frozenset())
+        dropped = self._fault_dropped.get(instance.iid, ())
+        return [
+            v
+            for v in sorted(required)
+            if not instance.delivered_to(v)
+            and self.faults.is_active(v)
+            and self.faults.is_reliable_edge(instance.sender, v)
+            and v not in dropped
+        ]
+
     def _cleanup_instance(self, instance: MessageInstance) -> None:
         self._handles.pop(instance.iid, None)
         self._scheduled_receivers.pop(instance.iid, None)
+        self._fault_required.pop(instance.iid, None)
+        self._fault_dropped.pop(instance.iid, None)
 
     # ------------------------------------------------------------------
     # MMB deliver output

@@ -108,6 +108,13 @@ class RadioMACLayer:
         phases: Decay phases per schedule block; defaults to
             ``Θ(log n)`` via :func:`recommended_phases`.
         depth: Decay depth; defaults to ``ceil(log2(max G' degree + 1))``.
+        fault_engine: Optional :class:`~repro.faults.engine.FaultEngine`;
+            the adapter polls it once per slot.  Crashed nodes stop
+            transmitting and listening (their in-flight broadcast is
+            aborted), adaptive acknowledgment waits only for reliable
+            neighbors that are still alive, arrivals addressed to a
+            not-yet-joined node fire when it joins, and flapped-up grey
+            edges stop fading while reliable.
     """
 
     def __init__(
@@ -119,6 +126,7 @@ class RadioMACLayer:
         adaptive: bool = True,
         phases: int | None = None,
         depth: int | None = None,
+        fault_engine=None,
     ):
         if slot_duration <= 0:
             raise MACError(f"slot_duration must be positive: {slot_duration}")
@@ -135,6 +143,13 @@ class RadioMACLayer:
         self.radio = SlottedRadioNetwork(
             dual, rng.child("fading"), p_unreliable_live=p_unreliable_live
         )
+        self.faults = fault_engine
+        self._fault_aborted: dict[NodeId, object] = {}
+        self._fault_unwoken: set[NodeId] = set()
+        self._quiesced = False
+        if fault_engine is not None:
+            fault_engine.listener = self
+            self.radio.fault_engine = fault_engine
         self.instances = InstanceLog()
         self._bindings: dict[NodeId, _RadioBinding] = {}
         self._active: dict[NodeId, _ActiveBroadcast] = {}
@@ -169,7 +184,14 @@ class RadioMACLayer:
     # ------------------------------------------------------------------
     # Broadcast entry point (called by node automata)
     # ------------------------------------------------------------------
-    def bcast(self, sender: NodeId, payload) -> MessageInstance:
+    def bcast(self, sender: NodeId, payload) -> MessageInstance | None:
+        if self.faults is not None and not self.faults.is_active(sender):
+            # Remember the payload: recovery replays it as on_abort so a
+            # driver that flipped the automaton's sending flag while the
+            # node was dead cannot wedge it (see StandardMACLayer.bcast).
+            self.faults.note("bcasts_suppressed")
+            self._fault_aborted[sender] = payload
+            return None
         if sender in self._active:
             raise WellFormednessError(
                 f"node {sender} bcast while a broadcast is in flight"
@@ -187,22 +209,89 @@ class RadioMACLayer:
     def run(self, max_slots: int = 1_000_000) -> int:
         """Run slots until quiescence (or ``max_slots``); returns slots used."""
         start_slot = self.radio.slot
+        self._quiesced = False
+        if self.faults is not None:
+            self.faults.advance_to(self.now)
         for node_id in sorted(self._bindings):
+            if self.faults is not None and not self.faults.is_active(node_id):
+                # Absent/churn/insta-crashed nodes wake when they come up.
+                self._fault_unwoken.add(node_id)
+                continue
             binding = self._bindings[node_id]
             binding.automaton.on_wakeup(binding)
         while self.radio.slot - start_slot < max_slots:
             slot = self.radio.slot
+            if self.faults is not None:
+                self.faults.advance_to(self.now)
             self._fire_arrivals(slot)
             if not self._active and not self._pending_arrivals(slot):
                 break
             self._run_one_slot()
+        if self.faults is not None:
+            # Replay the rest of the fault timeline (no further slots are
+            # simulated) so the final engine state — survivors, joins —
+            # matches the event-driven substrates, which drain the
+            # installed timeline at quiescence.  _quiesced suppresses the
+            # wake/resume callbacks, which must not broadcast into a
+            # simulation that has ended.
+            self._quiesced = True
+            self.faults.advance_to(math.inf)
         return self.radio.slot - start_slot
+
+    # ------------------------------------------------------------------
+    # Fault-engine hooks (called during advance_to)
+    # ------------------------------------------------------------------
+    def fault_node_down(self, node_id: NodeId, kind) -> None:
+        """A node crashed or left: its in-flight broadcast dies with it."""
+        active = self._active.pop(node_id, None)
+        if active is not None:
+            active.instance.abort_time = self.now
+            self._fault_aborted[node_id] = active.instance.payload
+            assert self.faults is not None
+            self.faults.note("bcasts_aborted")
+
+    def fault_node_up(self, node_id: NodeId, kind) -> None:
+        """A node recovered or joined.
+
+        Mirrors :meth:`StandardMACLayer.fault_node_up`: never-woken nodes
+        get their first ``on_wakeup``; recoveries get ``on_abort`` for the
+        broadcast the crash killed, so queue-driven automata resume
+        transmitting.  Suppressed after the slot loop ends — callbacks
+        must not broadcast into a finished run.
+        """
+        if self._quiesced:
+            return
+        binding = self._bindings.get(node_id)
+        if binding is None:
+            return
+        if node_id in self._fault_unwoken:
+            self._fault_unwoken.discard(node_id)
+            binding.automaton.on_wakeup(binding)
+            return
+        if node_id in self._fault_aborted:
+            payload = self._fault_aborted.pop(node_id)
+            binding.automaton.on_abort(binding, payload)
 
     def _pending_arrivals(self, current_slot: int) -> bool:
         return any(s >= current_slot and lst for s, lst in self._arrivals.items())
 
     def _fire_arrivals(self, slot: int) -> None:
         for node_id, message in self._arrivals.pop(slot, []):
+            if self.faults is not None:
+                disposition, join_at = self.faults.classify_arrival(
+                    node_id, message.mid
+                )
+                if disposition == "lost":
+                    continue
+                if disposition == "defer":
+                    # Re-queue for the slot in which the node joins.
+                    join_slot = max(
+                        slot + 1, math.ceil(join_at / self.slot_duration)
+                    )
+                    self._arrivals.setdefault(join_slot, []).append(
+                        (node_id, message)
+                    )
+                    continue
             binding = self._bindings[node_id]
             binding.automaton.on_arrive(binding, message)
 
@@ -222,6 +311,17 @@ class RadioMACLayer:
             binding.automaton.on_receive(binding, instance.payload, sender)
         self._complete_finished(slot_end)
 
+    def _required_receivers(self, sender: NodeId) -> list[NodeId]:
+        """Reliable neighbors the sender still owes a delivery.
+
+        Under faults, dead neighbors are owed nothing (the adaptive mode
+        would otherwise retransmit forever at a crashed neighbor).
+        """
+        neighbors = sorted(self.dual.reliable_neighbors(sender))
+        if self.faults is None:
+            return neighbors
+        return [v for v in neighbors if self.faults.is_active(v)]
+
     def _complete_finished(self, slot_end: Time) -> None:
         for sender in sorted(self._active):
             active = self._active[sender]
@@ -229,7 +329,7 @@ class RadioMACLayer:
                 continue
             missing = [
                 v
-                for v in self.dual.reliable_neighbors(sender)
+                for v in self._required_receivers(sender)
                 if not active.instance.delivered_to(v)
             ]
             if missing and self.adaptive:
@@ -242,9 +342,7 @@ class RadioMACLayer:
                     ),
                 )
                 continue
-            self._required_deliveries += len(
-                self.dual.reliable_neighbors(sender)
-            )
+            self._required_deliveries += len(self._required_receivers(sender))
             self._missed_before_ack += len(missing)
             active.instance.ack_time = slot_end
             del self._active[sender]

@@ -68,6 +68,10 @@ class SlottedRadioNetwork:
         self.p_unreliable_live = p_unreliable_live
         self.slot = 0
         self.stats: list[SlotStats] = []
+        #: Optional :class:`~repro.faults.engine.FaultEngine` (set by the
+        #: radio MAC adapter): dead nodes neither transmit nor listen, and
+        #: flapped-up grey edges stop fading while they are reliable.
+        self.fault_engine = None
 
     def run_slot(self, transmissions: Transmissions) -> Receptions:
         """Execute one slot and return who received what.
@@ -78,16 +82,22 @@ class SlottedRadioNetwork:
         for sender in transmissions:
             if not self.dual.reliable_graph.has_node(sender):
                 raise MACError(f"unknown transmitter {sender}")
+        engine = self.fault_engine
         receptions: Receptions = {}
         collisions = 0
         for v in self.dual.nodes:
             if v in transmissions:
                 continue  # transmitters cannot listen
+            if engine is not None and not engine.is_active(v):
+                continue  # dead nodes hear nothing
             live_senders = []
             for u in sorted(self.dual.gprime_neighbors(v)):
                 if u not in transmissions:
                     continue
-                reliable = u in self.dual.reliable_neighbors(v)
+                if engine is not None:
+                    reliable = engine.is_reliable_edge(u, v)
+                else:
+                    reliable = u in self.dual.reliable_neighbors(v)
                 if reliable or self._rng.bernoulli(self.p_unreliable_live):
                     live_senders.append(u)
             if len(live_senders) == 1:

@@ -37,6 +37,9 @@ class ProtocolRun:
         quiesced: True when the event queue drained before ``max_time``.
         end_time: Simulation time at which execution stopped.
         broadcast_count: Number of broadcasts in the execution.
+        last_activity: Time of the last MAC/automaton event.  Equals
+            ``end_time`` fault-free; under faults the queue also drains the
+            installed fault timeline, so this is the protocol's real end.
     """
 
     automata: dict[NodeId, Automaton]
@@ -44,6 +47,7 @@ class ProtocolRun:
     quiesced: bool
     end_time: Time
     broadcast_count: int
+    last_activity: Time = 0.0
 
 
 def run_protocol(
@@ -55,14 +59,18 @@ def run_protocol(
     max_time: Time | None = None,
     max_events: int = 50_000_000,
     mac_class: type[StandardMACLayer] = StandardMACLayer,
+    fault_engine=None,
 ) -> ProtocolRun:
     """Run a generic wakeup-driven protocol (no MMB arrivals) to quiescence.
 
     Used by the leader-election and consensus extensions, whose inputs live
     in the automata rather than in an environment message assignment.
+    ``fault_engine`` injects crashes/churn/flapping into the execution
+    (see :mod:`repro.faults`).
     """
     sim = Simulator(max_events=max_events)
-    mac = mac_class(sim, dual, scheduler, fack=fack, fprog=fprog)
+    extra = {"fault_engine": fault_engine} if fault_engine is not None else {}
+    mac = mac_class(sim, dual, scheduler, fack=fack, fprog=fprog, **extra)
     automata = {node_id: automaton_factory(node_id) for node_id in dual.nodes}
     for node_id, automaton in automata.items():
         mac.register(node_id, automaton)
@@ -75,6 +83,7 @@ def run_protocol(
         quiesced=quiesced,
         end_time=sim.now,
         broadcast_count=len(mac.instances),
+        last_activity=mac.last_activity,
     )
 
 
@@ -89,6 +98,7 @@ def run_standard(
     max_events: int = 50_000_000,
     keep_instances: bool = True,
     mac_class: type[StandardMACLayer] = StandardMACLayer,
+    fault_engine=None,
 ) -> RunResult:
     """Run one standard-model MMB execution to quiescence.
 
@@ -108,9 +118,14 @@ def run_standard(
             for large parameter sweeps to save memory.
         mac_class: The MAC layer class (standard by default; tests use the
             enhanced layer to exercise abort semantics).
+        fault_engine: Optional fault/dynamics engine (see
+            :mod:`repro.faults`); ``None`` runs fault-free, bit-identical
+            to the pre-fault behavior.
 
     Returns:
-        The summarized :class:`RunResult`.
+        The summarized :class:`RunResult` (``solved`` keeps the paper's
+        full-component criterion; judge faulted runs with
+        :func:`repro.faults.survivor_outcome` instead).
     """
     if isinstance(assignment, ArrivalSchedule):
         schedule = assignment
@@ -126,8 +141,15 @@ def run_standard(
     started = _time.perf_counter()
     sim = Simulator(max_events=max_events)
     deliveries = DeliveryLog()
+    extra = {"fault_engine": fault_engine} if fault_engine is not None else {}
     mac = mac_class(
-        sim, dual, scheduler, fack=fack, fprog=fprog, delivery_sink=deliveries.record
+        sim,
+        dual,
+        scheduler,
+        fack=fack,
+        fprog=fprog,
+        delivery_sink=deliveries.record,
+        **extra,
     )
     for node_id in dual.nodes:
         mac.register(node_id, automaton_factory(node_id))

@@ -149,3 +149,36 @@ def test_success_rate():
     assert success_rate([True, True, False, True]) == pytest.approx(0.75)
     with pytest.raises(ExperimentError):
         success_rate([])
+
+
+def test_summary_order_statistics():
+    summary = summarize([float(v) for v in range(1, 101)])
+    assert summary.median == pytest.approx(50.5)
+    assert summary.p05 == pytest.approx(5.95)
+    assert summary.p95 == pytest.approx(95.05)
+    assert summary.p05 <= summary.median <= summary.p95
+    one = summarize([7.0])
+    assert one.median == one.p05 == one.p95 == 7.0
+
+
+def test_summary_order_statistics_need_the_retained_series():
+    from repro.analysis.stats import Summary
+
+    bare = Summary(count=3, mean=2.0, stdev=1.0, minimum=1.0, maximum=3.0)
+    with pytest.raises(ExperimentError, match="summarize"):
+        bare.median
+    # Equality still holds against a summarize()-built twin: the retained
+    # series is excluded from comparison.
+    assert summarize([1.0, 2.0, 3.0]) == bare
+
+
+def test_percentile_validates_q_range_and_empty_series():
+    from repro.analysis.stats import percentile
+
+    with pytest.raises(ExperimentError, match="empty"):
+        percentile([], 50.0)
+    for bad_q in (-0.1, 100.1, 1000.0):
+        with pytest.raises(ExperimentError, match=r"\[0, 100\]"):
+            percentile([1.0, 2.0], bad_q)
+    assert percentile([1.0, 2.0], 0.0) == 1.0
+    assert percentile([1.0, 2.0], 100.0) == 2.0

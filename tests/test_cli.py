@@ -126,3 +126,137 @@ def test_unknown_command_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_info_lists_the_fault_registry(capsys):
+    status = main(["info", "--n", "12", "--side", "2.0"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "fault" in out
+    assert "crash_random" in out
+
+
+def test_bmmb_fault_flag_reports_survivor_columns(capsys):
+    status = main(
+        [
+            "bmmb", "--n", "16", "--side", "2.2", "--k", "2",
+            "--fault", "crash_random:fraction=0.2,latest=0.3",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert status in (0, 1)  # solved-among-survivors decides the exit code
+    assert "fault=crash_random" in out
+    assert "survivors" in out
+    assert "crashed" in out
+
+
+def test_fmmb_fault_flag(capsys):
+    status = main(
+        [
+            "fmmb", "--n", "16", "--side", "2.2", "--k", "2",
+            "--fault", "flap_periodic:fraction=0.5,period=8",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert status in (0, 1)
+    assert "fault=flap_periodic" in out
+
+
+def test_radio_fault_flag(capsys):
+    status = main(
+        ["radio", "--n", "8", "--fault", "churn_poisson:join_fraction=0.3"]
+    )
+    out = capsys.readouterr().out
+    assert status in (0, 1)
+    assert "fault=churn_poisson" in out
+
+
+def test_fault_flag_rejects_malformed_params():
+    with pytest.raises(SystemExit):
+        main(["bmmb", "--n", "12", "--side", "2.0", "--fault", "crash_random:oops"])
+
+
+def test_unknown_fault_kind_is_rejected_at_parse_time():
+    with pytest.raises(SystemExit, match="unknown fault scenario"):
+        main(
+            ["sweep", "--n", "12", "--side", "2.0", "--seeds", "1",
+             "--fault", "meteor_strike"]
+        )
+    with pytest.raises(SystemExit, match="unknown fault scenario"):
+        main(["bmmb", "--n", "12", "--side", "2.0", "--fault", "nope"])
+
+
+def test_empty_fault_param_value_is_rejected():
+    with pytest.raises(SystemExit, match="param=value"):
+        main(
+            ["bmmb", "--n", "12", "--side", "2.0",
+             "--fault", "crash_random:fraction="]
+        )
+
+
+def test_bad_fault_param_value_reports_cleanly_not_a_traceback(capsys):
+    status = main(
+        ["bmmb", "--n", "12", "--side", "2.0",
+         "--fault", "crash_random:fraction=lots"]
+    )
+    assert status == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+def test_sweeping_fault_params_without_a_scenario_is_an_error(capsys):
+    # fault.* axes over the default kind "none" would be a silent no-op;
+    # the spec layer rejects the combination instead.
+    status = main(
+        ["sweep", "--n", "12", "--side", "2.0", "--seeds", "1",
+         "--param", "fault.fraction=0.0,0.4"]
+    )
+    assert status == 2
+    assert "fault kind 'none' takes no params" in capsys.readouterr().err
+
+
+def test_sweep_json_to_stdout_is_pure_json(capsys):
+    import json as _json
+
+    status = main(
+        [
+            "sweep", "--n", "12", "--side", "2.0", "--k", "2",
+            "--seeds", "2", "--param", "workload.k=1,2", "--json",
+        ]
+    )
+    out = capsys.readouterr().out
+    payload = _json.loads(out)  # nothing but the JSON document on stdout
+    assert status in (0, 1)
+    assert payload["base_spec"]["workload"]["params"]["k"] == 2
+    assert len(payload["runs"]) == 4
+    for run_row in payload["runs"]:
+        assert {"name", "seed", "solved", "completion", "spec", "metrics"} <= set(
+            run_row
+        )
+        # Each row's spec round-trips through the declarative API.
+        from repro.experiments import ExperimentSpec
+
+        ExperimentSpec.from_dict(run_row["spec"])
+
+
+def test_sweep_json_to_file_keeps_the_tables(capsys, tmp_path):
+    import json as _json
+
+    dest = tmp_path / "sweep.json"
+    status = main(
+        [
+            "sweep", "--n", "12", "--side", "2.0", "--k", "2",
+            "--seeds", "2", "--fault", "crash_random:fraction=0.2,latest=0.3",
+            "--param", "fault.fraction=0.0,0.2", "--json", str(dest),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert status in (0, 1)
+    assert "solved rate" in out  # human tables still printed
+    payload = _json.loads(dest.read_text())
+    assert len(payload["runs"]) == 4
+    fractions = {
+        run_row["spec"]["fault"]["params"]["fraction"]
+        for run_row in payload["runs"]
+    }
+    assert fractions == {0.0, 0.2}

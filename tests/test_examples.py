@@ -21,6 +21,7 @@ EXAMPLES = [
     "fmmb_overlay",
     "scheduler_gallery",
     "backbone_structuring",
+    "fault_scenarios",
 ]
 
 
@@ -56,3 +57,16 @@ def test_adversarial_example_hits_the_floor(capsys):
     out = capsys.readouterr().out
     assert "floor (D-1)*Fack = 100.0" in out
     assert "ok=True" in out
+
+
+def test_fault_gallery_covers_every_builtin_scenario(capsys):
+    from repro import list_faults
+
+    module = load_example("fault_scenarios")
+    covered = {fault.kind for fault in module.SCENARIOS}
+    assert covered == set(list_faults())
+    module.main(seed=7)
+    out = capsys.readouterr().out
+    assert "none (baseline)" in out
+    assert "crash_random" in out
+    assert "churn_poisson" in out

@@ -12,6 +12,7 @@ from repro.experiments import (
     TOPOLOGIES,
     AlgorithmSpec,
     ExperimentSpec,
+    FaultSpec,
     ModelSpec,
     SchedulerSpec,
     Sweep,
@@ -248,3 +249,58 @@ def test_percentile_rejects_bad_input():
         percentile([], 50)
     with pytest.raises(ExperimentError):
         percentile([1.0], 150)
+
+
+def test_grid_cartesian_product_over_many_dotted_paths():
+    import dataclasses
+
+    # Three axes across three different components, one of them fault.*:
+    # the expansion is the full cartesian product in sorted-axis order.
+    # (The base must name a fault scenario: fault.* params on kind "none"
+    # are rejected rather than silently ignored.)
+    base = dataclasses.replace(base_spec(), fault=FaultSpec("crash_random"))
+    specs = Sweep.grid(
+        base,
+        axes={
+            "workload.k": [1, 2],
+            "fault.fraction": [0.0, 0.25],
+            "model.fack": [10.0, 40.0],
+        },
+    )
+    assert len(specs) == 8
+    combos = {
+        (
+            s.fault.params["fraction"],
+            s.model.fack,
+            s.workload.params["k"],
+        )
+        for s in specs
+    }
+    assert combos == {
+        (f, fack, k)
+        for f in (0.0, 0.25)
+        for fack in (10.0, 40.0)
+        for k in (1, 2)
+    }
+    # fault.kind stayed at the base value; only params were touched.
+    assert all(s.fault.kind == "crash_random" for s in specs)
+
+
+def test_grid_fault_axis_lands_in_fault_params():
+    specs = Sweep.grid(
+        base_spec(), axes={"fault.kind": ["crash_random"], "fault.latest": [0.3]}
+    )
+    (spec,) = specs
+    assert spec.fault == FaultSpec("crash_random", {"latest": 0.3})
+
+
+def test_grid_unknown_dotted_path_error_names_the_path():
+    with pytest.raises(
+        ExperimentError,
+        match=r"sweep axis 'faults\.fraction' does not address",
+    ):
+        Sweep.grid(base_spec(), axes={"faults.fraction": [0.1]})
+    with pytest.raises(
+        ExperimentError, match=r"sweep axis 'name\.x' addresses a non-spec"
+    ):
+        Sweep.grid(base_spec(), axes={"name.x": ["oops"]})
