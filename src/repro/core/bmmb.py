@@ -37,6 +37,8 @@ from repro.mac.interfaces import Automaton, MACApi
 class BMMBNode(Automaton):
     """One BMMB process: FIFO ``bcastq`` + ``rcvd`` set + eager sending."""
 
+    __slots__ = ("bcastq", "rcvd", "sending", "sent_count")
+
     def __init__(self) -> None:
         self.bcastq: deque[Message] = deque()
         self.rcvd: set[str] = set()

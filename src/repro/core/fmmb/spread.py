@@ -127,9 +127,10 @@ def spread_messages(
                     current[u] = message
                     break
         for _period in range(periods_per_phase):
-            active = sorted(
-                u for u in current if coin_rng.bernoulli(activation)
-            )
+            # `current` is built over sorted(mis), so its keys are already
+            # in sorted order — filtering preserves both the order and the
+            # coin-draw sequence of the historical sorted() genexpr.
+            active = [u for u in current if coin_rng.bernoulli(activation)]
             intents = {u: _Spread(current[u], u) for u in active}
             relay: dict[NodeId, _Spread] = {}
             for _rho in range(3):

@@ -110,16 +110,48 @@ def root_stream(spec: ExperimentSpec) -> RandomSource:
     return RandomSource(spec.seed, ROOT_STREAM)
 
 
+#: Process-local memo of built topologies.  Keyed by (kind, params, seed),
+#: so a hit returns the *identical* (deterministically built, immutable)
+#: network — sweep workers that run many points over the same topology
+#: (explicit seeds, ``derive_seeds=False``) skip the rebuild per point.
+_TOPOLOGY_CACHE: dict[str, DualGraph] = {}
+_TOPOLOGY_CACHE_MAX = 8
+
+
+def clear_topology_cache() -> None:
+    """Drop the process-local topology memo.
+
+    Benchmarks call this between timed repeats so every repeat pays the
+    cold build (a cache hit would misattribute build cost to execution
+    and make comparisons against cacheless revisions unfair).
+    """
+    _TOPOLOGY_CACHE.clear()
+
+
 def materialize_topology(spec: ExperimentSpec) -> DualGraph:
     """Build the spec's network exactly as :func:`run` will.
 
     Useful for computing topology-dependent model constants (diameters,
     contention-provisioned ``Fack``) before constructing the final spec:
     the build is deterministic in ``spec.seed`` and ``spec.topology``, so
-    the network returned here is the one the run will use.
+    the network returned here is the one the run will use.  Results are
+    memoized per process (the build is pure and :class:`DualGraph` is
+    immutable, so sharing the object is safe).
     """
+    stream = root_stream(spec).child("topology")
+    key = (
+        f"{spec.topology.kind}|"
+        f"{sorted(spec.topology.params.items())!r}|{stream.seed}"
+    )
+    cached = _TOPOLOGY_CACHE.get(key)
+    if cached is not None:
+        return cached
     build = TOPOLOGIES.get(spec.topology.kind)
-    return build(root_stream(spec).child("topology"), **spec.topology.params)
+    dual = build(stream, **spec.topology.params)
+    if len(_TOPOLOGY_CACHE) >= _TOPOLOGY_CACHE_MAX:
+        _TOPOLOGY_CACHE.clear()
+    _TOPOLOGY_CACHE[key] = dual
+    return dual
 
 
 def materialize_workload(spec: ExperimentSpec, dual: DualGraph):

@@ -59,8 +59,11 @@ class EffectiveDualView:
         base: "DualGraph",
         active: frozenset[NodeId],
         up_edges: frozenset[Edge],
+        epoch: int = 0,
     ):
         self.base = base
+        #: Fault-engine epoch this snapshot was built at (diagnostics).
+        self.epoch = epoch
         self._active = active
         self._up_edges = up_edges
         up_adjacent: dict[NodeId, set[NodeId]] = {}
@@ -69,7 +72,7 @@ class EffectiveDualView:
             up_adjacent.setdefault(v, set()).add(u)
         self._rel: dict[NodeId, frozenset[NodeId]] = {}
         self._gp: dict[NodeId, frozenset[NodeId]] = {}
-        for v in base.nodes:
+        for v in base.nodes_sorted:
             if v not in active:
                 continue
             promoted = up_adjacent.get(v, ())
@@ -77,6 +80,12 @@ class EffectiveDualView:
                 base.reliable_neighbors(v) | frozenset(promoted)
             ) & active
             self._gp[v] = base.gprime_neighbors(v) & active
+        # Lazy per-view memos (a view is an immutable snapshot).
+        self._nodes_sorted: tuple[NodeId, ...] | None = None
+        self._rel_sorted: dict[NodeId, tuple[NodeId, ...]] = {}
+        self._gp_sorted: dict[NodeId, tuple[NodeId, ...]] = {}
+        self._uo_sorted: dict[NodeId, tuple[NodeId, ...]] = {}
+        self._components_cache: list[frozenset[NodeId]] | None = None
 
     # ------------------------------------------------------------------
     # DualGraph query surface
@@ -89,7 +98,14 @@ class EffectiveDualView:
     @property
     def nodes(self) -> list[NodeId]:
         """Active nodes in sorted order."""
-        return sorted(self._rel)
+        return list(self.nodes_sorted)
+
+    @property
+    def nodes_sorted(self) -> tuple[NodeId, ...]:
+        """Active nodes as a cached sorted tuple (hot-path variant)."""
+        if self._nodes_sorted is None:
+            self._nodes_sorted = tuple(sorted(self._rel))
+        return self._nodes_sorted
 
     def is_active(self, v: NodeId) -> bool:
         """True when ``v`` participates in the execution right now."""
@@ -107,6 +123,30 @@ class EffectiveDualView:
         """Active neighbors currently reachable only unreliably."""
         return self._gp.get(v, frozenset()) - self._rel.get(v, frozenset())
 
+    def reliable_neighbors_sorted(self, v: NodeId) -> tuple[NodeId, ...]:
+        """``reliable_neighbors(v)`` as a memoized sorted tuple."""
+        cached = self._rel_sorted.get(v)
+        if cached is None:
+            cached = tuple(sorted(self._rel.get(v, ())))
+            self._rel_sorted[v] = cached
+        return cached
+
+    def gprime_neighbors_sorted(self, v: NodeId) -> tuple[NodeId, ...]:
+        """``gprime_neighbors(v)`` as a memoized sorted tuple."""
+        cached = self._gp_sorted.get(v)
+        if cached is None:
+            cached = tuple(sorted(self._gp.get(v, ())))
+            self._gp_sorted[v] = cached
+        return cached
+
+    def unreliable_only_neighbors_sorted(self, v: NodeId) -> tuple[NodeId, ...]:
+        """``unreliable_only_neighbors(v)`` as a memoized sorted tuple."""
+        cached = self._uo_sorted.get(v)
+        if cached is None:
+            cached = tuple(sorted(self.unreliable_only_neighbors(v)))
+            self._uo_sorted[v] = cached
+        return cached
+
     def is_reliable_edge(self, u: NodeId, v: NodeId) -> bool:
         """True if ``(u, v)`` currently counts as a reliable edge."""
         return v in self._rel.get(u, frozenset())
@@ -120,10 +160,12 @@ class EffectiveDualView:
         return max((len(adj) for adj in self._gp.values()), default=0)
 
     def components(self) -> list[frozenset[NodeId]]:
-        """Connected components of the effective reliable graph."""
+        """Connected components of the effective reliable graph (cached)."""
+        if self._components_cache is not None:
+            return self._components_cache
         seen: set[NodeId] = set()
         components: list[frozenset[NodeId]] = []
-        for start in self.nodes:
+        for start in self.nodes_sorted:
             if start in seen:
                 continue
             stack = [start]
@@ -136,6 +178,7 @@ class EffectiveDualView:
                 stack.extend(self._rel[v] - component)
             seen |= component
             components.append(frozenset(component))
+        self._components_cache = components
         return components
 
     def component_of(self, v: NodeId) -> frozenset[NodeId]:
@@ -186,6 +229,13 @@ class FaultEngine:
         self._up_adjacent: dict[NodeId, set[NodeId]] = {}
         self._view: EffectiveDualView | None = None
         self._sim: "Simulator" | None = None
+        #: Monotone counter bumped by every applied transition.  All derived
+        #: state (the cached view, memoized neighbor sets) is valid exactly
+        #: while the epoch is unchanged, so steady-state queries are O(1)
+        #: cache hits instead of per-event recomputation.
+        self.epoch = 0
+        self._none_down = not self._down
+        self._eff_rel_cache: dict[NodeId, frozenset[NodeId]] = {}
         self.counters: dict[str, int] = {
             "crashes": 0,
             "recoveries": 0,
@@ -204,8 +254,18 @@ class FaultEngine:
     # State queries
     # ------------------------------------------------------------------
     def is_active(self, node: NodeId) -> bool:
-        """True when ``node`` is currently participating."""
-        return node not in self._down
+        """True when ``node`` is currently participating.
+
+        O(1): a flag short-circuits the common quiescent case (nobody
+        down), otherwise one set-membership test.
+        """
+        return self._none_down or node not in self._down
+
+    @property
+    def quiescent(self) -> bool:
+        """True when every plan event has been applied (nothing can change
+        the effective topology anymore — caches are permanently valid)."""
+        return self._cursor >= len(self.plan.events)
 
     def is_awaiting_join(self, node: NodeId) -> bool:
         """True when ``node`` is a churn arrival that has not joined yet."""
@@ -218,7 +278,7 @@ class FaultEngine:
 
     def active_nodes(self) -> list[NodeId]:
         """Currently active nodes, sorted."""
-        return [v for v in self.dual.nodes if v not in self._down]
+        return [v for v in self.dual.nodes_sorted if v not in self._down]
 
     def is_reliable_edge(self, u: NodeId, v: NodeId) -> bool:
         """Effective reliability of ``(u, v)`` (ignores node liveness)."""
@@ -229,25 +289,35 @@ class FaultEngine:
     def effective_reliable_neighbors(self, v: NodeId) -> frozenset[NodeId]:
         """Active effective-reliable neighbors of ``v`` right now.
 
-        Point query in O(deg(v)) — the broadcast hot path calls this per
-        bcast, and flap scenarios invalidate the full-view cache on every
-        link event, so rebuilding the view here would be quadratic.
+        Point query in O(deg(v)) on first use, O(1) afterwards: results are
+        memoized per node and the memo lives exactly one epoch — flap
+        scenarios that invalidate the full-view cache on every link event
+        only pay for the nodes actually queried, never a quadratic rebuild.
         """
+        cached = self._eff_rel_cache.get(v)
+        if cached is not None:
+            return cached
         base = self.dual.reliable_neighbors(v)
         promoted = self._up_adjacent.get(v)
         if promoted:
             base = base | promoted
-        if not self._down:
-            return frozenset(base)
-        return frozenset(u for u in base if u not in self._down)
+        if self._none_down:
+            result = frozenset(base)
+        else:
+            result = frozenset(u for u in base if u not in self._down)
+        self._eff_rel_cache[v] = result
+        return result
 
     def view(self) -> EffectiveDualView:
-        """The current effective topology (cached until the next event)."""
+        """The current effective topology (cached until the epoch changes)."""
         if self._view is None:
             self._view = EffectiveDualView(
                 self.dual,
-                frozenset(v for v in self.dual.nodes if v not in self._down),
+                frozenset(
+                    v for v in self.dual.nodes_sorted if v not in self._down
+                ),
                 frozenset(self._up_edges),
+                epoch=self.epoch,
             )
         return self._view
 
@@ -367,7 +437,10 @@ class FaultEngine:
                 self._notify("fault_link_changed", event.edge, False)
 
     def _invalidate(self) -> None:
+        self.epoch += 1
         self._view = None
+        self._none_down = not self._down
+        self._eff_rel_cache.clear()
 
     def _notify(self, hook: str, *args) -> None:
         if self.listener is not None:

@@ -31,7 +31,7 @@ Time = float
 TIME_EPS: Time = 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An MMB payload message.
 

@@ -61,6 +61,8 @@ class EnhancedMACLayer(StandardMACLayer):
     """Standard layer + abort interface + node-visible clocks/timers."""
 
     eps_abort: Time = DEFAULT_EPS_ABORT
+    # Abort must be able to cancel pending rcv/ack events at any moment.
+    _needs_abort_handles = True
 
     def register(self, node_id: NodeId, automaton: Automaton) -> None:
         """Attach an automaton with the enhanced API binding."""
@@ -80,8 +82,7 @@ class EnhancedMACLayer(StandardMACLayer):
             return None
         instance.abort_time = self.sim.now
         self._pending[node_id] = None
-        for handle in self._handles.get(instance.iid, ()):
-            handle.cancel()
+        self._cancel_instance_events(instance.iid)
         self._cleanup_instance(instance)
         self.scheduler.on_terminated(instance)
         binding = self._binding(node_id)

@@ -20,7 +20,7 @@ from typing import Any, Iterator
 from repro.ids import InstanceId, NodeId, Time
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageInstance:
     """One local broadcast and everything it caused.
 

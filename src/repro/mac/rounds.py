@@ -70,6 +70,11 @@ class RandomRoundScheduler(RoundScheduler):
     def __init__(self, rng: RandomSource, p_unreliable_only: float = 0.5):
         self._rng = rng
         self.p_unreliable_only = p_unreliable_only
+        # Reusable per-round scratch: contender lists indexed by node id
+        # (ids are contiguous ints).  Allocated on first round, cleared
+        # via the dirty list — C-level list indexing beats a fresh dict of
+        # lists on every round.
+        self._contenders: list[list[NodeId]] | None = None
 
     def deliveries(
         self, round_index: int, intents: Intents, dual: DualGraph
@@ -77,21 +82,47 @@ class RandomRoundScheduler(RoundScheduler):
         received: Deliveries = {}
         if not intents:
             return received
-        for v in dual.nodes:
+        # Direct raw-stream bindings: `random_f() < p` is bernoulli(p) and
+        # `seq[randbelow(len(seq))]` is choice(seq), draw-for-draw — the
+        # wrapper frames are pure overhead at ~one draw per node per round.
+        raw = self._rng.raw
+        random_f = raw.random
+        randbelow = self._rng.randbelow_raw
+        p_unreliable_only = self.p_unreliable_only
+        # Push-based contender lists: iterate the broadcasters (in sorted
+        # order) and append each to its neighbors' lists, instead of
+        # scanning every node's whole neighborhood against `intents`.
+        # Cost is O(Σ deg(broadcaster)) per round, and each per-receiver
+        # list comes out in exactly the sorted order (and each receiver in
+        # exactly the sorted visiting order) of the historical full scan —
+        # the RNG draw sequence is unchanged.
+        max_id = max(dual.nodes_sorted, default=0)
+        contenders = self._contenders
+        if contenders is None or len(contenders) <= max_id:
+            contenders = self._contenders = [[] for _ in range(max_id + 1)]
+        dirty: list[NodeId] = []
+        dirty_append = dirty.append
+        gp_sorted = dual.gprime_neighbors_sorted
+        rel_of = dual.reliable_neighbors
+        has_reliable: set[NodeId] = set()
+        for u in sorted(intents):
+            for v in gp_sorted(u):
+                lst = contenders[v]
+                if not lst:
+                    dirty_append(v)
+                lst.append(u)
+            has_reliable.update(rel_of(u))
+        dirty.sort()
+        for v in dirty:
             if v in intents:
                 continue  # broadcasters do not receive in their own slot
-            contending = sorted(
-                u for u in dual.gprime_neighbors(v) if u in intents
-            )
-            if not contending:
+            if v not in has_reliable and not (random_f() < p_unreliable_only):
                 continue
-            has_reliable = any(
-                u in dual.reliable_neighbors(v) for u in contending
-            )
-            if not has_reliable and not self._rng.bernoulli(self.p_unreliable_only):
-                continue
-            sender = self._rng.choice(contending)
+            contending = contenders[v]
+            sender = contending[randbelow(len(contending))]
             received[v] = [(sender, intents[sender])]
+        for v in dirty:
+            contenders[v].clear()
         return received
 
 
@@ -111,17 +142,20 @@ class AdversarialRoundScheduler(RoundScheduler):
         self, round_index: int, intents: Intents, dual: DualGraph
     ) -> Deliveries:
         received: Deliveries = {}
-        for v in dual.nodes:
+        contending_by: dict[NodeId, list[NodeId]] = {}
+        for u in sorted(intents):
+            for v in dual.gprime_neighbors_sorted(u):
+                lst = contending_by.get(v)
+                if lst is None:
+                    contending_by[v] = [u]
+                else:
+                    lst.append(u)
+        for v in sorted(contending_by):
             if v in intents:
                 continue
-            contending = sorted(
-                u for u in dual.gprime_neighbors(v) if u in intents
-            )
-            if not contending:
-                continue
-            unreliable_only = [
-                u for u in contending if u not in dual.reliable_neighbors(v)
-            ]
+            contending = contending_by[v]
+            reliable = dual.reliable_neighbors(v)
+            unreliable_only = [u for u in contending if u not in reliable]
             pool = unreliable_only if unreliable_only else contending
             sender = self._rng.choice(pool)
             received[v] = [(sender, intents[sender])]

@@ -63,6 +63,17 @@ class SchedulerContext:
         """Current simulation time."""
         return self._mac.sim.now
 
+    @property
+    def fault_free(self) -> bool:
+        """True when no fault engine is attached to this execution.
+
+        Fault-free, the topology a scheduler sees through :attr:`dual` is
+        immutable for the whole run — schedulers may cache derived state
+        (delivery counters, neighbor lists) that would be unsound under
+        dynamics.
+        """
+        return self._mac.faults is None
+
     def deliver_at(
         self, instance: "MessageInstance", receiver: NodeId, time: Time
     ) -> EventHandle:
@@ -73,6 +84,22 @@ class SchedulerContext:
         (or delivered to) that receiver.
         """
         return self._mac.schedule_delivery(instance, receiver, time)
+
+    def deliver_many(
+        self,
+        instance: "MessageInstance",
+        planned: list[tuple[NodeId, Time]],
+    ) -> None:
+        """Schedule one broadcast's whole ``rcv`` fan-out in a single batch.
+
+        Equivalent to calling :meth:`deliver_at` once per pair in order
+        (validation, sequence numbers, and therefore execution are
+        identical) but one heap pass instead of per-receiver pushes — the
+        fast path for fan-out-heavy schedulers.  Unlike :meth:`deliver_at`
+        it returns no handles; fan-out events are cancelled (if ever) by
+        the MAC layer itself.
+        """
+        self._mac.schedule_deliveries(instance, planned)
 
     def ack_at(self, instance: "MessageInstance", time: Time) -> EventHandle:
         """Schedule the ``ack`` event of ``instance``.

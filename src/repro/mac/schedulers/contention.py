@@ -26,6 +26,8 @@ the progress bound holds; the flush guarantees the ack bound.
 
 from __future__ import annotations
 
+from operator import attrgetter
+
 from repro.errors import SchedulerError
 from repro.ids import NodeId, Time
 from repro.mac.messages import MessageInstance
@@ -36,12 +38,18 @@ from repro.sim.rng import RandomSource
 class _Candidate:
     """One potential delivery: ``instance`` → ``receiver``."""
 
-    __slots__ = ("instance", "reliable", "deadline")
+    __slots__ = ("instance", "reliable", "deadline", "sort_key")
 
     def __init__(self, instance: MessageInstance, reliable: bool, deadline: Time):
         self.instance = instance
         self.reliable = reliable
         self.deadline = deadline
+        # EDF tie-broken by instance id, precomputed for the C-level
+        # attrgetter key in the service loop's min().
+        self.sort_key = (deadline, instance.iid)
+
+
+_SORT_KEY = attrgetter("sort_key")
 
 
 class ContentionScheduler(Scheduler):
@@ -81,21 +89,46 @@ class ContentionScheduler(Scheduler):
         self.unreliable_service_bias = unreliable_service_bias
         self._pools: dict[NodeId, list[_Candidate]] = {}
         self._service_active: set[NodeId] = set()
-        self._handled: set[tuple[int, NodeId]] = set()
+        # Per-receiver sets of handled instance ids: integer membership in
+        # the live-filter hot loop instead of tuple allocation + hashing.
+        self._handled: dict[NodeId, set[int]] = {}
+        # Fault-free fast path: undelivered-reliable-receiver count per
+        # instance (the static topology makes the count sound; under
+        # faults on_delivered re-derives the set from the live view).
+        self._undelivered: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Scheduler interface
     # ------------------------------------------------------------------
+    def bind(self, ctx) -> None:
+        super().bind(ctx)
+        # The service loop schedules ~one event per delivery; bind the
+        # raw simulator method once instead of going through the context
+        # wrapper (and an EventHandle allocation) on every call — service
+        # and flush events are never cancelled.
+        self._sim = ctx.sim
+        self._call_at = ctx.sim.schedule_at_raw
+        self._slot_hi = self.slot_fraction * ctx.fprog
+        self._uniform = self._rng.raw.uniform
+        self._fack = ctx.fack
+        self._deliver_at = ctx.deliver_at
+        # Fault-free the topology is static for the whole run; cache it so
+        # per-delivery bookkeeping skips the effective-view indirection.
+        self._static_dual = ctx.dual if ctx.fault_free else None
+
     def on_bcast(self, instance: MessageInstance) -> None:
         ctx = self.ctx
         assert ctx is not None, "scheduler used before bind()"
         sender = instance.sender
-        deadline = instance.bcast_time + self.deadline_fraction * ctx.fack
-        reliable = sorted(ctx.dual.reliable_neighbors(sender))
+        deadline = instance.bcast_time + self.deadline_fraction * self._fack
+        dual = self._static_dual if self._static_dual is not None else ctx.dual
+        reliable = dual.reliable_neighbors_sorted(sender)
+        if self._static_dual is not None:
+            self._undelivered[instance.iid] = len(reliable)
         for receiver in reliable:
             self._enqueue(receiver, _Candidate(instance, True, deadline))
-            ctx.call_at(deadline, self._deadline_flush, instance, receiver)
-        for receiver in sorted(ctx.dual.unreliable_only_neighbors(sender)):
+            self._call_at(deadline, self._deadline_flush, instance, receiver)
+        for receiver in dual.unreliable_only_neighbors_sorted(sender):
             if self._rng.bernoulli(self.p_unreliable):
                 self._enqueue(receiver, _Candidate(instance, False, deadline))
         if not reliable:
@@ -105,43 +138,61 @@ class ContentionScheduler(Scheduler):
     def on_delivered(self, instance: MessageInstance, receiver: NodeId) -> None:
         ctx = self.ctx
         assert ctx is not None
-        self._handled.add((instance.iid, receiver))
-        remaining = [
-            v
-            for v in ctx.dual.reliable_neighbors(instance.sender)
-            if not instance.delivered_to(v)
-        ]
+        handled = self._handled.get(receiver)
+        if handled is None:
+            self._handled[receiver] = {instance.iid}
+        else:
+            handled.add(instance.iid)
+        count = self._undelivered.get(instance.iid)
+        if count is not None:
+            # Fault-free: O(1) counter instead of re-scanning the
+            # neighborhood on every delivery.  The MAC guarantees one rcv
+            # per (instance, receiver), so decrements cannot repeat.
+            if receiver in self._static_dual.reliable_neighbors(instance.sender):
+                count -= 1
+                self._undelivered[instance.iid] = count
+            remaining = count
+        else:
+            # Under dynamics the owed set must be re-derived from the
+            # current effective topology (edges flap, nodes die).
+            remaining = sum(
+                1
+                for v in ctx.dual.reliable_neighbors(instance.sender)
+                if not instance.delivered_to(v)
+            )
         if not remaining and instance.ack_time is None and instance.abort_time is None:
             ctx.ack_at(instance, ctx.now)
 
     def on_terminated(self, instance: MessageInstance) -> None:
         # Pool entries are dropped lazily at service time.
-        pass
+        self._undelivered.pop(instance.iid, None)
 
     # ------------------------------------------------------------------
     # Per-receiver service machinery
     # ------------------------------------------------------------------
     def _slot(self) -> Time:
-        ctx = self.ctx
-        assert ctx is not None
-        hi = self.slot_fraction * ctx.fprog
-        return self._rng.uniform(0.5 * hi, hi)
+        hi = self._slot_hi
+        return self._uniform(0.5 * hi, hi)
 
     def _enqueue(self, receiver: NodeId, candidate: _Candidate) -> None:
-        ctx = self.ctx
-        assert ctx is not None
-        self._pools.setdefault(receiver, []).append(candidate)
+        pool = self._pools.get(receiver)
+        if pool is None:
+            self._pools[receiver] = [candidate]
+        else:
+            pool.append(candidate)
         if receiver not in self._service_active:
             self._service_active.add(receiver)
-            ctx.call_at(ctx.now + self._slot(), self._service, receiver)
+            self._call_at(self._sim.now + self._slot(), self._service, receiver)
 
     def _live_candidates(self, receiver: NodeId) -> list[_Candidate]:
         pool = self._pools.get(receiver, [])
+        handled = self._handled.get(receiver, ())
         live = [
             cand
             for cand in pool
-            if not cand.instance.terminated
-            and (cand.instance.iid, receiver) not in self._handled
+            if cand.instance.ack_time is None
+            and cand.instance.abort_time is None
+            and cand.instance.iid not in handled
         ]
         self._pools[receiver] = live
         return live
@@ -161,23 +212,33 @@ class ContentionScheduler(Scheduler):
         ):
             pick = self._rng.choice(unreliable)
         elif reliable:
-            pick = min(reliable, key=lambda c: (c.deadline, c.instance.iid))
+            pick = min(reliable, key=_SORT_KEY)
         if pick is not None:
+            # _deliver only schedules the rcv event and marks the pair
+            # handled — nothing terminates synchronously — so the post-
+            # delivery pool is exactly `live` minus the pick; no second
+            # filtering pass is needed.
             self._deliver(pick.instance, receiver)
-        if self._live_candidates(receiver):
-            ctx.call_at(ctx.now + self._slot(), self._service, receiver)
+            live = [c for c in live if c is not pick]
+            self._pools[receiver] = live
+        if live:
+            self._call_at(self._sim.now + self._slot(), self._service, receiver)
         else:
             self._service_active.discard(receiver)
 
     def _deadline_flush(self, instance: MessageInstance, receiver: NodeId) -> None:
         if instance.terminated:
             return
-        if (instance.iid, receiver) in self._handled:
+        if instance.iid in self._handled.get(receiver, ()):
             return
         self._deliver(instance, receiver)
 
     def _deliver(self, instance: MessageInstance, receiver: NodeId) -> None:
         ctx = self.ctx
         assert ctx is not None
-        self._handled.add((instance.iid, receiver))
-        ctx.deliver_at(instance, receiver, ctx.now)
+        handled = self._handled.get(receiver)
+        if handled is None:
+            self._handled[receiver] = {instance.iid}
+        else:
+            handled.add(instance.iid)
+        self._deliver_at(instance, receiver, self._sim.now)

@@ -66,18 +66,31 @@ class UniformDelayScheduler(Scheduler):
         ctx = self.ctx
         assert ctx is not None, "scheduler used before bind()"
         sender = instance.sender
+        dual = ctx.dual
+        raw = self._rng.raw
+        uniform = raw.uniform
+        random_f = raw.random
+        p_unreliable = self.p_unreliable
         horizon = self.rcv_fraction * ctx.fprog
         floor = min(self.delay_floor, horizon)
+        bcast_time = instance.bcast_time
         last_delivery = 0.0
-        for receiver in sorted(ctx.dual.reliable_neighbors(sender)):
-            delay = self._rng.uniform(floor, horizon)
-            last_delivery = max(last_delivery, delay)
-            ctx.deliver_at(instance, receiver, instance.bcast_time + delay)
-        for receiver in sorted(ctx.dual.unreliable_only_neighbors(sender)):
-            if self._rng.bernoulli(self.p_unreliable):
-                delay = self._rng.uniform(floor, horizon)
-                last_delivery = max(last_delivery, delay)
-                ctx.deliver_at(instance, receiver, instance.bcast_time + delay)
+        # Draw order is load-bearing (fixed-seed reproducibility): reliable
+        # receivers in sorted order, then unreliable ones — exactly the
+        # order the per-receiver deliver_at loop used to schedule in.
+        planned: list[tuple[int, float]] = []
+        for receiver in dual.reliable_neighbors_sorted(sender):
+            delay = uniform(floor, horizon)
+            if delay > last_delivery:
+                last_delivery = delay
+            planned.append((receiver, bcast_time + delay))
+        for receiver in dual.unreliable_only_neighbors_sorted(sender):
+            if random_f() < p_unreliable:
+                delay = uniform(floor, horizon)
+                if delay > last_delivery:
+                    last_delivery = delay
+                planned.append((receiver, bcast_time + delay))
+        ctx.deliver_many(instance, planned)
         slack = max(ctx.fack - last_delivery, 0.0)
-        lag = self._rng.uniform(0.0, self.ack_lag_fraction * slack)
-        ctx.ack_at(instance, instance.bcast_time + last_delivery + lag)
+        lag = uniform(0.0, self.ack_lag_fraction * slack)
+        ctx.ack_at(instance, bcast_time + last_delivery + lag)

@@ -50,6 +50,8 @@ DeliverySink = Callable[[NodeId, Message, Time], None]
 class _NodeBinding:
     """Per-node :class:`~repro.mac.interfaces.MACApi` implementation."""
 
+    __slots__ = ("_mac", "_node_id", "automaton")
+
     def __init__(self, mac: "StandardMACLayer", node_id: NodeId, automaton: Automaton):
         self._mac = mac
         self._node_id = node_id
@@ -77,6 +79,13 @@ class _NodeBinding:
 class StandardMACLayer:
     """The standard abstract MAC layer over a dual graph.
 
+    Class attribute ``_needs_abort_handles``: subclasses with an abort
+    interface (the enhanced layer) set this True so delivery/ack event
+    handles are retained for cancellation.  The standard layer keeps them
+    only under fault injection (crashes abort broadcasts); fault-free,
+    nothing ever cancels, so the per-event handle bookkeeping is skipped
+    on the hot path.
+
     Args:
         sim: The discrete-event simulator to run on.
         dual: The network ``(G, G')``.
@@ -97,6 +106,8 @@ class StandardMACLayer:
             ``bcast + Fack`` per instance so broadcasts whose reliable
             neighbors died cannot outlive the acknowledgment bound.
     """
+
+    _needs_abort_handles = False
 
     def __init__(
         self,
@@ -130,6 +141,16 @@ class StandardMACLayer:
         self._scheduled_receivers: dict[int, set[NodeId]] = {}
         self._delivered: dict[tuple[NodeId, str], Time] = {}
         self.faults = fault_engine
+        self._track_handles = (
+            self._needs_abort_handles or fault_engine is not None
+        )
+        # Most schedulers leave the on_delivered hook at the base no-op;
+        # resolving that once here spares a call per delivery.
+        self._on_delivered = (
+            None
+            if type(scheduler).on_delivered is Scheduler.on_delivered
+            else scheduler.on_delivered
+        )
         self._fault_required: dict[int, frozenset[NodeId]] = {}
         self._fault_dropped: dict[int, set[NodeId]] = {}
         self._fault_aborted: dict[NodeId, Any] = {}
@@ -249,8 +270,7 @@ class StandardMACLayer:
         instance.abort_time = self.sim.now
         self._pending[node_id] = None
         self._fault_aborted[node_id] = instance.payload
-        for handle in self._handles.get(instance.iid, ()):
-            handle.cancel()
+        self._cancel_instance_events(instance.iid)
         self._cleanup_instance(instance)
         assert self.faults is not None
         self.faults.note("bcasts_aborted")
@@ -290,7 +310,8 @@ class StandardMACLayer:
         (returns None): the environment, not the automaton, killed it, so
         it is not a well-formedness violation.
         """
-        binding = self._binding(sender)
+        if sender not in self._bindings:
+            raise MACError(f"node {sender} has no registered automaton")
         if self.faults is not None and not self.faults.is_active(sender):
             # Dead nodes transmit nothing — but remember the payload so a
             # recovery replays it as on_abort: external drivers (e.g. the
@@ -307,7 +328,8 @@ class StandardMACLayer:
         instance = self.instances.new_instance(sender, payload, self.sim.now)
         self.mark_activity()
         self._pending[sender] = instance
-        self._handles[instance.iid] = []
+        if self._track_handles:
+            self._handles[instance.iid] = []
         self._scheduled_receivers[instance.iid] = set()
         if self.faults is not None:
             # Acknowledgment obligations are fixed at bcast time: the
@@ -319,7 +341,6 @@ class StandardMACLayer:
             )
             self.schedule_ack(instance, instance.bcast_time + self.fack)
         self.scheduler.on_bcast(instance)
-        del binding  # bindings participate only via callbacks
         return instance
 
     def pending_instance(self, node_id: NodeId) -> MessageInstance | None:
@@ -351,8 +372,52 @@ class StandardMACLayer:
         handle = self.sim.schedule_at(
             time, self._fire_delivery, instance, receiver, priority=PRIORITY_RCV
         )
-        self._handles[instance.iid].append(handle)
+        if self._track_handles:
+            self._handles[instance.iid].append(handle)
         return handle
+
+    def schedule_deliveries(
+        self,
+        instance: MessageInstance,
+        planned: list[tuple[NodeId, Time]],
+    ) -> None:
+        """Validate and schedule one broadcast's ``rcv`` fan-out in a batch.
+
+        Semantically identical to calling :meth:`schedule_delivery` once
+        per ``(receiver, time)`` pair in order — the same validation runs
+        and the kernel assigns the same sequence numbers — but the
+        per-call lookups are hoisted and the events enter the heap in a
+        single pass, handle-free (raw entries are retained for bulk
+        cancellation only where cancellation is possible at all).
+        """
+        sender = instance.sender
+        gprime = self.dual.gprime_neighbors(sender)
+        scheduled = self._scheduled_receivers[instance.iid]
+        now = self.sim.now
+        items = []
+        for receiver, time in planned:
+            if receiver == sender:
+                raise SchedulerError(f"instance {instance.iid}: self-delivery")
+            if receiver not in gprime:
+                raise SchedulerError(
+                    f"instance {instance.iid}: receiver {receiver} is not a "
+                    f"G'-neighbor of sender {sender}"
+                )
+            if receiver in scheduled:
+                raise SchedulerError(
+                    f"instance {instance.iid}: receiver {receiver} scheduled twice"
+                )
+            if time < now - TIME_EPS:
+                raise SchedulerError(
+                    f"instance {instance.iid}: delivery in the past ({time})"
+                )
+            scheduled.add(receiver)
+            items.append((time, self._fire_delivery, (instance, receiver)))
+        if self._track_handles:
+            entries = self.sim.schedule_many_entries(items, priority=PRIORITY_RCV)
+            self._handles[instance.iid].extend(entries)
+        else:
+            self.sim.schedule_many_raw(items, priority=PRIORITY_RCV)
 
     def schedule_ack(self, instance: MessageInstance, time: Time) -> EventHandle:
         """Validate and schedule the ``ack`` event (scheduler-facing)."""
@@ -367,7 +432,8 @@ class StandardMACLayer:
         handle = self.sim.schedule_at(
             time, self._fire_ack, instance, priority=PRIORITY_ACK
         )
-        self._handles[instance.iid].append(handle)
+        if self._track_handles:
+            self._handles[instance.iid].append(handle)
         return handle
 
     def _fire_delivery(self, instance: MessageInstance, receiver: NodeId) -> None:
@@ -375,19 +441,23 @@ class StandardMACLayer:
             # Deliveries racing an abort are dropped (the model allows them
             # within eps_abort; we take the simple choice of cancelling).
             return
-        if self.faults is not None and not self.faults.is_active(receiver):
+        faults = self.faults
+        if faults is not None and not faults.is_active(receiver):
             # The receiver died after this delivery was planned: drop it
             # and excuse the pair at acknowledgment time.
             self._fault_dropped.setdefault(instance.iid, set()).add(receiver)
-            self.faults.note("deliveries_dropped")
+            faults.note("deliveries_dropped")
             return
-        if instance.delivered_to(receiver):
+        rcv_times = instance.rcv_times
+        if receiver in rcv_times:
             raise SchedulerError(
                 f"instance {instance.iid}: duplicate rcv at {receiver}"
             )
-        instance.rcv_times[receiver] = self.sim.now
-        self.mark_activity()
-        self.scheduler.on_delivered(instance, receiver)
+        now = self.sim.now
+        rcv_times[receiver] = now
+        self.last_activity = now
+        if self._on_delivered is not None:
+            self._on_delivered(instance, receiver)
         binding = self._binding(receiver)
         binding.automaton.on_receive(binding, instance.payload, instance.sender)
 
@@ -406,8 +476,7 @@ class StandardMACLayer:
         if self.faults is not None:
             # Cancel the redundant ack (fallback or scheduler's own) so a
             # terminated instance leaves nothing in the event queue.
-            for handle in self._handles.get(instance.iid, ()):
-                handle.cancel()
+            self._cancel_instance_events(instance.iid)
         self._cleanup_instance(instance)
         self.scheduler.on_terminated(instance)
         binding = self._binding(instance.sender)
@@ -432,14 +501,31 @@ class StandardMACLayer:
             ]
         required = self._fault_required.get(instance.iid, frozenset())
         dropped = self._fault_dropped.get(instance.iid, ())
-        return [
+        return sorted(
             v
-            for v in sorted(required)
+            for v in required
             if not instance.delivered_to(v)
             and self.faults.is_active(v)
             and self.faults.is_reliable_edge(instance.sender, v)
             and v not in dropped
-        ]
+        )
+
+    def _cancel_instance_events(self, iid: int) -> None:
+        """Cancel every still-pending event of an instance.
+
+        ``_handles`` holds a mix of raw batch entries (delivery fan-out)
+        and :class:`EventHandle` objects (single schedules); raw entries
+        are cancelled in one kernel pass.
+        """
+        items = self._handles.get(iid)
+        if not items:
+            return
+        raw = [item for item in items if type(item) is list]
+        if raw:
+            self.sim.cancel_entries(raw)
+        for item in items:
+            if type(item) is not list:
+                item.cancel()
 
     def _cleanup_instance(self, instance: MessageInstance) -> None:
         self._handles.pop(instance.iid, None)

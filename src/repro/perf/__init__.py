@@ -1,0 +1,47 @@
+"""Performance harness: speed as a tracked, regression-tested property.
+
+Three layers:
+
+* :mod:`repro.perf.micro` — microbenchmarks isolating single hot paths
+  (kernel churn, zero-delay cascades, batched scheduling, broadcast
+  fan-out, fault polling, topology queries);
+* :mod:`repro.perf.macro` — end-to-end experiment scenarios (BMMB, FMMB,
+  radio) at increasing ``n``;
+* :mod:`repro.perf.report` — ``BENCH_PERF.json`` emission and
+  calibration-normalized comparison against a committed baseline.
+
+Entry point: ``python -m repro perf`` (see :func:`repro.cli.cmd_perf`).
+"""
+
+from repro.perf.harness import BenchRecord, calibrate, peak_rss_mb
+from repro.perf.macro import (
+    DEFAULT_SIZES,
+    SCENARIOS,
+    run_macro_scenario,
+    run_macro_suite,
+)
+from repro.perf.micro import MICRO_BENCHMARKS, run_micro_suite
+from repro.perf.report import (
+    Regression,
+    build_report,
+    compare_reports,
+    load_report,
+    write_report,
+)
+
+__all__ = [
+    "BenchRecord",
+    "DEFAULT_SIZES",
+    "MICRO_BENCHMARKS",
+    "Regression",
+    "SCENARIOS",
+    "build_report",
+    "calibrate",
+    "compare_reports",
+    "load_report",
+    "peak_rss_mb",
+    "run_macro_scenario",
+    "run_macro_suite",
+    "run_micro_suite",
+    "write_report",
+]

@@ -1,0 +1,156 @@
+"""Measurement primitives for the performance suite.
+
+Wall-clock numbers are only comparable on the machine that produced them,
+so every report carries a *calibration* measurement — the wall time of a
+fixed, pure-Python reference workload.  Comparisons between two reports
+(:mod:`repro.perf.report`) divide each benchmark's wall time by its
+report's calibration time, which cancels (to first order) the speed
+difference between the two hosts and lets CI gate on a committed baseline
+recorded elsewhere.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+try:  # pragma: no cover - absent on non-POSIX platforms
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+#: Iterations of the calibration loop (fixed forever; changing it breaks
+#: comparability of every previously committed report).
+CALIBRATION_ITERATIONS = 2_000_000
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's measured outcome.
+
+    Attributes:
+        name: Stable benchmark identifier (``suite/name`` is unique).
+        suite: ``"micro"`` or ``"macro"``.
+        wall_seconds: Best (minimum) wall time over the repeats — the
+            least-noise estimator for CPU-bound work.
+        mean_seconds: Mean wall time over the repeats.
+        repeats: Number of timed repetitions.
+        events: Work units the run processed (kernel events, radio slots,
+            rounds), when the benchmark reports them.
+        events_per_second: ``events / wall_seconds`` when ``events`` is set.
+        phases: Per-phase wall seconds of the *best* run (e.g. topology
+            build vs. execution).
+        extra: Free-form scalar facts (event counts, n, solved flags).
+    """
+
+    name: str
+    suite: str
+    wall_seconds: float
+    mean_seconds: float
+    repeats: int
+    events: float | None = None
+    events_per_second: float | None = None
+    phases: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "wall_seconds": self.wall_seconds,
+            "mean_seconds": self.mean_seconds,
+            "repeats": self.repeats,
+            "events": self.events,
+            "events_per_second": self.events_per_second,
+            "phases": dict(self.phases),
+            "extra": dict(self.extra),
+        }
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process in MiB (0.0 if unavailable).
+
+    Note: ``ru_maxrss`` is a high-water mark — it never decreases, so in a
+    multi-benchmark process it reflects the hungriest benchmark so far.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def calibrate() -> float:
+    """Wall seconds of the fixed reference workload (machine speed probe)."""
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        acc = 0
+        for i in range(CALIBRATION_ITERATIONS):
+            acc += i & 7
+        best = min(best, time.perf_counter() - started)
+    assert acc >= 0  # keep the loop observable
+    return best
+
+
+def timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Run ``fn`` once; return (wall seconds, its return value)."""
+    started = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - started, value
+
+
+def measure(
+    name: str,
+    suite: str,
+    fn: Callable[[], tuple[float | None, dict[str, float], dict[str, float]]],
+    repeats: int = 3,
+) -> BenchRecord:
+    """Time ``fn`` ``repeats`` times and summarize.
+
+    ``fn`` returns ``(events, phases, extra)`` for the run it performed;
+    the phases/extra of the best (fastest) run are kept.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    walls: list[float] = []
+    best_wall = float("inf")
+    best_payload: tuple[float | None, dict[str, float], dict[str, float]] = (
+        None,
+        {},
+        {},
+    )
+    for _ in range(repeats):
+        wall, payload = timed(fn)
+        walls.append(wall)
+        if wall < best_wall:
+            best_wall = wall
+            best_payload = payload
+    events, phases, extra = best_payload
+    return BenchRecord(
+        name=name,
+        suite=suite,
+        wall_seconds=best_wall,
+        mean_seconds=sum(walls) / len(walls),
+        repeats=repeats,
+        events=events,
+        events_per_second=(events / best_wall) if events else None,
+        phases=phases,
+        extra=extra,
+    )
+
+
+def environment_info() -> dict[str, str]:
+    """Host facts recorded alongside every report."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }

@@ -1,0 +1,189 @@
+"""Macro scenarios: full experiment runs at realistic scale.
+
+Each scenario is an :class:`~repro.experiments.specs.ExperimentSpec`
+factory parameterized by ``n``; the suite crosses the scenario families
+with their size lists.  Scenario names are stable
+(``<family>_n<size>``) so committed reports stay comparable as the suite
+grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import runner as _runner
+from repro.experiments.runner import materialize_topology, run as run_spec
+from repro.experiments.specs import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    FaultSpec,
+    ModelSpec,
+    SchedulerSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.perf.harness import BenchRecord, measure, timed
+
+#: Default sizes per scenario family.  FMMB's round simulation and the
+#: slotted radio are intrinsically heavier per node, so their lists stop
+#: earlier — the suite targets minutes, not hours, on the "before" side
+#: of an optimization.
+DEFAULT_SIZES: dict[str, tuple[int, ...]] = {
+    "bmmb_uniform": (64, 256, 512, 1024),
+    "bmmb_contention": (512,),
+    "bmmb_crash": (512,),
+    "fmmb": (64, 256, 512),
+    "radio": (16, 32, 48),
+}
+
+
+def _geometric_side(n: int) -> float:
+    """Box side keeping the expected G-degree roughly constant (~13)."""
+    return max(2.0, round(math.sqrt(n) / 2.0, 1))
+
+
+def _geometric(n: int) -> TopologySpec:
+    return TopologySpec(
+        "random_geometric",
+        {
+            "n": n,
+            "side": _geometric_side(n),
+            "c": 1.6,
+            "grey_edge_probability": 0.4,
+        },
+    )
+
+
+def spec_bmmb_uniform(n: int) -> ExperimentSpec:
+    """Event-driven BMMB under the benign uniform scheduler."""
+    return ExperimentSpec(
+        name=f"perf-bmmb-uniform-n{n}",
+        topology=_geometric(n),
+        algorithm=AlgorithmSpec("bmmb"),
+        scheduler=SchedulerSpec("uniform"),
+        workload=WorkloadSpec("one_each", {"k": 8}),
+        model=ModelSpec(fack=20.0, fprog=1.0),
+        seed=1,
+    )
+
+
+def spec_bmmb_contention(n: int) -> ExperimentSpec:
+    """Event-driven BMMB under the contention scheduler (service loops)."""
+    return ExperimentSpec(
+        name=f"perf-bmmb-contention-n{n}",
+        topology=_geometric(n),
+        algorithm=AlgorithmSpec("bmmb"),
+        scheduler=SchedulerSpec("contention"),
+        workload=WorkloadSpec("one_each", {"k": 8}),
+        model=ModelSpec(fack=20.0, fprog=1.0),
+        seed=1,
+    )
+
+
+def spec_bmmb_crash(n: int) -> ExperimentSpec:
+    """BMMB with random crashes: exercises the fault-engine hot path."""
+    return ExperimentSpec(
+        name=f"perf-bmmb-crash-n{n}",
+        topology=_geometric(n),
+        algorithm=AlgorithmSpec("bmmb"),
+        scheduler=SchedulerSpec("uniform"),
+        workload=WorkloadSpec("one_each", {"k": 8}),
+        fault=FaultSpec("crash_random", {"fraction": 0.1}),
+        model=ModelSpec(fack=20.0, fprog=1.0),
+        seed=1,
+    )
+
+
+def spec_fmmb(n: int) -> ExperimentSpec:
+    """FMMB on the lock-step rounds substrate."""
+    return ExperimentSpec(
+        name=f"perf-fmmb-n{n}",
+        topology=_geometric(n),
+        algorithm=AlgorithmSpec("fmmb", {"c": 1.6}),
+        workload=WorkloadSpec("one_each", {"k": 8}),
+        model=ModelSpec(fprog=1.0, fack=20.0),
+        substrate="rounds",
+        seed=1,
+    )
+
+
+def spec_radio(n: int) -> ExperimentSpec:
+    """BMMB over the decay radio MAC on a star (footnote 2's regime)."""
+    return ExperimentSpec(
+        name=f"perf-radio-n{n}",
+        topology=TopologySpec("star", {"n": n}),
+        algorithm=AlgorithmSpec("bmmb"),
+        workload=WorkloadSpec("one_each", {"nodes": list(range(1, n))}),
+        model=ModelSpec(params={"max_slots": 500_000}),
+        substrate="radio",
+        seed=1,
+    )
+
+
+SCENARIOS: dict[str, "object"] = {
+    "bmmb_uniform": spec_bmmb_uniform,
+    "bmmb_contention": spec_bmmb_contention,
+    "bmmb_crash": spec_bmmb_crash,
+    "fmmb": spec_fmmb,
+    "radio": spec_radio,
+}
+
+#: Metric key per substrate that best represents "work units processed".
+_EVENT_METRIC = {
+    "standard": "sim_events",
+    "rounds": "rounds_total",
+    "radio": "slots",
+}
+
+
+def run_macro_scenario(
+    family: str, n: int, repeats: int = 1
+) -> BenchRecord:
+    """Run one macro scenario and record wall time + phase breakdown.
+
+    The recorded wall time is the end-to-end ``run(spec)`` call.  The
+    topology-build phase is measured once separately (the build is
+    deterministic) and subtracted to estimate the execution phase.
+    """
+    spec = SCENARIOS[family](n)  # type: ignore[operator]
+    # Every timed repeat (and the phase probe below) must pay the cold
+    # topology build: the process-local memo in the runner would otherwise
+    # fold build cost into "execute" and skew comparisons against
+    # revisions that have no such cache.  getattr: the same harness also
+    # runs against pre-cache revisions when recording baselines.
+    _clear_topology_cache = getattr(_runner, "clear_topology_cache", None)
+
+    def once():
+        if _clear_topology_cache is not None:
+            _clear_topology_cache()
+        t_total, result = timed(lambda: run_spec(spec, keep_raw=False))
+        events = result.metrics.get(_EVENT_METRIC.get(spec.substrate, ""), None)
+        extra = {
+            "n": float(n),
+            "solved": float(result.solved),
+            "delivered": float(result.delivered_count),
+        }
+        return events, {"total": t_total}, extra
+
+    record = measure(f"{family}_n{n}", "macro", once, repeats)
+    if _clear_topology_cache is not None:
+        _clear_topology_cache()
+    t_topo, _dual = timed(lambda: materialize_topology(spec))
+    record.phases = {
+        "topology": t_topo,
+        "execute": max(record.wall_seconds - t_topo, 0.0),
+        "total": record.phases.get("total", record.wall_seconds),
+    }
+    return record
+
+
+def run_macro_suite(
+    sizes: dict[str, tuple[int, ...]] | None = None, repeats: int = 1
+) -> list[BenchRecord]:
+    """Execute the macro suite (every family at each of its sizes)."""
+    sizes = sizes or DEFAULT_SIZES
+    records: list[BenchRecord] = []
+    for family in SCENARIOS:
+        for n in sizes.get(family, ()):
+            records.append(run_macro_scenario(family, n, repeats))
+    return records

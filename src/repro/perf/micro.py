@@ -1,0 +1,252 @@
+"""Microbenchmarks: isolate one hot path each.
+
+Each benchmark is a function ``bench(repeats) -> BenchRecord`` registered in
+``MICRO_BENCHMARKS`` (ordered).  They exercise only public APIs, so the same
+suite runs unchanged against any revision of the package — which is what
+makes before/after comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.perf.harness import BenchRecord, measure, timed
+from repro.sim.kernel import Simulator
+
+#: Registry of microbenchmarks, in execution order.
+MICRO_BENCHMARKS: dict[str, "object"] = {}
+
+
+def _micro(name: str):
+    def _decorator(fn):
+        MICRO_BENCHMARKS[name] = fn
+        return fn
+
+    return _decorator
+
+
+# ----------------------------------------------------------------------
+# Kernel
+# ----------------------------------------------------------------------
+@_micro("kernel_churn")
+def bench_kernel_churn(repeats: int = 3) -> BenchRecord:
+    """Schedule/cancel/drain churn: 120k events, every third cancelled."""
+    count = 120_000
+
+    def once():
+        rng = random.Random(12345)
+        sim = Simulator()
+        sink = []
+
+        def schedule_all():
+            handles = []
+            for i in range(count):
+                handles.append(
+                    sim.schedule(rng.random() * 100.0, sink.append, i)
+                )
+            return handles
+
+        t_schedule, handles = timed(schedule_all)
+        t_cancel, _ = timed(
+            lambda: [h.cancel() for h in handles[::3]]
+        )
+        t_run, _ = timed(sim.run)
+        return (
+            float(sim.processed_events),
+            {"schedule": t_schedule, "cancel": t_cancel, "run": t_run},
+            {"scheduled": float(count), "fired": float(sim.processed_events)},
+        )
+
+    return measure("kernel_churn", "micro", once, repeats)
+
+
+@_micro("kernel_zero_delay")
+def bench_kernel_zero_delay(repeats: int = 3) -> BenchRecord:
+    """Same-timestamp FIFO cascades: 400 chains of depth 150."""
+    chains, depth = 400, 150
+
+    def once():
+        sim = Simulator()
+        fired = [0]
+
+        def cascade(remaining: int) -> None:
+            fired[0] += 1
+            if remaining > 0:
+                sim.schedule(0.0, cascade, remaining - 1)
+
+        for c in range(chains):
+            sim.schedule(float(c), cascade, depth)
+        t_run, _ = timed(sim.run)
+        return (
+            float(sim.processed_events),
+            {"run": t_run},
+            {"fired": float(fired[0])},
+        )
+
+    return measure("kernel_zero_delay", "micro", once, repeats)
+
+
+@_micro("kernel_schedule_many")
+def bench_kernel_schedule_many(repeats: int = 3) -> BenchRecord:
+    """Batched fan-out scheduling: 600 batches of 200 events each.
+
+    Uses :meth:`Simulator.schedule_many` when the kernel provides it and
+    falls back to per-event ``schedule`` calls otherwise, so the benchmark
+    measures exactly the win of the batch API on kernels that have one.
+    """
+    batches, width = 600, 200
+
+    def once():
+        sim = Simulator()
+        sink = []
+        batch_api = getattr(sim, "schedule_many", None)
+
+        def schedule_all():
+            for b in range(batches):
+                base = float(b)
+                if batch_api is not None:
+                    batch_api(
+                        [
+                            (base + i * 1e-4, sink.append, (i,))
+                            for i in range(width)
+                        ]
+                    )
+                else:
+                    for i in range(width):
+                        sim.schedule_at(base + i * 1e-4, sink.append, i)
+
+        t_schedule, _ = timed(schedule_all)
+        t_run, _ = timed(sim.run)
+        return (
+            float(sim.processed_events),
+            {"schedule": t_schedule, "run": t_run},
+            {"batched": 1.0 if batch_api is not None else 0.0},
+        )
+
+    return measure("kernel_schedule_many", "micro", once, repeats)
+
+
+# ----------------------------------------------------------------------
+# MAC fan-out
+# ----------------------------------------------------------------------
+@_micro("bcast_fanout")
+def bench_bcast_fanout(repeats: int = 3) -> BenchRecord:
+    """One broadcast's G'-neighbor fan-out on a star: BMMB, n=192, k=48."""
+    from repro.core.bmmb import BMMBNode
+    from repro.ids import MessageAssignment
+    from repro.mac.schedulers.uniform import UniformDelayScheduler
+    from repro.runtime.runner import run_standard
+    from repro.sim.rng import RandomSource
+    from repro.topology.generators import star_network
+
+    n, k = 192, 48
+    dual = star_network(n)
+    assignment = MessageAssignment.one_each(list(range(1, k + 1)), "m")
+
+    def once():
+        scheduler = UniformDelayScheduler(RandomSource(7, "sched"))
+        t_run, result = timed(
+            lambda: run_standard(
+                dual,
+                assignment,
+                lambda _n: BMMBNode(),
+                scheduler,
+                fack=20.0,
+                fprog=1.0,
+                keep_instances=False,
+            )
+        )
+        return (
+            float(result.sim_events),
+            {"run": t_run},
+            {"solved": float(result.solved), "rcv": float(result.rcv_count)},
+        )
+
+    return measure("bcast_fanout", "micro", once, repeats)
+
+
+@_micro("fault_epoch")
+def bench_fault_epoch(repeats: int = 3) -> BenchRecord:
+    """Per-delivery fault poll under a flapping plan: BMMB, n=64."""
+    from repro.experiments.runner import run as run_spec
+    from repro.experiments.specs import (
+        AlgorithmSpec,
+        ExperimentSpec,
+        FaultSpec,
+        ModelSpec,
+        SchedulerSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    spec = ExperimentSpec(
+        name="perf-fault-epoch",
+        topology=TopologySpec(
+            "random_geometric",
+            {"n": 64, "side": 4.0, "c": 1.6, "grey_edge_probability": 0.4},
+        ),
+        algorithm=AlgorithmSpec("bmmb"),
+        scheduler=SchedulerSpec("uniform"),
+        workload=WorkloadSpec("one_each", {"k": 16}),
+        fault=FaultSpec("flap_periodic", {"fraction": 0.3, "period": 3.0}),
+        model=ModelSpec(fack=20.0, fprog=1.0),
+        seed=21,
+    )
+
+    def once():
+        t_run, result = timed(lambda: run_spec(spec, keep_raw=False))
+        return (
+            result.metrics.get("sim_events"),
+            {"run": t_run},
+            {
+                "solved": float(result.solved),
+                "link_flaps": result.metrics.get("link_flap_events", 0.0),
+            },
+        )
+
+    return measure("fault_epoch", "micro", once, repeats)
+
+
+# ----------------------------------------------------------------------
+# Topology queries
+# ----------------------------------------------------------------------
+@_micro("dualgraph_queries")
+def bench_dualgraph_queries(repeats: int = 3) -> BenchRecord:
+    """BFS distances, components, diameter, and G^r on an n=256 geometric."""
+    from repro.sim.rng import RandomSource
+    from repro.topology.geometric import random_geometric_network
+
+    def once():
+        t_build, dual = timed(
+            lambda: random_geometric_network(
+                256,
+                side=8.0,
+                c=1.6,
+                grey_edge_probability=0.4,
+                rng=RandomSource(3, "topo"),
+            )
+        )
+
+        def queries():
+            total = 0
+            for source in dual.nodes:
+                total += len(dual.distances_from(source))
+            total += sum(len(c) for c in dual.components())
+            total += dual.diameter()
+            total += dual.power_graph(2).number_of_edges()
+            total += dual.power_graph(2).number_of_edges()  # cached path
+            return total
+
+        t_query, total = timed(queries)
+        return (
+            float(total),
+            {"build": t_build, "query": t_query},
+            {"n": float(dual.n)},
+        )
+
+    return measure("dualgraph_queries", "micro", once, repeats)
+
+
+def run_micro_suite(repeats: int = 3) -> list[BenchRecord]:
+    """Execute every microbenchmark; returns the records in order."""
+    return [bench(repeats) for bench in MICRO_BENCHMARKS.values()]

@@ -1,0 +1,149 @@
+"""Assemble, persist, and compare ``BENCH_PERF.json`` reports.
+
+A report records every benchmark with its wall time, work throughput, and
+per-phase breakdown, plus the host's calibration time (see
+:mod:`repro.perf.harness`).  :func:`compare_reports` gates regressions by
+*normalized* wall time — ``wall / calibration`` — so a baseline committed
+from one machine remains meaningful on another (e.g. a CI runner).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import ExperimentError
+from repro.perf.harness import BenchRecord, environment_info, peak_rss_mb
+
+#: Report schema version (bump on incompatible layout changes).
+SCHEMA_VERSION = 1
+
+
+def build_report(
+    records: Iterable[BenchRecord],
+    calibration_seconds: float,
+    note: str = "",
+    before: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The JSON document for a finished suite run.
+
+    Args:
+        records: Benchmark outcomes.
+        calibration_seconds: This host's reference-workload time.
+        note: Free-form provenance line (e.g. the git revision).
+        before: Optional embedded pre-optimization report to ship
+            before/after evidence in one committed file; adds a
+            ``speedup`` map (before wall / after wall, same machine).
+    """
+    record_list = [r.as_dict() for r in records]
+    report: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "python -m repro perf",
+        "note": note,
+        "environment": environment_info(),
+        "calibration_seconds": calibration_seconds,
+        "peak_rss_mb": peak_rss_mb(),
+        "records": record_list,
+    }
+    if before is not None:
+        report["before"] = before
+        speedup: dict[str, float] = {}
+        before_by_key = {
+            (r["suite"], r["name"]): r for r in before.get("records", [])
+        }
+        for rec in record_list:
+            ref = before_by_key.get((rec["suite"], rec["name"]))
+            if ref and rec["wall_seconds"] > 0:
+                speedup[f"{rec['suite']}/{rec['name']}"] = round(
+                    ref["wall_seconds"] / rec["wall_seconds"], 3
+                )
+        report["speedup"] = speedup
+    return report
+
+
+def write_report(path: str, report: dict[str, Any]) -> None:
+    """Write a report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> dict[str, Any]:
+    """Load a report, validating the schema version."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ExperimentError(
+            f"unsupported BENCH_PERF schema {report.get('schema')!r} in "
+            f"{path} (expected {SCHEMA_VERSION})"
+        )
+    return report
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark that slowed down beyond the allowed threshold."""
+
+    key: str
+    baseline_normalized: float
+    current_normalized: float
+    ratio: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.key}: normalized wall {self.current_normalized:.4f} vs "
+            f"baseline {self.baseline_normalized:.4f} "
+            f"({(self.ratio - 1.0) * 100.0:+.1f}%)"
+        )
+
+
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 0.25,
+) -> tuple[list[Regression], dict[str, float], list[str]]:
+    """Compare two reports by calibration-normalized wall time.
+
+    Args:
+        current: The freshly measured report.
+        baseline: The committed reference report.
+        max_regression: Allowed slowdown fraction (0.25 = 25%).
+
+    Returns:
+        ``(regressions, ratios, uncovered)`` — benchmarks slower than
+        allowed, the normalized current/baseline ratio for every shared
+        benchmark, and current benchmarks the baseline does not cover
+        (callers should surface these: an uncovered benchmark is not
+        regression-gated until the baseline is regenerated).
+    """
+    cal_cur = current.get("calibration_seconds") or 1.0
+    cal_base = baseline.get("calibration_seconds") or 1.0
+    base_by_key = {
+        (r["suite"], r["name"]): r for r in baseline.get("records", [])
+    }
+    regressions: list[Regression] = []
+    ratios: dict[str, float] = {}
+    uncovered: list[str] = []
+    for rec in current.get("records", []):
+        ref = base_by_key.get((rec["suite"], rec["name"]))
+        if ref is None:
+            uncovered.append(f"{rec['suite']}/{rec['name']}")
+            continue
+        cur_norm = rec["wall_seconds"] / cal_cur
+        base_norm = ref["wall_seconds"] / cal_base
+        if base_norm <= 0:
+            continue
+        ratio = cur_norm / base_norm
+        key = f"{rec['suite']}/{rec['name']}"
+        ratios[key] = round(ratio, 4)
+        if ratio > 1.0 + max_regression:
+            regressions.append(
+                Regression(
+                    key=key,
+                    baseline_normalized=base_norm,
+                    current_normalized=cur_norm,
+                    ratio=ratio,
+                )
+            )
+    return regressions, ratios, uncovered

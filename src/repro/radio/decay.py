@@ -45,6 +45,9 @@ class DecaySchedule:
         self.depth = depth
         self.phases = phases
         self._rng = rng
+        # Bound C-level draw for the per-slot coin (bernoulli(p) is
+        # exactly `random() < p` on the same stream).
+        self._random = rng.raw.random
         self._step = 0
         self._total_steps = phases * (depth + 1)
 
@@ -65,11 +68,11 @@ class DecaySchedule:
 
     def should_transmit(self) -> bool:
         """Advance one slot; return whether the sender transmits in it."""
-        if self.complete:
+        if self._step >= self._total_steps:
             return False
         within_phase = self._step % (self.depth + 1)
         self._step += 1
-        return self._rng.bernoulli(2.0 ** (-within_phase))
+        return self._random() < 2.0 ** (-within_phase)
 
 
 def decay_depth_for(max_contention: int) -> int:

@@ -28,6 +28,7 @@ it to regenerate footnote 2's claim — under contention κ, the realized
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.errors import MACError, WellFormednessError
@@ -317,9 +318,9 @@ class RadioMACLayer:
         Under faults, dead neighbors are owed nothing (the adaptive mode
         would otherwise retransmit forever at a crashed neighbor).
         """
-        neighbors = sorted(self.dual.reliable_neighbors(sender))
+        neighbors = self.dual.reliable_neighbors_sorted(sender)
         if self.faults is None:
-            return neighbors
+            return list(neighbors)
         return [v for v in neighbors if self.faults.is_active(v)]
 
     def _complete_finished(self, slot_end: Time) -> None:
@@ -409,6 +410,19 @@ def minimal_progress_bound(instances: InstanceLog, dual: DualGraph) -> Time:
         term = min(inst.termination_time, trace_end)
         for receiver, rtime in inst.rcv_times.items():
             rcv_by_receiver.setdefault(receiver, []).append((rtime, term))
+    # Per receiver: events sorted by termination time, plus a suffix
+    # minimum of the receive times.  "Earliest receive among instances
+    # still contending at s" (term >= s) is then one bisect + one array
+    # lookup instead of a scan — this pass used to be quadratic in the
+    # instance count and dominated radio-substrate profiles.
+    indexed: dict[NodeId, tuple[list[Time], list[Time]]] = {}
+    for receiver, events in rcv_by_receiver.items():
+        events.sort(key=lambda rt: rt[1])
+        terms = [term for _, term in events]
+        suffix_min: list[Time] = [math.inf] * (len(events) + 1)
+        for i in range(len(events) - 1, -1, -1):
+            suffix_min[i] = min(events[i][0], suffix_min[i + 1])
+        indexed[receiver] = (terms, suffix_min)
     needed = 0.0
     for inst in insts:
         begin = inst.bcast_time
@@ -416,15 +430,19 @@ def minimal_progress_bound(instances: InstanceLog, dual: DualGraph) -> Time:
         if end <= begin:
             continue
         for receiver in dual.reliable_neighbors(inst.sender):
-            events = rcv_by_receiver.get(receiver, [])
+            index = indexed.get(receiver)
+            if index is None:
+                terms, suffix_min = [], [math.inf]
+            else:
+                terms, suffix_min = index
             starts = [begin] + [
-                term + 1e-9 for _, term in events if begin < term < end
+                term + 1e-9 for term in terms if begin < term < end
             ]
             for s in starts:
                 if s >= end:
                     continue
-                qualifying = [r for r, term in events if term >= s]
-                earliest = min(qualifying, default=math.inf)
+                earliest = suffix_min[bisect_left(terms, s)]
                 constraint = min(earliest - s, end - s)
-                needed = max(needed, constraint)
+                if constraint > needed:
+                    needed = constraint
     return needed

@@ -83,22 +83,26 @@ class SlottedRadioNetwork:
             if not self.dual.reliable_graph.has_node(sender):
                 raise MACError(f"unknown transmitter {sender}")
         engine = self.fault_engine
+        dual = self.dual
+        random_f = self._rng.raw.random  # bernoulli(p) == random_f() < p
+        p_live = self.p_unreliable_live
         receptions: Receptions = {}
         collisions = 0
-        for v in self.dual.nodes:
+        for v in dual.nodes_sorted:
             if v in transmissions:
                 continue  # transmitters cannot listen
             if engine is not None and not engine.is_active(v):
                 continue  # dead nodes hear nothing
             live_senders = []
-            for u in sorted(self.dual.gprime_neighbors(v)):
+            reliable_set = dual.reliable_neighbors(v)
+            for u in dual.gprime_neighbors_sorted(v):
                 if u not in transmissions:
                     continue
                 if engine is not None:
                     reliable = engine.is_reliable_edge(u, v)
                 else:
-                    reliable = u in self.dual.reliable_neighbors(v)
-                if reliable or self._rng.bernoulli(self.p_unreliable_live):
+                    reliable = u in reliable_set
+                if reliable or random_f() < p_live:
                     live_senders.append(u)
             if len(live_senders) == 1:
                 sender = live_senders[0]

@@ -4,64 +4,135 @@ Events are ordered by ``(time, priority, seq)``.  ``seq`` is a monotonically
 increasing counter assigned at scheduling time, which makes same-time,
 same-priority events run in FIFO order — this is what lets the package
 express the paper's "no time passes" event chains deterministically.
+
+Hot-path representation: an event is a plain 6-element list
+``[time, priority, seq, fn, args, state]`` (see the ``EVT_*`` index
+constants).  Python compares lists element-wise in C, and ``seq`` is unique
+per simulator, so heap comparisons resolve on the first three scalar slots
+without ever calling back into Python — this is what removed the
+dataclass-``__lt__`` overhead that used to dominate kernel profiles.
+``state`` tracks the event lifecycle (pending → fired | cancelled);
+cancellation nulls ``fn``/``args`` so a cancelled entry pins no objects
+alive while it waits to be popped or compacted out of the heap.
+
+:class:`ScheduledEvent` survives as a read-only view over an entry for
+introspection and debugging; the kernel itself never allocates one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.ids import Time
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
 
-@dataclass(order=True)
+#: Index of the absolute firing time in an event entry.
+EVT_TIME = 0
+#: Index of the priority (lower fires first at equal times).
+EVT_PRIORITY = 1
+#: Index of the FIFO tie-breaker sequence number.
+EVT_SEQ = 2
+#: Index of the callback (``None`` once cancelled).
+EVT_FN = 3
+#: Index of the callback's positional arguments.
+EVT_ARGS = 4
+#: Index of the lifecycle state.
+EVT_STATE = 5
+
+#: Lifecycle states stored at ``EVT_STATE``.
+STATE_PENDING = 0
+STATE_FIRED = 1
+STATE_CANCELLED = 2
+
+#: Type alias for the raw heap entry.  The kernel inlines entry
+#: construction at its three scheduling entry points (a call frame per
+#: event is measurable); keep those literals in sync with the EVT_*
+#: layout above.
+EventEntry = list
+
+
 class ScheduledEvent:
-    """Internal heap entry for one scheduled callback.
+    """Read-only view of one scheduled callback (debugging/introspection).
 
-    Attributes:
-        time: Absolute simulation time at which to fire.
-        priority: Secondary sort key; lower fires first at equal times.
-        seq: Tertiary FIFO tie-breaker assigned by the simulator.
-        fn: The callback (compared never; excluded from ordering).
-        args: Positional arguments passed to ``fn``.
-        cancelled: Set by :meth:`EventHandle.cancel`; fired events are skipped.
+    Attributes mirror the historical dataclass: ``time``, ``priority``,
+    ``seq``, ``fn``, ``args``, ``cancelled``.  Ordering compares
+    ``(time, priority, seq)``.
     """
 
-    time: Time
-    priority: int
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: EventEntry):
+        self._entry = entry
+
+    @property
+    def time(self) -> Time:
+        return self._entry[EVT_TIME]
+
+    @property
+    def priority(self) -> int:
+        return self._entry[EVT_PRIORITY]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[EVT_SEQ]
+
+    @property
+    def fn(self) -> Callable[..., None] | None:
+        return self._entry[EVT_FN]
+
+    @property
+    def args(self) -> tuple[Any, ...]:
+        return self._entry[EVT_ARGS]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[EVT_STATE] == STATE_CANCELLED
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return self._entry[:3] < other._entry[:3]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScheduledEvent(t={self.time!r}, priority={self.priority}, "
+            f"seq={self.seq}, state={self._entry[EVT_STATE]})"
+        )
 
 
 class EventHandle:
     """Cancellation token returned by :meth:`repro.sim.kernel.Simulator.schedule`.
 
-    Holding a handle does not keep the event alive; it only allows the owner
-    to cancel it before it fires.  Cancelling an already-fired or
-    already-cancelled event is a harmless no-op, which keeps timer code in
-    the enhanced MAC layer simple.
+    Holding a handle does not keep the event's callback alive after
+    cancellation; it only allows the owner to cancel the event before it
+    fires.  Cancelling an already-fired or already-cancelled event is a
+    harmless no-op, which keeps timer code in the enhanced MAC layer simple.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_sim", "_entry")
 
-    def __init__(self, event: ScheduledEvent):
-        self._event = event
+    def __init__(self, sim: "Simulator", entry: EventEntry):
+        self._sim = sim
+        self._entry = entry
 
     @property
     def time(self) -> Time:
         """Scheduled firing time."""
-        return self._event.time
+        return self._entry[EVT_TIME]
 
     @property
     def cancelled(self) -> bool:
         """True if :meth:`cancel` was called before the event fired."""
-        return self._event.cancelled
+        return self._entry[EVT_STATE] == STATE_CANCELLED
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        entry = self._entry
+        if entry[EVT_STATE] == STATE_PENDING:
+            entry[EVT_STATE] = STATE_CANCELLED
+            entry[EVT_FN] = None
+            entry[EVT_ARGS] = ()
+            self._sim._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

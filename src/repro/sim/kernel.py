@@ -6,9 +6,28 @@ A deliberately small, predictable kernel:
   producing a same-timestamp FIFO chain (used for the paper's zero-time
   broadcast/ack cascades in the lower-bound constructions).
 * ``schedule_at(time, fn, *args)`` — absolute scheduling.
+* ``schedule_many(items)`` — batched scheduling: fan one broadcast's
+  deliveries into the queue in a single pass (heapify when the batch is
+  large relative to the heap) instead of per-receiver pushes.
 * ``run(until=...)`` — drain events in ``(time, priority, seq)`` order.
 * an event budget (``max_events``) guards against accidental livelock in
   adversarial schedules.
+
+Performance design (behavior-preserving — the pop order is fully
+determined by the total ``(time, priority, seq)`` key, so none of this
+changes any execution):
+
+* Heap entries are plain lists compared element-wise in C (see
+  :mod:`repro.sim.events`), not objects with a Python ``__lt__``.
+* Events scheduled at the *current* instant with non-decreasing priority
+  go to a FIFO side queue instead of the heap — zero-delay cascades cost
+  O(1) per event instead of O(log n).  The run loop always fires the
+  smaller of the two queue heads, so ordering is exactly the heap order.
+* Cancellation is lazy: a cancelled entry stays queued (with its callback
+  nulled) and is skipped at pop time; when cancelled entries exceed half
+  the queue the kernel compacts in place, so dead events never accumulate.
+  ``pending_events`` counts only live events; ``cancelled_events`` counts
+  every cancellation for introspection.
 
 The kernel is single-threaded and deterministic: given the same scheduling
 calls it produces the same execution, which is what makes fixed-seed
@@ -18,11 +37,21 @@ experiments reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from collections import deque
+from typing import Any, Callable, Iterable
 
 from repro.errors import SimulationError
 from repro.ids import TIME_EPS, Time
-from repro.sim.events import EventHandle, ScheduledEvent
+from repro.sim.events import (
+    STATE_CANCELLED,
+    STATE_FIRED,
+    STATE_PENDING,
+    EventEntry,
+    EventHandle,
+)
+
+#: Minimum batch size before ``schedule_many`` considers a bulk heapify.
+_BULK_MIN = 16
 
 
 class Simulator:
@@ -36,10 +65,16 @@ class Simulator:
     """
 
     def __init__(self, max_events: int = 50_000_000):
-        self._now: Time = 0.0
-        self._heap: list[ScheduledEvent] = []
+        #: Current simulation time.  A plain attribute (not a property):
+        #: it is read several times per event across the package, and the
+        #: property indirection was measurable.  Treat as read-only.
+        self.now: Time = 0.0
+        self._heap: list[EventEntry] = []
+        self._fifo: deque[EventEntry] = deque()
         self._seq = 0
         self._processed = 0
+        self._cancelled_total = 0
+        self._cancelled_pending = 0
         self._max_events = max_events
         self._running = False
 
@@ -47,19 +82,19 @@ class Simulator:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def now(self) -> Time:
-        """Current simulation time."""
-        return self._now
-
-    @property
     def processed_events(self) -> int:
         """Number of (non-cancelled) events executed so far."""
         return self._processed
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled-but-unfired events (including cancelled)."""
-        return len(self._heap)
+        """Number of scheduled-but-unfired live events (cancelled excluded)."""
+        return len(self._heap) + len(self._fifo) - self._cancelled_pending
+
+    @property
+    def cancelled_events(self) -> int:
+        """Total number of events ever cancelled (monotone counter)."""
+        return self._cancelled_total
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -78,7 +113,7 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
 
     def schedule_at(
         self,
@@ -88,34 +123,215 @@ class Simulator:
         priority: int = 0,
     ) -> EventHandle:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
-        if time < self._now - TIME_EPS:
+        now = self.now
+        if time < now - TIME_EPS:
             raise SimulationError(
-                f"cannot schedule into the past (t={time} < now={self._now})"
+                f"cannot schedule into the past (t={time} < now={now})"
             )
-        event = ScheduledEvent(max(time, self._now), priority, self._seq, fn, args)
+        if time < now:
+            time = now
+        entry: EventEntry = [time, priority, self._seq, fn, args, STATE_PENDING]
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        fifo = self._fifo
+        # Same-timestamp FIFO fast path: an event for the current instant
+        # whose priority does not precede the FIFO tail keeps the side
+        # queue sorted by (time, priority, seq), so it can bypass the heap.
+        if time == now and (not fifo or priority >= fifo[-1][1]):
+            fifo.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+        return EventHandle(self, entry)
+
+    def schedule_at_raw(
+        self,
+        time: Time,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no cancellation handle.
+
+        Scheduling is identical; only the :class:`EventHandle` allocation
+        is skipped.  For hot loops (per-receiver service events, deadline
+        flushes) whose events are never cancelled.
+        """
+        # Body duplicated from schedule_at rather than shared through a
+        # helper: this is the hottest entry point and an extra call frame
+        # per event is exactly what the raw variant exists to avoid.
+        now = self.now
+        if time < now - TIME_EPS:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={now})"
+            )
+        if time < now:
+            time = now
+        entry: EventEntry = [time, priority, self._seq, fn, args, STATE_PENDING]
+        self._seq += 1
+        fifo = self._fifo
+        if time == now and (not fifo or priority >= fifo[-1][1]):
+            fifo.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+
+    def schedule_many(
+        self,
+        items: Iterable[tuple[Time, Callable[..., None], tuple[Any, ...]]],
+        priority: int = 0,
+    ) -> list[EventHandle]:
+        """Schedule a batch of ``(time, fn, args)`` events in one pass.
+
+        Equivalent to calling :meth:`schedule_at` once per item in order
+        (sequence numbers — and therefore tie-breaking — are identical),
+        but large batches are appended and re-heapified in O(heap + batch)
+        instead of O(batch · log heap) pushes.  Used by the MAC layers to
+        fan one broadcast's deliveries out to all G'-neighbors.
+        """
+        return [
+            EventHandle(self, entry)
+            for entry in self._insert_batch(items, priority)
+        ]
+
+    def schedule_many_entries(
+        self,
+        items: Iterable[tuple[Time, Callable[..., None], tuple[Any, ...]]],
+        priority: int = 0,
+    ) -> list[EventEntry]:
+        """Advanced :meth:`schedule_many`: returns the raw queue entries.
+
+        For callers that may need to bulk-cancel the batch later via
+        :meth:`cancel_entries` without paying one :class:`EventHandle`
+        allocation per event (the MAC layers' delivery fan-out under fault
+        injection).  Entries are opaque — treat them as tokens.
+        """
+        return self._insert_batch(items, priority)
+
+    def cancel_entries(self, entries: Iterable[EventEntry]) -> None:
+        """Cancel raw entries from :meth:`schedule_many_entries` in bulk.
+
+        Idempotent per entry (fired or already-cancelled entries are
+        skipped); the compaction check runs once for the whole batch.
+        """
+        cancelled = 0
+        for entry in entries:
+            if entry[5] == STATE_PENDING:
+                entry[5] = STATE_CANCELLED
+                entry[3] = None
+                entry[4] = ()
+                cancelled += 1
+        if cancelled:
+            self._cancelled_total += cancelled
+            self._cancelled_pending += cancelled
+            pending = self._cancelled_pending
+            if pending > 64 and pending * 2 >= len(self._heap) + len(self._fifo):
+                self._compact()
+
+    def schedule_many_raw(
+        self,
+        items: Iterable[tuple[Time, Callable[..., None], tuple[Any, ...]]],
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_many`: no cancellation handles.
+
+        Scheduling (sequence numbers, execution order) is identical; only
+        the per-event :class:`EventHandle` allocation is skipped.  Use when
+        the caller will never cancel the batch — e.g. delivery fan-out on a
+        fault-free standard MAC layer, where nothing aborts.
+        """
+        self._insert_batch(items, priority)
+
+    def _insert_batch(
+        self,
+        items: Iterable[tuple[Time, Callable[..., None], tuple[Any, ...]]],
+        priority: int,
+    ) -> list[EventEntry]:
+        now = self.now
+        seq = self._seq
+        entries: list[EventEntry] = []
+        for time, fn, args in items:
+            if time < now - TIME_EPS:
+                raise SimulationError(
+                    f"cannot schedule into the past (t={time} < now={now})"
+                )
+            if time < now:
+                time = now
+            entries.append([time, priority, seq, fn, args, STATE_PENDING])
+            seq += 1
+        self._seq = seq
+        heap = self._heap
+        if len(entries) >= _BULK_MIN and len(entries) * 8 >= len(heap):
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(heap, entry)
+        return entries
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping (called by EventHandle.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._cancelled_total += 1
+        self._cancelled_pending += 1
+        pending = self._cancelled_pending
+        if pending > 64 and pending * 2 >= len(self._heap) + len(self._fifo):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries (in place — the run loop holds aliases)."""
+        heap = self._heap
+        heap[:] = [e for e in heap if e[5] == STATE_PENDING]
+        heapq.heapify(heap)
+        fifo = self._fifo
+        if fifo:
+            live = [e for e in fifo if e[5] == STATE_PENDING]
+            fifo.clear()
+            fifo.extend(live)
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _peek_live(self) -> tuple[EventEntry | None, bool]:
+        """Next live entry and whether it sits in the FIFO side queue.
+
+        Prunes cancelled entries from both queue heads as a side effect.
+        """
+        heap = self._heap
+        fifo = self._fifo
+        heappop = heapq.heappop
+        while heap and heap[0][5] == STATE_CANCELLED:
+            heappop(heap)
+            self._cancelled_pending -= 1
+        while fifo and fifo[0][5] == STATE_CANCELLED:
+            fifo.popleft()
+            self._cancelled_pending -= 1
+        if not fifo:
+            return (heap[0], False) if heap else (None, False)
+        if not heap:
+            return fifo[0], True
+        # List comparison resolves on (time, priority, seq): seq is unique.
+        return (fifo[0], True) if fifo[0] < heap[0] else (heap[0], False)
+
     def step(self) -> bool:
         """Run the single next event.  Returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._advance_to(event.time)
-            self._processed += 1
-            if self._processed > self._max_events:
-                raise SimulationError(
-                    f"event budget exceeded ({self._max_events} events); "
-                    "likely a zero-delay livelock"
-                )
-            event.fn(*event.args)
-            return True
-        return False
+        entry, from_fifo = self._peek_live()
+        if entry is None:
+            return False
+        if from_fifo:
+            self._fifo.popleft()
+        else:
+            heapq.heappop(self._heap)
+        self._advance_to(entry[0])
+        self._processed += 1
+        if self._processed > self._max_events:
+            raise SimulationError(
+                f"event budget exceeded ({self._max_events} events); "
+                "likely a zero-delay livelock"
+            )
+        entry[5] = STATE_FIRED
+        entry[3](*entry[4])
+        return True
 
     def run(self, until: Time | None = None) -> Time:
         """Drain the event queue.
@@ -130,25 +346,60 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        heappop = heapq.heappop
+        popleft = self._fifo.popleft
+        fifo = self._fifo
+        heap = self._heap
+        max_events = self._max_events
+        cancelled = STATE_CANCELLED
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until + TIME_EPS:
+            # The body below is _peek_live + step fused into one loop —
+            # the per-event call overhead matters at millions of events.
+            while True:
+                while heap and heap[0][5] == cancelled:
+                    heappop(heap)
+                    self._cancelled_pending -= 1
+                while fifo and fifo[0][5] == cancelled:
+                    popleft()
+                    self._cancelled_pending -= 1
+                if fifo:
+                    entry = fifo[0]
+                    from_fifo = True
+                    if heap and heap[0] < entry:
+                        entry = heap[0]
+                        from_fifo = False
+                elif heap:
+                    entry = heap[0]
+                    from_fifo = False
+                else:
                     break
-                self.step()
-            if until is not None and until > self._now:
+                time = entry[0]
+                if until is not None and time > until + TIME_EPS:
+                    break
+                if from_fifo:
+                    popleft()
+                else:
+                    heappop(heap)
+                if time > self.now:
+                    self.now = time
+                self._processed += 1
+                if self._processed > max_events:
+                    raise SimulationError(
+                        f"event budget exceeded ({max_events} events); "
+                        "likely a zero-delay livelock"
+                    )
+                entry[5] = STATE_FIRED
+                entry[3](*entry[4])
+            if until is not None and until > self.now:
                 self._advance_to(until)
-            return self._now
+            return self.now
         finally:
             self._running = False
 
     def _advance_to(self, time: Time) -> None:
-        if time < self._now - TIME_EPS:
+        if time < self.now - TIME_EPS:
             raise SimulationError(
-                f"time went backwards: {time} < {self._now}"
+                f"time went backwards: {time} < {self.now}"
             )
-        if time > self._now:
-            self._now = time
+        if time > self.now:
+            self.now = time

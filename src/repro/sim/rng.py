@@ -44,6 +44,31 @@ class RandomSource:
         """An independent stream addressed by ``name`` under this stream."""
         return RandomSource(derive_seed(self.seed, name), f"{self.name}/{name}")
 
+    @property
+    def raw(self) -> random.Random:
+        """The backing :class:`random.Random` stream.
+
+        Hot loops may bind its methods directly (e.g. ``random``,
+        ``uniform``) to skip the wrapper call frames; every draw taken
+        through ``raw`` is draw-for-draw identical to the corresponding
+        wrapper method, so reproducibility is unaffected.
+        """
+        return self._rng
+
+    @property
+    def randbelow_raw(self):
+        """Bound fast uniform-index draw: ``randbelow_raw(n)`` in [0, n).
+
+        ``seq[rng.randbelow_raw(len(seq))]`` is draw-for-draw identical
+        to ``rng.choice(seq)`` — CPython implements ``choice`` exactly
+        that way.  This is the package's single point of dependence on
+        the private ``random.Random._randbelow``; the equivalence is
+        pinned by a unit test so a future Python changing ``choice``'s
+        implementation fails loudly there, not as a mysterious
+        golden-trace mismatch.
+        """
+        return self._rng._randbelow
+
     # ------------------------------------------------------------------
     # Draw operations
     # ------------------------------------------------------------------

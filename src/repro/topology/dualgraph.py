@@ -1,17 +1,33 @@
 """The dual graph ``(G, G')`` — reliable and unreliable connectivity.
 
 This is the package's central topology type.  It validates the model's
-structural constraint ``E ⊆ E'`` at construction, precomputes adjacency sets
-for the hot paths (the MAC layer queries neighbors on every broadcast), and
-offers the graph-theoretic helpers the paper's definitions use: shortest-path
-distances in ``G``, the power graph ``G^r``, the ``r``-restriction predicate,
-and the grey-zone embedding predicate.
+structural constraint ``E ⊆ E'`` at construction, precomputes adjacency
+sets/tuples for the hot paths (the MAC layer queries neighbors on every
+broadcast; the round and radio substrates iterate them every round/slot),
+and offers the graph-theoretic helpers the paper's definitions use:
+shortest-path distances in ``G``, the power graph ``G^r``, the
+``r``-restriction predicate, and the grey-zone embedding predicate.
+
+Performance notes:
+
+* Every query the simulation loop touches — neighbor sets, sorted neighbor
+  tuples, node lists, BFS distances, components, diameter, ``G^r`` — is
+  answered from arrays/dicts precomputed at construction or from
+  **per-instance** caches filled on first use.  networkx is used only to
+  *build* and validate the graphs; no hot path calls into it.
+* Caches are per-instance (plain dicts), not module-level ``lru_cache``:
+  an ``lru_cache`` keyed on ``self`` would pin every :class:`DualGraph`
+  (and its networkx graphs) alive process-wide — a real leak across the
+  thousands of topologies a parallel sweep builds.
+* Instances are treated as immutable after construction (mutating the
+  underlying networkx graphs voids the caches); nothing in the package
+  mutates them.
 """
 
 from __future__ import annotations
 
 import math
-from functools import lru_cache
+from collections import deque
 from typing import Iterable, Mapping
 
 import networkx as nx
@@ -20,6 +36,10 @@ from repro.errors import TopologyError
 from repro.ids import NodeId
 
 Position = tuple[float, float]
+
+#: Cap on the number of cached BFS sources per instance (a full all-pairs
+#: BFS on n=4096 stays bounded; the cache simply restarts when full).
+_BFS_CACHE_MAX = 4096
 
 
 class DualGraph:
@@ -66,7 +86,11 @@ class DualGraph:
         self.positions: dict[NodeId, Position] | None = (
             dict(positions) if positions is not None else None
         )
-        # Precomputed adjacency (hot path for the MAC layer).
+        #: Sorted vertex tuple (hot paths iterate this; no per-call sort).
+        self._nodes_sorted: tuple[NodeId, ...] = tuple(sorted(reliable.nodes))
+        # Precomputed adjacency (hot path for the MAC layer): frozensets
+        # for O(1) membership, sorted tuples for deterministic iteration
+        # without per-broadcast sorting.
         self._g_adj: dict[NodeId, frozenset[NodeId]] = {
             v: frozenset(reliable.neighbors(v)) for v in reliable.nodes
         }
@@ -76,6 +100,22 @@ class DualGraph:
         self._unreliable_only_adj: dict[NodeId, frozenset[NodeId]] = {
             v: self._gp_adj[v] - self._g_adj[v] for v in reliable.nodes
         }
+        self._g_adj_sorted: dict[NodeId, tuple[NodeId, ...]] = {
+            v: tuple(sorted(adj)) for v, adj in self._g_adj.items()
+        }
+        self._gp_adj_sorted: dict[NodeId, tuple[NodeId, ...]] = {
+            v: tuple(sorted(adj)) for v, adj in self._gp_adj.items()
+        }
+        self._uo_adj_sorted: dict[NodeId, tuple[NodeId, ...]] = {
+            v: tuple(sorted(adj))
+            for v, adj in self._unreliable_only_adj.items()
+        }
+        # Per-instance lazy caches (see module docstring).
+        self._bfs_cache: dict[NodeId, dict[NodeId, int]] = {}
+        self._power_cache: dict[int, nx.Graph] = {}
+        self._components_cache: list[frozenset[NodeId]] | None = None
+        self._component_of_cache: dict[NodeId, frozenset[NodeId]] | None = None
+        self._diameter_cache: int | None = None
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -83,12 +123,17 @@ class DualGraph:
     @property
     def n(self) -> int:
         """Number of nodes."""
-        return self._g.number_of_nodes()
+        return len(self._nodes_sorted)
 
     @property
     def nodes(self) -> list[NodeId]:
-        """Vertex list in sorted order."""
-        return sorted(self._g.nodes)
+        """Vertex list in sorted order (a fresh list; callers may mutate)."""
+        return list(self._nodes_sorted)
+
+    @property
+    def nodes_sorted(self) -> tuple[NodeId, ...]:
+        """Sorted vertex tuple — the allocation-free hot-path variant."""
+        return self._nodes_sorted
 
     @property
     def reliable_graph(self) -> nx.Graph:
@@ -111,6 +156,18 @@ class DualGraph:
     def unreliable_only_neighbors(self, v: NodeId) -> frozenset[NodeId]:
         """Neighbors of ``v`` in ``G' \\ G`` (purely unreliable links)."""
         return self._unreliable_only_adj[v]
+
+    def reliable_neighbors_sorted(self, v: NodeId) -> tuple[NodeId, ...]:
+        """``reliable_neighbors(v)`` as a precomputed sorted tuple."""
+        return self._g_adj_sorted[v]
+
+    def gprime_neighbors_sorted(self, v: NodeId) -> tuple[NodeId, ...]:
+        """``gprime_neighbors(v)`` as a precomputed sorted tuple."""
+        return self._gp_adj_sorted[v]
+
+    def unreliable_only_neighbors_sorted(self, v: NodeId) -> tuple[NodeId, ...]:
+        """``unreliable_only_neighbors(v)`` as a precomputed sorted tuple."""
+        return self._uo_adj_sorted[v]
 
     def is_reliable_edge(self, u: NodeId, v: NodeId) -> bool:
         """True if ``(u, v) ∈ E``."""
@@ -141,9 +198,26 @@ class DualGraph:
         """Hop distances ``d_G(source, ·)`` for the reachable set."""
         return self._bfs(source)
 
-    @lru_cache(maxsize=4096)
     def _bfs(self, source: NodeId) -> dict[NodeId, int]:
-        return dict(nx.single_source_shortest_path_length(self._g, source))
+        cached = self._bfs_cache.get(source)
+        if cached is not None:
+            return cached
+        if source not in self._g_adj:
+            raise TopologyError(f"unknown node {source}")
+        adj = self._g_adj
+        dist = {source: 0}
+        frontier = deque((source,))
+        while frontier:
+            v = frontier.popleft()
+            d = dist[v] + 1
+            for u in adj[v]:
+                if u not in dist:
+                    dist[u] = d
+                    frontier.append(u)
+        if len(self._bfs_cache) >= _BFS_CACHE_MAX:
+            self._bfs_cache.clear()
+        self._bfs_cache[source] = dist
+        return dist
 
     def distance(self, u: NodeId, v: NodeId) -> int:
         """``d_G(u, v)``; raises if disconnected."""
@@ -159,36 +233,86 @@ class DualGraph:
         maximum diameter over connected components — the quantity every
         per-component bound in the paper uses.
         """
-        diam = 0
-        for component in nx.connected_components(self._g):
-            sub = self._g.subgraph(component)
-            if sub.number_of_nodes() > 1:
-                diam = max(diam, nx.diameter(sub))
-        return diam
+        if self._diameter_cache is None:
+            diam = 0
+            for component in self.components():
+                if len(component) > 1:
+                    for v in component:
+                        ecc = max(self._bfs(v).values())
+                        if ecc > diam:
+                            diam = ecc
+            self._diameter_cache = diam
+        return self._diameter_cache
 
     def components(self) -> list[frozenset[NodeId]]:
-        """Connected components of ``G``."""
-        return [frozenset(c) for c in nx.connected_components(self._g)]
+        """Connected components of ``G``, ordered by smallest member."""
+        if self._components_cache is None:
+            adj = self._g_adj
+            seen: set[NodeId] = set()
+            components: list[frozenset[NodeId]] = []
+            for start in self._nodes_sorted:
+                if start in seen:
+                    continue
+                component: set[NodeId] = {start}
+                stack = [start]
+                while stack:
+                    v = stack.pop()
+                    for u in adj[v]:
+                        if u not in component:
+                            component.add(u)
+                            stack.append(u)
+                seen |= component
+                components.append(frozenset(component))
+            self._components_cache = components
+        return self._components_cache
 
     def component_of(self, v: NodeId) -> frozenset[NodeId]:
         """The connected component of ``v`` in ``G``."""
-        return frozenset(nx.node_connected_component(self._g, v))
+        if self._component_of_cache is None:
+            self._component_of_cache = {
+                node: component
+                for component in self.components()
+                for node in component
+            }
+        try:
+            return self._component_of_cache[v]
+        except KeyError:
+            raise TopologyError(f"unknown node {v}") from None
 
     # ------------------------------------------------------------------
     # Paper constraint predicates
     # ------------------------------------------------------------------
     def power_graph(self, r: int) -> nx.Graph:
         """The ``r``-th power ``G^r``: edges between distinct nodes within
-        ``r`` hops of each other in ``G`` (no self-loops, paper §3.2)."""
+        ``r`` hops of each other in ``G`` (no self-loops, paper §3.2).
+
+        Cached per instance and keyed by ``r`` — do not mutate the result.
+        """
         if r < 1:
             raise TopologyError(f"power graph exponent must be >= 1, got {r}")
+        cached = self._power_cache.get(r)
+        if cached is not None:
+            return cached
+        adj = self._g_adj
         power = nx.Graph()
         power.add_nodes_from(self._g.nodes)
-        for v in self._g.nodes:
-            lengths = nx.single_source_shortest_path_length(self._g, v, cutoff=r)
-            for u, dist in lengths.items():
-                if u != v and dist <= r:
+        for v in self._nodes_sorted:
+            # Bounded BFS to depth r.
+            dist = {v: 0}
+            frontier = deque((v,))
+            while frontier:
+                w = frontier.popleft()
+                d = dist[w] + 1
+                if d > r:
+                    break
+                for u in adj[w]:
+                    if u not in dist:
+                        dist[u] = d
+                        frontier.append(u)
+            for u in dist:
+                if u != v:
                     power.add_edge(v, u)
+        self._power_cache[r] = power
         return power
 
     def is_g_equals_gprime(self) -> bool:
@@ -234,7 +358,7 @@ class DualGraph:
             raise TopologyError("grey-zone check requires an embedding")
         if c < 1:
             raise TopologyError(f"grey-zone constant must satisfy c >= 1, got {c}")
-        nodes = self.nodes
+        nodes = self._nodes_sorted
         for i, u in enumerate(nodes):
             for v in nodes[i + 1 :]:
                 dist = self.euclidean(u, v)

@@ -23,17 +23,59 @@ from repro.sim.rng import RandomSource
 from repro.topology.dualgraph import DualGraph, Position
 
 
+def _close_pairs(
+    positions: dict[NodeId, Position], radius: float
+) -> list[tuple[NodeId, NodeId, float]]:
+    """All pairs ``u < v`` within ``radius`` (+eps), with their distance.
+
+    Grid-bucketed: nodes land in cells of side ``radius`` and only pairs
+    from the same or adjacent cells are compared, so the cost is
+    O(n · local density) instead of the all-pairs O(n²).  The result is
+    sorted lexicographically, which keeps every consumer's edge insertion
+    and RNG draw order identical to the historical nested-loop scan.
+    """
+    # Cell side must cover the *matching* limit (radius + eps), not just
+    # the radius: a pair right at the epsilon band can otherwise span
+    # non-adjacent cells and be silently dropped.
+    limit = radius + 1e-12
+    cell = max(limit, 1e-9)
+    buckets: dict[tuple[int, int], list[NodeId]] = {}
+    for v, (x, y) in positions.items():
+        buckets.setdefault((int(x // cell), int(y // cell)), []).append(v)
+    # Half neighborhood: each unordered cell pair is visited exactly once.
+    half = ((1, -1), (1, 0), (1, 1), (0, 1))
+    hypot = math.hypot
+    pairs: list[tuple[NodeId, NodeId, float]] = []
+    for (cx, cy), members in buckets.items():
+        for i, u in enumerate(members):
+            ux, uy = positions[u]
+            for v in members[i + 1 :]:
+                vx, vy = positions[v]
+                dist = hypot(ux - vx, uy - vy)
+                if dist <= limit:
+                    pairs.append((u, v, dist) if u < v else (v, u, dist))
+        for dx, dy in half:
+            other = buckets.get((cx + dx, cy + dy))
+            if not other:
+                continue
+            for u in members:
+                ux, uy = positions[u]
+                for v in other:
+                    vx, vy = positions[v]
+                    dist = hypot(ux - vx, uy - vy)
+                    if dist <= limit:
+                        pairs.append(
+                            (u, v, dist) if u < v else (v, u, dist)
+                        )
+    pairs.sort()
+    return pairs
+
+
 def unit_disk_graph(positions: dict[NodeId, Position], radius: float = 1.0) -> nx.Graph:
     """The unit-disk graph of an embedding: edges at distance ≤ ``radius``."""
     g = nx.Graph()
     g.add_nodes_from(positions)
-    nodes = sorted(positions)
-    for i, u in enumerate(nodes):
-        ux, uy = positions[u]
-        for v in nodes[i + 1 :]:
-            vx, vy = positions[v]
-            if math.hypot(ux - vx, uy - vy) <= radius + 1e-12:
-                g.add_edge(u, v)
+    g.add_edges_from((u, v) for u, v, _dist in _close_pairs(positions, radius))
     return g
 
 
@@ -62,21 +104,21 @@ def grey_zone_network(
         raise TopologyError(
             f"probability must be in [0,1], got {grey_edge_probability}"
         )
-    g = unit_disk_graph(positions, radius=1.0)
+    # One bucketed pass at radius c yields both layers: pairs at distance
+    # ≤ 1 are E, pairs in the grey band (1, c] are G'-edge candidates.
+    # _close_pairs returns lexicographically sorted pairs, so the
+    # per-candidate Bernoulli draws happen in exactly the order the
+    # historical all-pairs scan used.
+    reliable_edges: list[tuple[NodeId, NodeId]] = []
     extra: list[tuple[NodeId, NodeId]] = []
-    nodes = sorted(positions)
-    for i, u in enumerate(nodes):
-        ux, uy = positions[u]
-        for v in nodes[i + 1 :]:
-            vx, vy = positions[v]
-            dist = math.hypot(ux - vx, uy - vy)
-            if 1.0 + 1e-12 < dist <= c + 1e-12 and rng.bernoulli(
-                grey_edge_probability
-            ):
-                extra.append((u, v))
+    for u, v, dist in _close_pairs(positions, c):
+        if dist <= 1.0 + 1e-12:
+            reliable_edges.append((u, v))
+        elif rng.bernoulli(grey_edge_probability):
+            extra.append((u, v))
     return DualGraph.from_edges(
-        len(nodes),
-        g.edges,
+        len(positions),
+        reliable_edges,
         extra,
         positions=positions,
         name=name or f"grey-zone-c{c}",

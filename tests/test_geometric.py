@@ -108,3 +108,12 @@ def test_cluster_line_positions_geometry():
 def test_cluster_line_positions_rejects_bad_params():
     with pytest.raises(TopologyError):
         cluster_line_positions(0, 3)
+
+
+def test_unit_disk_includes_epsilon_band_pairs_across_cell_boundaries():
+    """Regression: a pair at distance radius + ~5e-13 landing in
+    non-adjacent grid cells must still be matched (the bucket cell side
+    has to cover the matching limit, not just the radius)."""
+    positions = {0: (1.0 - 5e-13, 0.0), 1: (2.0, 0.0)}
+    g = unit_disk_graph(positions, radius=1.0)
+    assert g.has_edge(0, 1)

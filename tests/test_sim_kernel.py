@@ -222,3 +222,193 @@ def test_handle_reports_scheduled_time():
     sim = Simulator()
     handle = sim.schedule(3.5, lambda: None)
     assert handle.time == 3.5
+
+
+# ----------------------------------------------------------------------
+# Lazy cancellation, compaction, and the cancelled-event counters
+# ----------------------------------------------------------------------
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    drop.cancel()
+    assert sim.pending_events == 1
+    assert sim.cancelled_events == 1
+    keep.cancel()
+    assert sim.pending_events == 0
+    assert sim.cancelled_events == 2
+
+
+def test_cancelled_events_counter_is_monotone_and_ignores_fired():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()  # after firing: no-op
+    assert sim.cancelled_events == 0
+    sim.schedule(1.0, lambda: None).cancel()
+    sim.schedule(1.0, lambda: None).cancel()
+    assert sim.cancelled_events == 2
+    sim.run()
+    assert sim.cancelled_events == 2  # draining does not uncount
+
+
+def test_mass_cancellation_compacts_the_queue():
+    sim = Simulator()
+    handles = [sim.schedule(float(i), lambda: None) for i in range(1000)]
+    for handle in handles[1:]:
+        handle.cancel()
+    # Lazy compaction must have dropped the dead entries well before run().
+    assert sim.pending_events == 1
+    assert len(sim._heap) + len(sim._fifo) < 1000
+    sim.run()
+    assert sim.processed_events == 1
+
+
+def test_cancelled_entries_release_callback_references():
+    sim = Simulator()
+    class Probe:
+        pass
+    probe = Probe()
+    handle = sim.schedule(1.0, lambda p: None, probe)
+    handle.cancel()
+    # The entry nulls fn/args on cancel, so the probe is only reachable
+    # through our local variable.
+    import gc, weakref
+    ref = weakref.ref(probe)
+    del probe
+    gc.collect()
+    assert ref() is None
+
+
+# ----------------------------------------------------------------------
+# schedule_many / raw variants
+# ----------------------------------------------------------------------
+def test_schedule_many_matches_sequential_schedule_at():
+    fired_a: list = []
+    sim_a = Simulator()
+    for i in range(50):
+        sim_a.schedule_at(float(50 - i), fired_a.append, i)
+    sim_a.run()
+
+    fired_b: list = []
+    sim_b = Simulator()
+    sim_b.schedule_many(
+        [(float(50 - i), fired_b.append, (i,)) for i in range(50)]
+    )
+    sim_b.run()
+    assert fired_a == fired_b
+
+
+def test_schedule_many_interleaves_with_singles_by_seq_order():
+    sim = Simulator()
+    fired: list = []
+    sim.schedule_at(1.0, fired.append, "single-early")
+    sim.schedule_many([(1.0, fired.append, ("batch-1",)), (1.0, fired.append, ("batch-2",))])
+    sim.schedule_at(1.0, fired.append, "single-late")
+    sim.run()
+    assert fired == ["single-early", "batch-1", "batch-2", "single-late"]
+
+
+def test_schedule_many_handles_cancel_individually():
+    sim = Simulator()
+    fired: list = []
+    handles = sim.schedule_many(
+        [(1.0, fired.append, (i,)) for i in range(5)]
+    )
+    handles[2].cancel()
+    sim.run()
+    assert fired == [0, 1, 3, 4]
+    assert sim.cancelled_events == 1
+
+
+def test_schedule_many_rejects_past_times():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_many([(1.0, lambda: None, ())])
+
+
+def test_schedule_many_large_batch_heapifies_consistently():
+    sim = Simulator()
+    fired: list = []
+    # Small heap + large batch takes the bulk-heapify path.
+    sim.schedule_at(500.5, fired.append, "pre")
+    sim.schedule_many(
+        [(float(i % 100), fired.append, (i,)) for i in range(400)]
+    )
+    sim.run()
+    assert len(fired) == 401
+    # Keyed order: time, then seq (the "pre" event fires last at t=500.5).
+    assert fired[-1] == "pre"
+    times = [i % 100 for i in fired[:-1]]
+    assert times == sorted(times)
+
+
+def test_raw_variants_schedule_identically():
+    sim = Simulator()
+    fired: list = []
+    sim.schedule_at_raw(2.0, fired.append, "b")
+    sim.schedule_at(1.0, fired.append, "a")
+    sim.schedule_many_raw([(3.0, fired.append, ("c",))])
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.processed_events == 3
+
+
+# ----------------------------------------------------------------------
+# Same-timestamp FIFO fast path
+# ----------------------------------------------------------------------
+def test_fifo_fast_path_respects_priorities_at_same_instant():
+    sim = Simulator()
+    fired: list = []
+
+    def at_one() -> None:
+        # All at the current instant: mixed priorities must still fire in
+        # (priority, seq) order even though some take the FIFO fast path.
+        sim.schedule(0.0, fired.append, "p0-first", )
+        sim.schedule(0.0, fired.append, "p5", priority=5)
+        sim.schedule(0.0, fired.append, "p-1", priority=-1)
+        sim.schedule(0.0, fired.append, "p0-second")
+
+    sim.schedule(1.0, at_one)
+    sim.run()
+    assert fired == ["p-1", "p0-first", "p0-second", "p5"]
+
+
+def test_fifo_fast_path_drains_across_run_until_boundary():
+    sim = Simulator()
+    fired: list = []
+
+    def chain(tag: str, depth: int) -> None:
+        fired.append((tag, depth, sim.now))
+        if depth:
+            sim.schedule(0.0, chain, tag, depth - 1)
+
+    sim.schedule(1.0, chain, "x", 2)
+    sim.schedule(5.0, chain, "y", 0)
+    end = sim.run(until=1.0)
+    assert end == 1.0
+    assert [f[0] for f in fired] == ["x", "x", "x"]
+    sim.run()
+    assert fired[-1][0] == "y"
+
+
+def test_deep_zero_delay_cascade_keeps_fifo_order():
+    sim = Simulator()
+    fired: list = []
+    for i in range(5):
+        sim.schedule(2.0, fired.append, f"base-{i}")
+
+    def spawner() -> None:
+        fired.append("spawner")
+        for i in range(3):
+            sim.schedule(0.0, fired.append, f"chained-{i}")
+
+    sim.schedule(2.0, spawner)
+    sim.run()
+    assert fired == [
+        "base-0", "base-1", "base-2", "base-3", "base-4",
+        "spawner", "chained-0", "chained-1", "chained-2",
+    ]

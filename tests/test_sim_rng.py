@@ -103,3 +103,29 @@ def test_shuffle_permutes_in_place():
     items = list(range(20))
     rng.shuffle(items)
     assert sorted(items) == list(range(20))
+
+
+def test_raw_stream_draws_match_wrapper_draws():
+    """`raw` bindings must be draw-for-draw identical to the wrappers."""
+    a = RandomSource(99, "wrapper")
+    b = RandomSource(99, "raw")
+    assert [a.random() for _ in range(5)] == [b.raw.random() for _ in range(5)]
+    assert [a.uniform(1.0, 9.0) for _ in range(5)] == [
+        b.raw.uniform(1.0, 9.0) for _ in range(5)
+    ]
+    assert [a.bernoulli(0.3) for _ in range(20)] == [
+        b.raw.random() < 0.3 for _ in range(20)
+    ]
+
+
+def test_randbelow_raw_is_choice_equivalent():
+    """Pins the CPython detail the hot loops rely on: choice(seq) ==
+    seq[_randbelow(len(seq))].  If a Python version breaks this, fix
+    RandomSource.randbelow_raw — do not touch the golden fixtures."""
+    seq = list(range(17))
+    a = RandomSource(123, "choice")
+    b = RandomSource(123, "randbelow")
+    picks_choice = [a.choice(seq) for _ in range(200)]
+    randbelow = b.randbelow_raw
+    picks_raw = [seq[randbelow(len(seq))] for _ in range(200)]
+    assert picks_choice == picks_raw
