@@ -32,7 +32,6 @@ from repro.analysis.tables import render_table
 from repro.core.fmmb import FMMBConfig
 from repro.ids import MessageAssignment
 from repro.mac.messages import MessageInstance
-from repro.topology import line_network
 from repro.topology.adversarial import parallel_lines_network
 
 FACK = 20.0

@@ -5,73 +5,55 @@ grey-zone unreliability while FMMB (enhanced model) pays
 ``O((D log n + k log n + log³n)·Fprog)``; as the ``Fack/Fprog`` ratio grows,
 FMMB must eventually win despite its polylog overhead.
 
-Regeneration: fix one grey-zone network and workload; sweep ``Fack/Fprog``;
-BMMB runs under worst-case acknowledgments, FMMB is ratio-independent.
-Report the crossover point.
+Regeneration: a thin wrapper over the ``crossover`` campaign — the fixed
+network/workload, the ratio ladder, and the who-wins-at-each-end claim
+live in its declarative ``crossover`` check; the benchmark reports the
+aggregated curve and the first ratio where FMMB wins.
 """
 
 from __future__ import annotations
 
-from repro import (
-    BMMBNode,
-    RandomSource,
-    WorstCaseAckScheduler,
-    random_geometric_network,
-    run_fmmb,
-    run_standard,
-)
 from repro.analysis.tables import render_table
-from repro.ids import MessageAssignment
-
-FPROG = 1.0
-
-
-def make_workload(seed: int = 0):
-    rng = RandomSource(seed, "e11")
-    dual = random_geometric_network(
-        40, side=3.0, c=1.6, grey_edge_probability=0.4, rng=rng
-    )
-    assignment = MessageAssignment.one_each(dual.nodes[:5])
-    return dual, assignment
-
-
-def run_pair(ratio: float, dual, assignment):
-    bmmb = run_standard(
-        dual,
-        assignment,
-        lambda _: BMMBNode(),
-        WorstCaseAckScheduler(),
-        fack=ratio * FPROG,
-        fprog=FPROG,
-        keep_instances=False,
-    )
-    fmmb = run_fmmb(dual, assignment, fprog=FPROG, seed=11)
-    return bmmb.completion_time, fmmb.completion_time
+from repro.campaigns import (
+    build_campaign,
+    campaign_summary_rows,
+    evaluate_checks,
+    results_by_sweep,
+    run_campaign,
+    y_value,
+)
+from repro.experiments import run
+from repro.experiments.sweep import path_value
 
 
 def bench_crossover(benchmark, report):
-    dual, assignment = make_workload()
-    rows = []
+    campaign = build_campaign("crossover")
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    checks = evaluate_checks(campaign, points)
+    failures = [f for check in checks for f in check.failures]
+    assert not failures, failures
+    fmmb_by_ratio = {
+        path_value(p.spec, "model.fack"): y_value(p, "completion_time")
+        for p in points["fmmb"]
+    }
     crossover = None
-    for ratio in (2.0, 10.0, 50.0, 250.0, 1000.0):
-        bmmb_time, fmmb_time = run_pair(ratio, dual, assignment)
-        winner = "FMMB" if fmmb_time < bmmb_time else "BMMB"
-        if winner == "FMMB" and crossover is None:
-            crossover = ratio
-        rows.append(
-            {
-                "Fack/Fprog": ratio,
-                "BMMB (worst-case acks)": bmmb_time,
-                "FMMB (ratio-free)": fmmb_time,
-                "winner": winner,
-            }
-        )
-    assert rows[0]["winner"] == "BMMB"  # cheap acks: simplicity wins
-    assert rows[-1]["winner"] == "FMMB"  # expensive acks: Fack-free wins
-    rows.append({"Fack/Fprog": "crossover", "winner": f"<= {crossover}"})
+    for p in points["bmmb"]:
+        ratio = path_value(p.spec, "model.fack")
+        if fmmb_by_ratio[ratio] < y_value(p, "completion_time"):
+            crossover = ratio if crossover is None else min(crossover, ratio)
+    rows = campaign_summary_rows(campaign, points)
+    rows.append({"figure": "crossover", "series": f"FMMB wins at <= {crossover}"})
     report(
         "E11 BMMB vs FMMB crossover as Fack/Fprog grows (n=40, k=5)",
         render_table(rows),
     )
     benchmark.extra_info["crossover_ratio"] = crossover
-    benchmark.pedantic(run_pair, args=(50.0, dual, assignment), rounds=3, iterations=1)
+    representative = campaign.sweep("bmmb").expand()[2]
+    benchmark.pedantic(
+        run,
+        args=(representative,),
+        kwargs={"keep_raw": False},
+        rounds=3,
+        iterations=1,
+    )

@@ -5,172 +5,48 @@ This benchmark measures what its two algorithms actually deliver when the
 ``repro.faults`` engine relaxes that: node crash fractions scaling from 0
 to 0.3, and grey-zone link flapping at increasing rates.
 
-Measured claims:
-
-* fault-free runs solve MMB on both substrates (the seed baselines hold);
-* as the crash fraction grows, the *among-survivors* solved rate is
-  non-increasing for BMMB (each crash can only destroy delivery paths),
-  while completion among survivors — when solved — stays within the
-  fault-free bound's order;
-* link flapping alone (no crashes) never breaks solvability — flapped
-  edges only ever *add* reliability over the grey baseline — but it
-  perturbs completion time;
-* every faulted run is seed-deterministic (re-run equality), which is
-  what makes the resilience numbers reportable at all.
+Regeneration: a thin wrapper over the ``fault_resilience`` campaign.
+Its declarative checks carry the measured claims — fault-free baselines
+solve outright, BMMB's among-survivors solved rate is non-increasing in
+the crash fraction, link flapping alone never breaks solvability — and
+the zip-axis expansion keeps the replication seeds paired across fault
+scales.  Seed-determinism (one faulted spec run twice agrees exactly) is
+asserted here directly, since it is what makes the numbers reportable.
 """
 
 from __future__ import annotations
 
-from repro.experiments import (
-    AlgorithmSpec,
-    ExperimentSpec,
-    FaultSpec,
-    ModelSpec,
-    Sweep,
-    TopologySpec,
-    WorkloadSpec,
-    run,
-    run_sweep,
-)
 from repro.analysis.tables import render_table
-
-FACK = 20.0
-FPROG = 1.0
-SEEDS = 6
-
-TOPO = TopologySpec(
-    "random_geometric",
-    {"n": 20, "side": 2.2, "c": 1.6, "grey_edge_probability": 0.4},
+from repro.campaigns import (
+    build_campaign,
+    campaign_summary_rows,
+    evaluate_checks,
+    results_by_sweep,
+    run_campaign,
 )
+from repro.experiments import run
 
 
-def bmmb_spec(fault: FaultSpec, seed: int = 0) -> ExperimentSpec:
-    return ExperimentSpec(
-        name="fault-bmmb",
-        topology=TOPO,
-        algorithm=AlgorithmSpec("bmmb"),
-        workload=WorkloadSpec("one_each", {"k": 3}),
-        fault=fault,
-        model=ModelSpec(fack=FACK, fprog=FPROG),
-        seed=seed,
-    )
-
-
-def fmmb_spec(fault: FaultSpec, seed: int = 0) -> ExperimentSpec:
-    return ExperimentSpec(
-        name="fault-fmmb",
-        topology=TOPO,
-        algorithm=AlgorithmSpec("fmmb", {"c": 1.6}),
-        workload=WorkloadSpec("one_each", {"k": 3}),
-        fault=fault,
-        model=ModelSpec(fprog=FPROG),
-        substrate="rounds",
-        seed=seed,
-    )
-
-
-def crash_fault(fraction: float, horizon: float = 100.0) -> FaultSpec:
-    """Crashes in ``[0, 0.4 x horizon]`` — pick ``horizon`` near the
-    algorithm's completion scale so the window intersects the run."""
-    return FaultSpec(
-        "crash_random",
-        {"fraction": fraction, "earliest": 0.0, "latest": 0.4,
-         "horizon": horizon},
-    )
-
-
-def sweep_stats(specs):
-    sweep = run_sweep(specs)
-    solved = [r for r in sweep if r.solved]
-    mean_completion = (
-        sum(r.completion_time for r in solved) / len(solved)
-        if solved
-        else float("nan")
-    )
-    crashed = sweep.metric("nodes_crashed")
-    return {
-        "solved rate": sweep.solved_rate,
-        "mean completion": round(mean_completion, 2),
-        "mean crashed": round(sum(crashed) / len(crashed), 2) if crashed else 0.0,
-    }
-
-
-def bench_crash_fraction_scaling(benchmark, report):
-    rows = []
-    bmmb_rates = []
-    for fraction in (0.0, 0.15, 0.3):
-        if fraction > 0:
-            # BMMB finishes in a few Fprog on this network while FMMB
-            # runs for hundreds of rounds: scale each crash window to the
-            # algorithm's own completion scale so faults hit mid-run.
-            bmmb_fault = crash_fault(fraction, horizon=5.0)
-            fmmb_fault = crash_fault(fraction, horizon=300.0)
-        else:
-            bmmb_fault = fmmb_fault = FaultSpec("none")
-        bmmb = sweep_stats(Sweep.seeds(bmmb_spec(bmmb_fault), SEEDS))
-        fmmb = sweep_stats(Sweep.seeds(fmmb_spec(fmmb_fault), SEEDS))
-        bmmb_rates.append(bmmb["solved rate"])
-        rows.append(
-            {
-                "crash fraction": fraction,
-                "BMMB solved": bmmb["solved rate"],
-                "BMMB completion": bmmb["mean completion"],
-                "FMMB solved": fmmb["solved rate"],
-                "FMMB completion": fmmb["mean completion"],
-                "crashed/run": max(bmmb["mean crashed"], fmmb["mean crashed"]),
-            }
-        )
-    # Fault-free baselines must solve outright.
-    assert rows[0]["BMMB solved"] == 1.0
-    assert rows[0]["FMMB solved"] == 1.0
-    # Crashes only remove delivery paths: survivor solved rate cannot
-    # improve as the crash fraction grows.
-    assert bmmb_rates == sorted(bmmb_rates, reverse=True)
+def bench_fault_resilience(benchmark, report):
+    campaign = build_campaign("fault_resilience")
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    checks = evaluate_checks(campaign, points)
+    failures = [f for check in checks for f in check.failures]
+    assert not failures, failures
     report(
-        "E-fault BMMB vs FMMB solved-rate/completion (among survivors) "
-        "vs crash fraction",
-        render_table(rows),
-    )
-    benchmark.pedantic(
-        run,
-        args=(bmmb_spec(crash_fault(0.15, horizon=5.0)),),
-        kwargs={"keep_raw": False},
-        rounds=3,
-        iterations=1,
-    )
-
-
-def bench_flap_rate_scaling(benchmark, report):
-    rows = []
-    for period in (20.0, 8.0, 3.0):
-        fault = FaultSpec(
-            "flap_periodic", {"fraction": 0.8, "period": period, "duty": 0.5}
-        )
-        bmmb = sweep_stats(Sweep.seeds(bmmb_spec(fault), SEEDS))
-        fmmb = sweep_stats(Sweep.seeds(fmmb_spec(fault), SEEDS))
-        # Flapping only promotes grey edges to reliable; it never removes
-        # connectivity, so both algorithms must keep solving.
-        assert bmmb["solved rate"] == 1.0
-        assert fmmb["solved rate"] == 1.0
-        rows.append(
-            {
-                "flap period": period,
-                "BMMB completion": bmmb["mean completion"],
-                "FMMB completion": fmmb["mean completion"],
-            }
-        )
-    report(
-        "E-fault completion (among survivors) vs link-flap period "
-        "(smaller period = faster flapping)",
-        render_table(rows),
+        "E-fault BMMB vs FMMB among-survivors solved rate and completion "
+        "under crashes and link flapping",
+        render_table(campaign_summary_rows(campaign, points)),
     )
     # Determinism is what makes these numbers reportable: one faulted
     # spec, run twice, must agree exactly.
-    probe = fmmb_spec(FaultSpec("flap_periodic", {"fraction": 0.8}), seed=1)
+    probe = campaign.sweep("fmmb_flap").expand()[0]
     assert run(probe, keep_raw=False) == run(probe, keep_raw=False)
+    representative = campaign.sweep("bmmb_crash").expand()[-1]
     benchmark.pedantic(
         run,
-        args=(fmmb_spec(FaultSpec("flap_periodic", {"fraction": 0.8})),),
+        args=(representative,),
         kwargs={"keep_raw": False},
         rounds=3,
         iterations=1,

@@ -4,106 +4,42 @@ Claim: BMMB solves MMB in ``O(D·Fprog + k·Fack)`` when there are no
 unreliable links [30]; the explicit Theorem 3.16 constant (r = 1) is
 ``t1 = (D + 2k − 2)·Fprog + (k − 1)·Fack``.
 
-Regeneration: sweep the diameter (k fixed) and the message count (D fixed)
-on reliable lines under worst-case acknowledgments (the regime the bound's
-``k·Fack`` term addresses), verify every run meets the bound, and fit the
-scaling: time vs D must have ``Fprog``-scale slope, time vs k must have
-``Fack``-scale slope.  A contention-scheduler row shows the friendly-MAC
-case is faster still.
+Regeneration: this is now a thin wrapper over the ``figure1`` campaign
+(``python -m repro campaign run figure1``) — the sweep grid, the t1 bound
+validation, and the Fprog-vs-Fack slope claims all live in the campaign's
+declarative checks; the benchmark just executes the campaign in-memory,
+asserts its checks pass, and reports the aggregated table.
 """
 
 from __future__ import annotations
 
-from repro import (
-    ExperimentSpec,
-    ModelSpec,
-    SchedulerSpec,
-    TopologySpec,
-    WorkloadSpec,
-    bmmb_gg_bound,
-    run,
-)
-from repro.analysis.fitting import linear_fit
 from repro.analysis.tables import render_table
-
-FACK = 20.0
-FPROG = 1.0
-
-
-def run_line(n: int, k: int, scheduler_kind: str = "worstcase", seed: int = 0):
-    spec = ExperimentSpec(
-        name=f"e1-line-{n}-k{k}",
-        topology=TopologySpec("line", {"n": n}),
-        workload=WorkloadSpec("single_source", {"node": 0, "count": k}),
-        scheduler=SchedulerSpec(scheduler_kind),
-        model=ModelSpec(fack=FACK, fprog=FPROG),
-        seed=seed,
-    )
-    return run(spec, keep_raw=False)
+from repro.campaigns import (
+    build_campaign,
+    campaign_summary_rows,
+    evaluate_checks,
+    results_by_sweep,
+    run_campaign,
+)
+from repro.experiments import run
 
 
 def bench_standard_gg_scaling(benchmark, report):
-    rows = []
-    d_series: list[tuple[float, float]] = []
-    for n in (11, 21, 41, 61):
-        result = run_line(n, k=2)
-        bound = bmmb_gg_bound(n - 1, 2, FACK, FPROG)
-        assert result.solved
-        assert result.completion_time <= bound + 1e-9
-        d_series.append((n - 1, result.completion_time))
-        rows.append(
-            {
-                "sweep": "D",
-                "D": n - 1,
-                "k": 2,
-                "measured": result.completion_time,
-                "bound t1": bound,
-                "ratio": result.completion_time / bound,
-            }
-        )
-    k_series: list[tuple[float, float]] = []
-    for k in (1, 4, 8, 16):
-        result = run_line(21, k=k)
-        bound = bmmb_gg_bound(20, k, FACK, FPROG)
-        assert result.solved
-        assert result.completion_time <= bound + 1e-9
-        k_series.append((k, result.completion_time))
-        rows.append(
-            {
-                "sweep": "k",
-                "D": 20,
-                "k": k,
-                "measured": result.completion_time,
-                "bound t1": bound,
-                "ratio": result.completion_time / bound,
-            }
-        )
-    # Friendly-MAC reference point: same workload, contention scheduler.
-    friendly = run_line(21, k=8, scheduler_kind="contention")
-    rows.append(
-        {
-            "sweep": "contention",
-            "D": 20,
-            "k": 8,
-            "measured": friendly.completion_time,
-            "bound t1": bmmb_gg_bound(20, 8, FACK, FPROG),
-            "ratio": friendly.completion_time / bmmb_gg_bound(20, 8, FACK, FPROG),
-        }
-    )
-
-    d_fit = linear_fit([x for x, _ in d_series], [y for _, y in d_series])
-    k_fit = linear_fit([x for x, _ in k_series], [y for _, y in k_series])
-    # D-scaling rides on Fprog (slope ≪ Fack); k-scaling rides on Fack.
-    assert d_fit.r_squared > 0.95
-    assert d_fit.slope < FACK / 2
-    assert k_fit.r_squared > 0.95
-    assert k_fit.slope > FACK / 2
-    rows.append({"sweep": "fit", "D": "slope/D", "measured": d_fit.slope})
-    rows.append({"sweep": "fit", "D": "slope/k", "measured": k_fit.slope})
+    campaign = build_campaign("figure1")
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    checks = evaluate_checks(campaign, points)
+    failures = [f for check in checks for f in check.failures]
+    assert not failures, failures
     report(
         "E1 Figure 1 (Standard, G'=G): BMMB = O(D*Fprog + k*Fack)",
-        render_table(rows),
+        render_table(campaign_summary_rows(campaign, points)),
     )
-    benchmark.extra_info["d_slope"] = d_fit.slope
-    benchmark.extra_info["k_slope"] = k_fit.slope
-    benchmark.pedantic(run_line, args=(41, 8), rounds=3, iterations=1)
+    representative = campaign.sweep("d_scaling").expand()[-1]
+    benchmark.pedantic(
+        run,
+        args=(representative,),
+        kwargs={"keep_raw": False},
+        rounds=3,
+        iterations=1,
+    )

@@ -5,83 +5,53 @@ adversarial message scheduler can legally delay any MMB algorithm for
 ``Ω(D·Fack)`` by starving the message frontier while satisfying the
 progress bound via long unreliable edges.
 
-Regeneration: run BMMB against the proof's scheduler across depths; the
-measured completion equals the ``(D−1)·Fack`` floor exactly, the execution
-is certified against all five MAC axioms, and a benign scheduler on the
-*same network* finishes an order of magnitude faster (the gap is the
-scheduler's doing, not the topology's).
+Regeneration: a thin wrapper over the ``figure2_lowerbound`` campaign —
+the depth ladder, the ``(D−1)·Fack`` floor, the exact per-hop ``Fack``
+slope, and the benign-scheduler contrast live in its checks; this
+benchmark additionally keeps the five-axiom certificate on the smallest
+depth (the campaign's spec-level runs discard per-instance logs).
 """
 
 from __future__ import annotations
 
-from repro import (
-    BMMBNode,
-    GreyZoneAdversary,
-    RandomSource,
-    UniformDelayScheduler,
-    check_axioms,
-    figure2_lower_bound,
-    run_standard,
-)
-from repro.analysis.fitting import linear_fit
+from repro import check_axioms
 from repro.analysis.tables import render_table
-from repro.topology.adversarial import parallel_lines_network
+from repro.campaigns import (
+    build_campaign,
+    campaign_summary_rows,
+    evaluate_checks,
+    results_by_sweep,
+    run_campaign,
+)
+from repro.experiments import materialize_topology, run
 
 FACK = 20.0
 FPROG = 1.0
 
 
-def run_adversarial(depth: int, keep_instances: bool = False):
-    net = parallel_lines_network(depth)
-    return net, run_standard(
-        net.dual,
-        net.assignment,
-        lambda _: BMMBNode(),
-        GreyZoneAdversary(net),
-        FACK,
-        FPROG,
-        keep_instances=keep_instances,
-    )
-
-
 def bench_lowerbound_figure2(benchmark, report):
-    rows = []
-    series: list[tuple[float, float]] = []
-    for depth in (10, 20, 40, 80):
-        net, adv = run_adversarial(depth, keep_instances=(depth == 10))
-        floor = figure2_lower_bound(depth, FACK)
-        assert adv.solved
-        assert adv.completion_time >= floor - 1e-9
-        if depth == 10:
-            cert = check_axioms(adv.instances, net.dual, FACK, FPROG)
-            assert cert.ok, cert.violations[:3]
-        rng = RandomSource(depth, "benign")
-        benign = run_standard(
-            net.dual,
-            net.assignment,
-            lambda _: BMMBNode(),
-            UniformDelayScheduler(rng),
-            FACK,
-            FPROG,
-            keep_instances=False,
-        )
-        series.append((depth, adv.completion_time))
-        rows.append(
-            {
-                "D": depth,
-                "adversarial": adv.completion_time,
-                "floor (D-1)*Fack": floor,
-                "benign": benign.completion_time,
-                "slowdown": adv.completion_time / benign.completion_time,
-            }
-        )
-    fit = linear_fit([x for x, _ in series], [y for _, y in series])
-    assert fit.r_squared > 0.999
-    assert abs(fit.slope - FACK) < 0.5  # one Fack per hop, exactly
-    rows.append({"D": "fit", "adversarial": fit.slope, "floor (D-1)*Fack": "slope"})
+    campaign = build_campaign("figure2_lowerbound")
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    checks = evaluate_checks(campaign, points)
+    failures = [f for check in checks for f in check.failures]
+    assert not failures, failures
+    # Axiom-certify the smallest adversarial execution (raw instances).
+    smallest = campaign.sweep("adversarial").expand()[0]
+    certified = run(smallest, keep_raw=True)
+    cert = check_axioms(
+        certified.raw.instances, materialize_topology(smallest), FACK, FPROG
+    )
+    assert cert.ok, cert.violations[:3]
     report(
         "E4 Figure 2 lower bound: adversary forces (D-1)*Fack (axiom-certified)",
-        render_table(rows),
+        render_table(campaign_summary_rows(campaign, points)),
     )
-    benchmark.extra_info["slope_vs_fack"] = fit.slope / FACK
-    benchmark.pedantic(run_adversarial, args=(40,), rounds=3, iterations=1)
+    representative = campaign.sweep("adversarial").expand()[-1]
+    benchmark.pedantic(
+        run,
+        args=(representative,),
+        kwargs={"keep_raw": False},
+        rounds=3,
+        iterations=1,
+    )

@@ -4,81 +4,51 @@ Claim (footnote 2): decay-style back-off gives ``Fprog`` polylogarithmic in
 the maximum contention while ``Fack`` is linear (or worse) in it; the star
 network makes the gap concrete.
 
-Regeneration: run BMMB **over the implemented radio MAC** (slotted
-collision radio + decay schedules) on stars of growing size; extract each
-execution's *empirical* ``Fack``/``Fprog`` (the smallest constants for
-which the execution satisfies the abstract-MAC timing axioms) and show the
-ratio growing roughly linearly with contention.
+Regeneration: a thin wrapper over the ``radio_footnote2`` campaign —
+BMMB runs **over the implemented radio MAC** on stars of growing size,
+each execution's *empirical* ``Fack``/``Fprog`` is extracted (the
+smallest constants satisfying the abstract-MAC timing axioms), and the
+campaign's ``growth_gap`` check enforces the linear-vs-polylog split.
 """
 
 from __future__ import annotations
 
-from repro import (
-    AlgorithmSpec,
-    ExperimentSpec,
-    ModelSpec,
-    TopologySpec,
-    WorkloadSpec,
-    run,
-)
-from repro.analysis.fitting import linear_fit
-from repro.analysis.stats import summarize
 from repro.analysis.tables import render_table
-
-SEEDS = range(3)
-
-
-def run_radio_star(n: int, seed: int):
-    spec = ExperimentSpec(
-        name=f"e13-star-{n}",
-        topology=TopologySpec("star", {"n": n}),
-        algorithm=AlgorithmSpec("bmmb"),
-        workload=WorkloadSpec("one_each", {"nodes": list(range(1, n))}),
-        model=ModelSpec(params={"max_slots": 500_000}),
-        substrate="radio",
-        seed=seed,
-    )
-    result = run(spec, keep_raw=False)
-    assert result.solved
-    return result.metrics
+from repro.campaigns import (
+    build_campaign,
+    campaign_summary_rows,
+    evaluate_checks,
+    results_by_sweep,
+    run_campaign,
+)
+from repro.experiments import run
 
 
 def bench_radio_footnote2(benchmark, report):
-    rows = []
-    fack_series = []
-    fprog_series = []
-    for n in (6, 12, 24, 48):
-        bounds = [run_radio_star(n, seed) for seed in SEEDS]
-        fack = summarize([b["empirical_fack"] for b in bounds])
-        fprog = summarize([b["empirical_fprog"] for b in bounds])
-        assert all(b["delivery_success_rate"] == 1.0 for b in bounds)
-        fack_series.append((n, fack.mean))
-        fprog_series.append((n, fprog.mean))
-        rows.append(
-            {
-                "star n": n,
-                "empirical Fack (slots)": fack.mean,
-                "empirical Fprog (slots)": fprog.mean,
-                "Fack/Fprog": fack.mean / max(fprog.mean, 1e-9),
-            }
-        )
-    fack_fit = linear_fit([x for x, _ in fack_series], [y for _, y in fack_series])
-    # Fack grows strongly with contention; Fprog grows far slower.
-    fack_growth = fack_series[-1][1] / fack_series[0][1]
-    fprog_growth = fprog_series[-1][1] / max(fprog_series[0][1], 1e-9)
-    assert fack_growth > 4.0
-    assert fprog_growth < fack_growth / 2.0
-    rows.append(
-        {
-            "star n": "growth 6->48",
-            "empirical Fack (slots)": fack_growth,
-            "empirical Fprog (slots)": fprog_growth,
-        }
+    campaign = build_campaign("radio_footnote2")
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    checks = evaluate_checks(campaign, points)
+    failures = [f for check in checks for f in check.failures]
+    assert not failures, failures
+    assert all(
+        p.result.metrics["delivery_success_rate"] == 1.0
+        for p in points["stars"]
     )
     report(
         "E13 Footnote 2 from below: decay-over-radio yields Fprog ~ polylog, "
         "Fack ~ linear in contention",
-        render_table(rows),
+        render_table(campaign_summary_rows(campaign, points)),
     )
-    benchmark.extra_info["fack_slope"] = fack_fit.slope
-    benchmark.pedantic(run_radio_star, args=(24, 0), rounds=3, iterations=1)
+    # Representative point: the n=24 star, one seed.
+    specs = campaign.sweep("stars").expand()
+    representative = next(
+        s for s in specs if s.topology.params["n"] == 24
+    )
+    benchmark.pedantic(
+        run,
+        args=(representative,),
+        kwargs={"keep_raw": False},
+        rounds=3,
+        iterations=1,
+    )

@@ -15,7 +15,10 @@ The package implements the paper's model and algorithms end to end:
   (:mod:`repro.runtime`, :mod:`repro.analysis`),
 * a declarative experiment API — specs, registries, one ``run``
   dispatcher, and a process-parallel sweep engine
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`),
+* resumable reproduction campaigns — sharded, checkpointed sweeps with
+  figure/report generation that regenerate the paper's result set
+  (:mod:`repro.campaigns`; CLI ``python -m repro campaign``).
 
 Quickstart::
 
@@ -139,6 +142,16 @@ from repro.experiments import (
     run,
     run_sweep,
 )
+from repro.campaigns import (
+    CampaignSpec,
+    ResultStore,
+    build_campaign,
+    list_campaigns,
+    register_campaign,
+    run_campaign,
+    verify_campaign,
+    write_artifacts,
+)
 from repro.faults import (
     FaultEngine,
     FaultEvent,
@@ -254,4 +267,13 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "survivor_outcome",
+    # reproduction campaigns
+    "CampaignSpec",
+    "ResultStore",
+    "build_campaign",
+    "list_campaigns",
+    "register_campaign",
+    "run_campaign",
+    "verify_campaign",
+    "write_artifacts",
 ]

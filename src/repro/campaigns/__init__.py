@@ -1,0 +1,107 @@
+"""repro.campaigns — resumable reproduction campaigns.
+
+A campaign bundles everything needed to regenerate one of the paper's
+artifacts: a named set of sweeps (expanding to deterministic
+:class:`~repro.experiments.specs.ExperimentSpec` points), figure
+directives, and machine-checkable validation.  The executor shards points
+deterministically across jobs/machines, runs them through the parallel
+sweep runner, and checkpoints every completed point into a
+content-addressed, checksummed result store — so an interrupted campaign
+resumes with zero recomputation and running twice is a no-op.
+
+CLI: ``python -m repro campaign {list,run,resume,report,verify}``.
+
+Quickstart::
+
+    from repro.campaigns import (
+        ResultStore, build_campaign, run_campaign, verify_campaign,
+    )
+
+    campaign = build_campaign("figure1", n_max=32)
+    store = ResultStore("artifacts/store")
+    outcome = run_campaign(campaign, store, workers=4)
+    print(outcome.describe())          # "... cache hit 0.0%" first time
+    report = verify_campaign(campaign, store)
+    assert report.ok
+"""
+
+from repro.campaigns.builtin import (
+    CAMPAIGNS,
+    CampaignEntry,
+    build_campaign,
+    list_campaigns,
+    register_campaign,
+)
+from repro.campaigns.checks import (
+    BOUNDS,
+    CHECKS,
+    Point,
+    bound_value,
+    register_bound,
+    register_check,
+    workload_k,
+    y_value,
+)
+from repro.campaigns.executor import (
+    CampaignPoint,
+    CampaignRun,
+    CheckOutcome,
+    VerifyReport,
+    collect_results,
+    evaluate_checks,
+    expand_points,
+    parse_shard,
+    results_by_sweep,
+    run_campaign,
+    shard_points,
+    verify_campaign,
+)
+from repro.campaigns.report import campaign_summary_rows, write_artifacts
+from repro.campaigns.spec import (
+    CampaignSpec,
+    CheckSpec,
+    FigureSpec,
+    SeriesSpec,
+    SweepDirective,
+    scaled_values,
+)
+from repro.campaigns.store import ResultStore, StoreStats, spec_key
+
+__all__ = [
+    "BOUNDS",
+    "CAMPAIGNS",
+    "CHECKS",
+    "CampaignEntry",
+    "CampaignPoint",
+    "CampaignRun",
+    "CampaignSpec",
+    "CheckOutcome",
+    "CheckSpec",
+    "FigureSpec",
+    "Point",
+    "ResultStore",
+    "SeriesSpec",
+    "StoreStats",
+    "SweepDirective",
+    "VerifyReport",
+    "bound_value",
+    "build_campaign",
+    "campaign_summary_rows",
+    "collect_results",
+    "evaluate_checks",
+    "expand_points",
+    "list_campaigns",
+    "parse_shard",
+    "register_bound",
+    "register_campaign",
+    "register_check",
+    "results_by_sweep",
+    "run_campaign",
+    "scaled_values",
+    "shard_points",
+    "spec_key",
+    "verify_campaign",
+    "workload_k",
+    "write_artifacts",
+    "y_value",
+]

@@ -1,0 +1,307 @@
+"""Campaign execution: deterministic sharding + checkpointed sweeps.
+
+The executor turns a :class:`~repro.campaigns.spec.CampaignSpec` into its
+flat point list (sweeps in listed order, grid order within each), assigns
+points to shards round-robin by global index, and runs each shard's
+missing points through the existing parallel sweep runner in checkpoint
+batches — every completed batch lands in the
+:class:`~repro.campaigns.store.ResultStore` before the next one starts, so
+an interrupted campaign loses at most one batch of work and ``run`` twice
+is a 100%-cache-hit no-op.
+
+Execution and verdicts are decoupled: :func:`run_campaign` computes and
+checkpoints, :func:`collect_results` reads a (possibly multi-shard) store
+back, and :func:`evaluate_checks` applies the campaign's validation
+directives to a complete result set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaigns.checks import CHECKS, Point, PointsBySweep
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.specs import ExperimentSpec
+from repro.experiments.sweep import run_sweep
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One point of a campaign: where it came from and what to run."""
+
+    sweep: str
+    index: int
+    spec: ExperimentSpec
+
+
+def expand_points(campaign: CampaignSpec) -> list[CampaignPoint]:
+    """Every point of the campaign, in deterministic global order."""
+    points: list[CampaignPoint] = []
+    for directive in campaign.sweeps:
+        for index, spec in enumerate(directive.expand()):
+            points.append(CampaignPoint(directive.name, index, spec))
+    return points
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``"i/N"`` into ``(index, count)`` with bounds checking."""
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ExperimentError(
+            f"shard must look like i/N (e.g. 0/2), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ExperimentError(
+            f"shard index must satisfy 0 <= i < N, got {text!r}"
+        )
+    return index, count
+
+
+def shard_points(
+    points: list[CampaignPoint], index: int, count: int
+) -> list[CampaignPoint]:
+    """The shard's slice: global point ``g`` belongs to shard ``g % count``.
+
+    Round-robin keeps every shard's mix of cheap and expensive points
+    similar (size ladders put the expensive points at the tail of each
+    sweep), so parallel CI shards finish together.
+    """
+    if count < 1 or not 0 <= index < count:
+        raise ExperimentError(f"invalid shard {index}/{count}")
+    return [p for g, p in enumerate(points) if g % count == index]
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one :func:`run_campaign` invocation (one shard's view).
+
+    Attributes:
+        campaign: The campaign that ran.
+        shard: ``(index, count)`` this invocation covered.
+        points: The shard's points, in order.
+        results: One result per shard point, aligned with ``points``.
+        ran: Points actually executed this invocation.
+        cached: Points served from the store.
+        corrupt: Store entries that failed verification and were re-run.
+    """
+
+    campaign: CampaignSpec
+    shard: tuple[int, int]
+    points: list[CampaignPoint]
+    results: list[ExperimentResult]
+    ran: int = 0
+    cached: int = 0
+    corrupt: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.points)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this shard's points served from the store."""
+        return self.cached / self.total if self.total else 1.0
+
+    def describe(self) -> str:
+        """One status line (the CI smoke job greps this)."""
+        shard = (
+            f"shard {self.shard[0]}/{self.shard[1]}, "
+            if self.shard[1] > 1
+            else ""
+        )
+        line = (
+            f"campaign {self.campaign.name}: {self.total} points "
+            f"({shard}ran {self.ran}, cached {self.cached}, "
+            f"cache hit {self.cache_hit_rate * 100:.1f}%)"
+        )
+        if self.corrupt:
+            line += f"; {self.corrupt} corrupt entries re-run"
+        return line
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    store: ResultStore | None,
+    workers: int | None = None,
+    shard: tuple[int, int] = (0, 1),
+    checkpoint_batch: int | None = None,
+) -> CampaignRun:
+    """Run (the shard of) a campaign, checkpointing completed batches.
+
+    Args:
+        campaign: What to run.
+        store: Checkpoint store; ``None`` disables caching entirely (every
+            point runs, nothing is written — benchmark/test mode).
+        workers: Worker processes for the sweep runner (``None``/1 serial).
+        shard: ``(index, count)`` — this invocation runs only the points
+            of its shard, enabling one campaign to span CI jobs/machines
+            over a shared (or later-merged) store.
+        checkpoint_batch: Points per checkpoint batch.  Defaults to 1 when
+            serial (checkpoint every point) and ``4 * workers`` when
+            parallel (amortizes pool dispatch without risking much work).
+
+    Returns:
+        The :class:`CampaignRun` for this shard.
+    """
+    points = shard_points(expand_points(campaign), *shard)
+    if checkpoint_batch is None:
+        checkpoint_batch = 1 if not workers or workers <= 1 else 4 * workers
+    if checkpoint_batch < 1:
+        raise ExperimentError(
+            f"checkpoint_batch must be >= 1, got {checkpoint_batch}"
+        )
+    results: list[ExperimentResult | None] = [None] * len(points)
+    misses: list[int] = []
+    corrupt_before = store.stats.corrupt if store is not None else 0
+    for position, point in enumerate(points):
+        cached = store.get(point.spec) if store is not None else None
+        if cached is not None:
+            results[position] = cached
+        else:
+            misses.append(position)
+    for start in range(0, len(misses), checkpoint_batch):
+        batch = misses[start : start + checkpoint_batch]
+        sweep = run_sweep(
+            [points[position].spec for position in batch], workers=workers
+        )
+        for position, result in zip(batch, sweep):
+            results[position] = result
+            if store is not None:
+                store.put(result)
+    return CampaignRun(
+        campaign=campaign,
+        shard=shard,
+        points=points,
+        results=[r for r in results if r is not None],
+        ran=len(misses),
+        cached=len(points) - len(misses),
+        corrupt=(store.stats.corrupt - corrupt_before) if store is not None else 0,
+    )
+
+
+def collect_results(
+    campaign: CampaignSpec, store: ResultStore
+) -> tuple[PointsBySweep, list[CampaignPoint]]:
+    """Read every campaign point back from the store.
+
+    Returns:
+        ``(points_by_sweep, missing)`` — the check-ready mapping over the
+        points present, plus the points with no valid store entry (from
+        shards that have not run, or entries that failed verification).
+    """
+    points_by_sweep: PointsBySweep = {
+        directive.name: [] for directive in campaign.sweeps
+    }
+    missing: list[CampaignPoint] = []
+    for point in expand_points(campaign):
+        result = store.get(point.spec)
+        if result is None:
+            missing.append(point)
+        else:
+            points_by_sweep[point.sweep].append(
+                Point(point.sweep, point.index, point.spec, result)
+            )
+    return points_by_sweep, missing
+
+
+def results_by_sweep(run: CampaignRun) -> PointsBySweep:
+    """A :func:`run_campaign` outcome as the check-ready mapping.
+
+    Only meaningful for full-coverage runs (``shard == (0, 1)``); sharded
+    runs verify via :func:`collect_results` over the merged store.
+    """
+    points_by_sweep: PointsBySweep = {
+        directive.name: [] for directive in run.campaign.sweeps
+    }
+    for point, result in zip(run.points, run.results):
+        points_by_sweep[point.sweep].append(
+            Point(point.sweep, point.index, point.spec, result)
+        )
+    return points_by_sweep
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One check directive's verdict."""
+
+    kind: str
+    sweeps: tuple[str, ...]
+    failures: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def evaluate_checks(
+    campaign: CampaignSpec, points_by_sweep: PointsBySweep
+) -> list[CheckOutcome]:
+    """Apply every check directive to its in-scope sweeps."""
+    outcomes = []
+    for check in campaign.checks:
+        scope = {
+            name: points
+            for name, points in points_by_sweep.items()
+            if check.matches(name)
+        }
+        check_fn = CHECKS.get(check.kind)
+        try:
+            failures = tuple(check_fn(scope, **check.params))
+        except TypeError as exc:
+            raise ExperimentError(
+                f"check {check.kind!r} rejected params "
+                f"{sorted(check.params)}: {exc}"
+            ) from exc
+        outcomes.append(CheckOutcome(check.kind, check.sweeps, failures))
+    return outcomes
+
+
+@dataclass
+class VerifyReport:
+    """Completeness + validation verdict for a campaign's store.
+
+    ``points_by_sweep`` carries the results read during verification so
+    callers (the CLI's report step) need not scan the store again.
+    """
+
+    campaign: CampaignSpec
+    total: int
+    present: int
+    checks: list[CheckOutcome] = field(default_factory=list)
+    missing: list[CampaignPoint] = field(default_factory=list)
+    points_by_sweep: PointsBySweep = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+    @property
+    def ok(self) -> bool:
+        return self.complete and all(outcome.ok for outcome in self.checks)
+
+
+def verify_campaign(campaign: CampaignSpec, store: ResultStore) -> VerifyReport:
+    """Verify a campaign against its store without running anything.
+
+    Checks are only evaluated over a complete result set — validating a
+    partial campaign would let a missing shard masquerade as a pass.
+    """
+    points_by_sweep, missing = collect_results(campaign, store)
+    present = sum(len(points) for points in points_by_sweep.values())
+    report = VerifyReport(
+        campaign=campaign,
+        total=present + len(missing),
+        present=present,
+        missing=missing,
+        points_by_sweep=points_by_sweep,
+    )
+    if report.complete:
+        report.checks = evaluate_checks(campaign, points_by_sweep)
+    return report

@@ -1,0 +1,170 @@
+"""On-disk result store: content-addressed, checksummed, atomic.
+
+Every completed experiment point is checkpointed as one JSON file keyed by
+the SHA-256 of its spec's canonical JSON (the spec embeds the seed, so the
+key covers it).  Properties the campaign executor relies on:
+
+* **Resumable** — a hit returns the stored summary without re-running;
+  an interrupted campaign recomputes only the missing keys.
+* **Atomic** — entries are written to a temp file in the same directory
+  and ``os.replace``d into place, so a crash mid-write never leaves a
+  half-entry under the final name.
+* **Self-verifying** — each entry embeds a SHA-256 over its canonical
+  payload; a truncated, corrupted, or hand-edited file fails verification
+  and is treated as a miss (re-run), never trusted.
+* **Portable** — entries store only the observable outcome (``wall_time``
+  is zeroed), so stores merged from different machines or CI shards are
+  byte-identical to a single-machine run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.specs import ExperimentSpec
+
+#: Bumped when the entry layout changes; older entries read as misses.
+STORE_FORMAT = 1
+
+
+def spec_key(spec: ExperimentSpec) -> str:
+    """The store key of a spec: SHA-256 over its canonical JSON."""
+    return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
+
+
+def _payload_digest(payload: dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store session (hits/misses/corruption)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass
+class ResultStore:
+    """A directory of checkpointed experiment results.
+
+    Args:
+        root: Store directory (created lazily on first write).
+    """
+
+    root: str
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def path_for(self, key: str) -> str:
+        """Where the entry for ``key`` lives (two-level fan-out)."""
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def get(self, spec: ExperimentSpec) -> ExperimentResult | None:
+        """The stored summary for ``spec``, or ``None`` (miss/corrupt).
+
+        A present-but-invalid entry — unparseable JSON, wrong format
+        version, checksum mismatch, or a stored spec that does not round-
+        trip to the requested one — counts as corrupt *and* as a miss:
+        the caller re-runs the point and the rewrite heals the store.
+        """
+        key = spec_key(spec)
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        result = self._decode(document, key, spec)
+        if result is None:
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def _decode(
+        self, document: Any, key: str, spec: ExperimentSpec
+    ) -> ExperimentResult | None:
+        if not isinstance(document, dict):
+            return None
+        if document.get("format") != STORE_FORMAT:
+            return None
+        payload = document.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        if document.get("sha256") != _payload_digest(payload):
+            return None
+        if payload.get("key") != key:
+            return None
+        try:
+            result = ExperimentResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        if result.spec != spec:
+            return None
+        return result
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def put(self, result: ExperimentResult) -> str:
+        """Checkpoint ``result`` atomically; returns the entry path.
+
+        The summary is stored without ``wall_time`` (see module docstring)
+        so entry bytes depend only on the spec and its deterministic
+        outcome.
+        """
+        key = spec_key(result.spec)
+        payload = {
+            "key": key,
+            "result": result.to_dict(),
+        }
+        document = {
+            "format": STORE_FORMAT,
+            "sha256": _payload_digest(payload),
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle, tmp_path = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, sort_keys=True, indent=1)
+                fh.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path

@@ -14,6 +14,11 @@ Subcommands:
   ``--param`` axes), optionally across worker processes, and print
   aggregate percentiles; ``--json`` dumps the per-run rows (with each
   run's spec) for external analysis.
+* ``campaign`` — list/run/resume/report/verify the built-in reproduction
+  campaigns (``figure1``, ``figure2_lowerbound``, ``crossover``,
+  ``fault_resilience``, ``radio_footnote2``): sharded, checkpointed
+  sweeps that regenerate the paper's figures into ``artifacts/`` and
+  validate them with machine checks.
 * ``lowerbound`` — run the Figure 2 adversary (or the Lemma 3.18 choke)
   and print the measured floor plus the axiom certificate.
 * ``radio`` — run BMMB over the decay-backed radio MAC on a star and print
@@ -34,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 from typing import Any, Sequence
 
@@ -289,6 +295,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # TypeError: a --param axis fed a builder a kwarg it doesn't take.
         print(f"sweep error: {exc}", file=sys.stderr)
         return 2
+    if not len(sweep):
+        # An empty sweep has a vacuous solved rate; CI smoke jobs must
+        # not read "ran nothing" as "every point validated".
+        print("sweep error: no points to run", file=sys.stderr)
+        return 2
     json_dest = args.json
     if json_dest is not None:
         payload = json.dumps(_sweep_json_payload(base, sweep), sort_keys=True)
@@ -322,6 +333,111 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(render_table(sweep.table_rows(), title="per-run results"))
     return 0 if sweep.solved_rate == 1.0 else 1
+
+
+def _campaign_rows() -> list[dict[str, object]]:
+    from repro.campaigns import CAMPAIGNS, build_campaign, expand_points
+
+    rows = []
+    for name in CAMPAIGNS.names():
+        campaign = build_campaign(name)
+        rows.append(
+            {
+                "campaign": name,
+                "points": len(expand_points(campaign)),
+                "sweeps": len(campaign.sweeps),
+                "figures": len(campaign.figures),
+                "checks": len(campaign.checks),
+                "description": CAMPAIGNS.get(name).description,
+            }
+        )
+    return rows
+
+
+def _campaign_params(args: argparse.Namespace) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    if getattr(args, "n_max", None) is not None:
+        params["n_max"] = args.n_max
+    for item in getattr(args, "set", None) or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set needs key=value syntax, got {item!r}")
+        params[key] = _parse_scalar(value)
+    return params
+
+
+def _print_verify(report) -> int:
+    """Render a VerifyReport; the exit status is the campaign's verdict."""
+    rows = [
+        {
+            "points": report.total,
+            "present": report.present,
+            "missing": len(report.missing),
+            "checks": len(report.checks),
+            "failed checks": sum(1 for c in report.checks if not c.ok),
+            "verdict": "ok" if report.ok else "FAIL",
+        }
+    ]
+    print(render_table(rows, title=f"campaign {report.campaign.name} verification"))
+    if report.missing:
+        print(
+            f"missing {len(report.missing)} points (run the remaining "
+            f"shards, or `campaign run` to fill in)",
+            file=sys.stderr,
+        )
+        for point in report.missing[:5]:
+            print(f"  missing: {point.sweep}[{point.index}]", file=sys.stderr)
+    for outcome in report.checks:
+        for failure in outcome.failures:
+            print(f"CHECK FAIL [{outcome.kind}] {failure}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _verify_and_report(campaigns_mod, campaign, store, artifacts_dir) -> int:
+    """Shared tail of `campaign run` and `campaign report`: one store
+    read drives the verdict, the checks, and the artifact write."""
+    report = campaigns_mod.verify_campaign(campaign, store)
+    status = _print_verify(report)
+    if report.complete:
+        written = campaigns_mod.write_artifacts(
+            campaign, report.points_by_sweep, report.checks, artifacts_dir
+        )
+        print(f"wrote {len(written)} artifacts under {artifacts_dir}/")
+    return status
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro import campaigns
+
+    if args.action == "list":
+        print(render_table(_campaign_rows(), title="registered campaigns"))
+        return 0
+    if not args.name:
+        raise SystemExit(f"campaign {args.action} needs a campaign name")
+    campaign = campaigns.build_campaign(args.name, **_campaign_params(args))
+    store = campaigns.ResultStore(args.store)
+    if args.action in ("run", "resume"):
+        if args.action == "resume" and not os.path.isdir(args.store):
+            raise SystemExit(
+                f"campaign resume: no store at {args.store!r} (nothing to "
+                f"resume; use `campaign run` to start one)"
+            )
+        shard = campaigns.parse_shard(args.shard)
+        outcome = campaigns.run_campaign(
+            campaign, store, workers=args.workers, shard=shard
+        )
+        print(outcome.describe())
+        if shard[1] > 1 or args.no_report:
+            # A partial shard computes and checkpoints; verdicts belong
+            # to the merge step (`campaign verify`/`report`), which sees
+            # every shard's results.
+            return 0
+        return _verify_and_report(campaigns, campaign, store, args.artifacts)
+    if args.action == "verify":
+        return _print_verify(campaigns.verify_campaign(campaign, store))
+    if args.action == "report":
+        return _verify_and_report(campaigns, campaign, store, args.artifacts)
+    raise SystemExit(f"unknown campaign action {args.action!r}")
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -596,6 +712,64 @@ def build_parser() -> argparse.ArgumentParser:
         "stdout only, suppressing the tables)",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run resumable reproduction campaigns (paper figures/tables)",
+    )
+    p_campaign.add_argument(
+        "action",
+        choices=["list", "run", "resume", "report", "verify"],
+        help="list campaigns; run/resume (checkpointed, cache-hitting) a "
+        "campaign; report regenerates artifacts from the store; verify "
+        "checks completeness + validation without running",
+    )
+    p_campaign.add_argument(
+        "name", nargs="?", help="campaign name (see `campaign list`)"
+    )
+    p_campaign.add_argument(
+        "--n-max",
+        type=int,
+        default=None,
+        help="trim the campaign's size ladders to n <= N (reduced/CI mode; "
+        "trimmed points keep their full-campaign store keys)",
+    )
+    p_campaign.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="extra campaign builder parameter (repeatable), e.g. --set seeds=3",
+    )
+    p_campaign.add_argument(
+        "--store",
+        default=os.path.join("artifacts", "store"),
+        metavar="DIR",
+        help="checkpoint store directory (shared across campaigns and "
+        "shards; content-addressed by spec hash)",
+    )
+    p_campaign.add_argument(
+        "--artifacts",
+        default="artifacts",
+        metavar="DIR",
+        help="where report/run write CSV, ASCII, SVG, and report.md",
+    )
+    p_campaign.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    p_campaign.add_argument(
+        "--shard",
+        default="0/1",
+        metavar="I/N",
+        help="run only shard I of N (split one campaign across CI jobs or "
+        "machines sharing/merging a store); partial shards skip the "
+        "report step",
+    )
+    p_campaign.add_argument(
+        "--no-report",
+        action="store_true",
+        help="compute + checkpoint only; skip verification and artifacts",
+    )
+    p_campaign.set_defaults(func=cmd_campaign)
 
     p_perf = sub.add_parser(
         "perf", help="run the performance suite and emit BENCH_PERF.json"

@@ -38,6 +38,7 @@ from repro.mac.enhanced import EnhancedMACLayer
 from repro.mac.schedulers import (
     ChokeAdversary,
     ContentionScheduler,
+    GreyZoneAdversary,
     UniformDelayScheduler,
     WorstCaseAckScheduler,
 )
@@ -330,6 +331,17 @@ def _build_choke(rng, rcv_fraction: float = 0.9):
     return ChokeAdversary(rcv_fraction=rcv_fraction)
 
 
+@register_scheduler("greyzone_adversary")
+def _build_greyzone_adversary(rng, depth: int = 10, inject_fraction: float = 0.25):
+    # The Figure 2 frontier-starving adversary is bound to the
+    # parallel-lines gadget; rebuilding the network here is deterministic,
+    # so pairing this entry with the "parallel_lines" topology (same
+    # depth) reproduces the Lemma 3.19/3.20 execution from a pure spec.
+    return GreyZoneAdversary(
+        parallel_lines_network(depth), inject_fraction=inject_fraction
+    )
+
+
 # ----------------------------------------------------------------------
 # Built-in algorithms
 # ----------------------------------------------------------------------
@@ -400,3 +412,11 @@ def _build_poisson(
     dual, rng, count: int = 4, mean_gap: float = 5.0, prefix: str = "m"
 ):
     return ArrivalSchedule.poisson(list(dual.nodes), count, mean_gap, rng, prefix)
+
+
+@register_workload("parallel_lines_sources")
+def _build_parallel_lines_sources(dual, rng):
+    # The canonical Figure 2 instance: m0 at the head of line A, m1 at the
+    # head of line B.  The depth is implied by the dual graph itself, so
+    # this workload needs no parameters and cannot drift from the topology.
+    return parallel_lines_network(dual.n // 2).assignment

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import time as _time
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from repro.core.fmmb import run_fmmb
 from repro.core.problem import ArrivalSchedule
@@ -87,6 +87,52 @@ class ExperimentResult:
     metrics: dict[str, float] = field(default_factory=dict)
     wall_time: float = field(default=0.0, compare=False)
     raw: Any = field(default=None, compare=False, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The summary as a strict-JSON dict (``raw``/``wall_time`` dropped).
+
+        Non-finite floats are encoded as strings (``"inf"``, ``"-inf"``,
+        ``"nan"``) so the document survives strict JSON parsers and hashes
+        identically everywhere.  ``from_dict(to_dict(r)) == r`` because
+        equality already ignores the dropped fields.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "solved": self.solved,
+            "completion_time": encode_float(self.completion_time),
+            "broadcast_count": self.broadcast_count,
+            "delivered_count": self.delivered_count,
+            "metrics": {
+                key: encode_float(value)
+                for key, value in sorted(self.metrics.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a summary written by :meth:`to_dict`."""
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            solved=bool(data["solved"]),
+            completion_time=decode_float(data["completion_time"]),
+            broadcast_count=int(data["broadcast_count"]),
+            delivered_count=int(data["delivered_count"]),
+            metrics={
+                key: decode_float(value)
+                for key, value in data.get("metrics", {}).items()
+            },
+        )
+
+
+def encode_float(value: float) -> float | str:
+    """A float as a strict-JSON value (non-finite become strings)."""
+    number = float(value)
+    return number if math.isfinite(number) else repr(number)
+
+
+def decode_float(value: Any) -> float:
+    """Invert :func:`encode_float` (accepts plain numbers too)."""
+    return float(value)
 
 
 @dataclass

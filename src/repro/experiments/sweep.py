@@ -78,6 +78,45 @@ def _with_path(spec: ExperimentSpec, path: str, value: Any) -> ExperimentSpec:
     raise ExperimentError(f"sweep axis {path!r} addresses a non-spec field")
 
 
+def with_path(spec: ExperimentSpec, path: str, value: Any) -> ExperimentSpec:
+    """Public alias of :func:`_with_path` (campaign expansion uses it)."""
+    return _with_path(spec, path, value)
+
+
+def path_value(spec: ExperimentSpec, path: str) -> Any:
+    """Read the value a sweep axis ``path`` addresses on ``spec``.
+
+    The inverse of :func:`with_path`: top-level fields directly, component
+    fields by name, and params keys otherwise (``model.params.<key>`` for
+    substrate extras).  Raises :class:`ExperimentError` for paths that
+    address nothing, so figure directives fail loudly instead of plotting
+    blanks.
+    """
+    head, _, rest = path.partition(".")
+    field_names = {f.name for f in dataclasses.fields(spec)}
+    if head not in field_names:
+        raise ExperimentError(
+            f"path {path!r} does not address an ExperimentSpec field"
+        )
+    sub = getattr(spec, head)
+    if not rest:
+        return sub
+    if sub is None:
+        raise ExperimentError(f"path {path!r} addresses {head!r}, which is None")
+    if isinstance(sub, (ModelSpec, _KindSpec)):
+        sub_fields = {f.name for f in dataclasses.fields(sub)}
+        if rest in sub_fields and rest != "params":
+            return getattr(sub, rest)
+        if rest.startswith("params."):
+            key = rest[len("params.") :]
+            if key in sub.params:
+                return sub.params[key]
+        elif not isinstance(sub, ModelSpec) and rest in sub.params:
+            return sub.params[rest]
+        raise ExperimentError(f"path {path!r} addresses nothing on {head!r}")
+    raise ExperimentError(f"path {path!r} addresses a non-spec field")
+
+
 class Sweep:
     """Spec-grid builders."""
 

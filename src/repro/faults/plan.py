@@ -10,7 +10,7 @@ clocks (event-driven time, lock-step rounds, radio slots).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import ExperimentError

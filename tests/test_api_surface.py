@@ -53,6 +53,13 @@ def test_star_import_matches_all():
         "repro.experiments.registries",
         "repro.experiments.runner",
         "repro.experiments.sweep",
+        "repro.campaigns",
+        "repro.campaigns.spec",
+        "repro.campaigns.store",
+        "repro.campaigns.executor",
+        "repro.campaigns.checks",
+        "repro.campaigns.report",
+        "repro.campaigns.builtin",
         "repro.cli",
     ],
 )

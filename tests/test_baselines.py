@@ -75,7 +75,6 @@ def test_sequential_scales_multiplicatively_in_k():
 
 
 def test_redundant_flooding_solves_and_is_slower():
-    rng = RandomSource(10)
     dual = line_network(10)
     k = 4
     redundant = run_standard(

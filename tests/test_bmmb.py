@@ -11,7 +11,7 @@ from repro.analysis.bounds import (
 )
 from repro.core.bmmb import BMMBNode
 from repro.errors import AlgorithmError
-from repro.ids import Message, MessageAssignment
+from repro.ids import MessageAssignment
 from repro.mac.axioms import check_axioms
 from repro.mac.schedulers import (
     ContentionScheduler,

@@ -1,0 +1,158 @@
+"""Tests for ``python -m repro campaign`` and sweep exit-code hardening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_campaign_list(capsys):
+    status = main(["campaign", "list"])
+    out = capsys.readouterr().out
+    assert status == 0
+    for name in (
+        "figure1",
+        "figure2_lowerbound",
+        "crossover",
+        "fault_resilience",
+        "radio_footnote2",
+    ):
+        assert name in out
+
+
+def test_campaign_requires_a_name():
+    with pytest.raises(SystemExit):
+        main(["campaign", "run"])
+
+
+def test_campaign_unknown_name_is_a_clean_error(capsys):
+    status = main(["campaign", "run", "nope"])
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "unknown campaign" in err
+
+
+def test_campaign_run_twice_reports_full_cache_hit(tmp_path, capsys):
+    args = [
+        "campaign", "run", "figure1", "--n-max", "32",
+        "--store", str(tmp_path / "store"),
+        "--artifacts", str(tmp_path / "artifacts"),
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "cache hit 0.0%" in first
+    assert "verdict" in first and "ok" in first
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "cache hit 100.0%" in second
+    assert (tmp_path / "artifacts" / "figure1" / "report.md").exists()
+    assert (tmp_path / "artifacts" / "figure1" / "time_vs_D.svg").exists()
+
+
+def test_campaign_shards_then_verify(tmp_path, capsys):
+    base = [
+        "--n-max", "32",
+        "--store", str(tmp_path / "store"),
+        "--artifacts", str(tmp_path / "artifacts"),
+    ]
+    assert main(["campaign", "run", "figure1", "--shard", "0/2", *base]) == 0
+    out = capsys.readouterr().out
+    assert "shard 0/2" in out
+    # A partial shard checkpoints but never writes artifacts or verdicts.
+    assert not (tmp_path / "artifacts").exists()
+    assert main(["campaign", "verify", "figure1", *base]) == 1
+    err = capsys.readouterr().err
+    assert "missing" in err
+    assert main(["campaign", "run", "figure1", "--shard", "1/2", *base]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "verify", "figure1", *base]) == 0
+    out = capsys.readouterr().out
+    assert "ok" in out
+
+
+def test_campaign_report_from_store_only(tmp_path, capsys):
+    base = [
+        "--n-max", "32",
+        "--store", str(tmp_path / "store"),
+        "--artifacts", str(tmp_path / "artifacts"),
+    ]
+    assert main(["campaign", "run", "figure1", "--no-report", *base]) == 0
+    capsys.readouterr()
+    assert not (tmp_path / "artifacts").exists()
+    assert main(["campaign", "report", "figure1", *base]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert (tmp_path / "artifacts" / "figure1" / "points.csv").exists()
+
+
+def test_campaign_resume_requires_an_existing_store(tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "campaign", "resume", "figure1",
+                "--store", str(tmp_path / "missing"),
+            ]
+        )
+
+
+def test_campaign_verify_on_empty_store_is_nonzero(tmp_path, capsys):
+    status = main(
+        [
+            "campaign", "verify", "figure1", "--n-max", "32",
+            "--store", str(tmp_path / "empty"),
+        ]
+    )
+    capsys.readouterr()
+    assert status == 1
+
+
+def test_campaign_bad_shard_is_a_clean_error(tmp_path, capsys):
+    status = main(
+        [
+            "campaign", "run", "figure1", "--shard", "3/2",
+            "--store", str(tmp_path / "store"),
+        ]
+    )
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "shard" in err
+
+
+def test_campaign_builder_params_via_set(tmp_path, capsys):
+    status = main(
+        [
+            "campaign", "run", "fault_resilience", "--n-max", "14",
+            "--set", "seeds=1",
+            "--store", str(tmp_path / "store"),
+            "--artifacts", str(tmp_path / "artifacts"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "12 points" in out
+
+
+def test_campaign_rejects_unknown_builder_param(tmp_path, capsys):
+    status = main(
+        [
+            "campaign", "run", "figure1", "--set", "bogus=1",
+            "--store", str(tmp_path / "store"),
+        ]
+    )
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "rejected params" in err
+
+
+def test_sweep_exits_nonzero_when_a_point_fails_validation(capsys):
+    # A starved simulated-time wall leaves points unsolved; the exit
+    # status must say so (CI smoke jobs rely on it).
+    status = main(
+        [
+            "sweep", "--n", "12", "--side", "2.0", "--k", "2",
+            "--seeds", "2", "--param", "model.max_time=0.5",
+        ]
+    )
+    capsys.readouterr()
+    assert status == 1

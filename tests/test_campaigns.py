@@ -1,0 +1,424 @@
+"""Tests for ``repro.campaigns``: specs, store, executor, checks, report.
+
+The resume/corruption tests follow the ``tests/test_perf_golden.py``
+approach: byte-for-byte comparison of canonical on-disk output, so any
+nondeterminism in the checkpoint/replay path shows up as a diff rather
+than a statistical flake.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    CheckSpec,
+    FigureSpec,
+    ResultStore,
+    SeriesSpec,
+    SweepDirective,
+    build_campaign,
+    collect_results,
+    evaluate_checks,
+    expand_points,
+    list_campaigns,
+    parse_shard,
+    results_by_sweep,
+    run_campaign,
+    scaled_values,
+    shard_points,
+    spec_key,
+    verify_campaign,
+    write_artifacts,
+)
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentSpec,
+    ModelSpec,
+    SchedulerSpec,
+    TopologySpec,
+    WorkloadSpec,
+    run,
+)
+from repro.experiments.sweep import path_value, with_path
+
+BUILTINS = (
+    "figure1",
+    "figure2_lowerbound",
+    "crossover",
+    "fault_resilience",
+    "radio_footnote2",
+)
+
+
+def tiny_campaign(unsolvable: bool = False, seeds: int = 1) -> CampaignSpec:
+    """A fast line-network campaign exercising every directive type."""
+    base = ExperimentSpec(
+        name="tiny",
+        topology=TopologySpec("line", {"n": 5}),
+        scheduler=SchedulerSpec("worstcase"),
+        workload=WorkloadSpec("single_source", {"node": 0, "count": 1}),
+        model=ModelSpec(
+            fack=20.0,
+            fprog=1.0,
+            # A tiny simulated-time wall truncates the run unsolved.
+            max_time=0.5 if unsolvable else None,
+        ),
+        seed=3,
+    )
+    return CampaignSpec(
+        name="tiny",
+        title="Tiny test campaign",
+        sweeps=(
+            SweepDirective(
+                name="lines",
+                base=base,
+                axes={"topology.n": [5, 7]},
+                repeats=seeds,
+            ),
+        ),
+        figures=(
+            FigureSpec(
+                name="t_vs_n",
+                title="completion vs n",
+                x="topology.n",
+                series=(SeriesSpec(sweep="lines"),),
+                bound="bmmb_gg",
+            ),
+        ),
+        checks=(
+            CheckSpec(kind="solved"),
+            CheckSpec(kind="upper_bound", params={"bound": "bmmb_gg"}),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", BUILTINS)
+def test_builtin_round_trips(name):
+    campaign = build_campaign(name)
+    assert CampaignSpec.from_json(campaign.to_json()) == campaign
+
+
+@pytest.mark.parametrize("name", BUILTINS)
+def test_builtin_reduced_round_trips(name):
+    campaign = build_campaign(name, n_max=32)
+    assert CampaignSpec.from_json(campaign.to_json()) == campaign
+    assert campaign.name == name
+
+
+def test_builtin_registry_lists_all():
+    assert set(BUILTINS) <= set(list_campaigns())
+
+
+def test_scaled_values_trims_from_the_top():
+    assert scaled_values((6, 12, 24, 48), 32) == [6, 12, 24]
+    assert scaled_values((6, 12), None) == [6, 12]
+    assert scaled_values((6, 12), 3) == [6]  # never empty
+
+
+@pytest.mark.parametrize("name", ["figure1", "figure2_lowerbound", "radio_footnote2"])
+def test_reduced_ladder_points_reuse_full_campaign_keys(name):
+    """--n-max keeps ladder-campaign spec hashes: reduced runs warm the cache."""
+    full = {spec_key(p.spec) for p in expand_points(build_campaign(name))}
+    reduced = {
+        spec_key(p.spec)
+        for p in expand_points(build_campaign(name, n_max=32))
+    }
+    assert reduced <= full
+
+
+def test_zip_axes_pair_replication_seeds():
+    campaign = build_campaign("fault_resilience", seeds=2)
+    points = [p for p in expand_points(campaign) if p.sweep == "bmmb_crash"]
+    by_fraction: dict[float, list[int]] = {}
+    for point in points:
+        fraction = path_value(point.spec, "fault.fraction")
+        by_fraction.setdefault(fraction, []).append(point.spec.seed)
+    seeds = list(by_fraction.values())
+    assert len(seeds) == 3
+    assert seeds[0] == seeds[1] == seeds[2]  # paired across zip rows
+
+
+def test_zip_axes_length_mismatch_rejected():
+    base = tiny_campaign().sweeps[0].base
+    with pytest.raises(ExperimentError):
+        SweepDirective(
+            name="bad",
+            base=base,
+            zip_axes={"topology.n": [5, 7], "model.fack": [20.0]},
+        )
+
+
+def test_duplicate_sweep_names_rejected():
+    directive = tiny_campaign().sweeps[0]
+    with pytest.raises(ExperimentError):
+        CampaignSpec(name="dup", title="dup", sweeps=(directive, directive))
+
+
+def test_figure_series_must_name_a_sweep():
+    directive = tiny_campaign().sweeps[0]
+    with pytest.raises(ExperimentError):
+        CampaignSpec(
+            name="bad",
+            title="bad",
+            sweeps=(directive,),
+            figures=(
+                FigureSpec(
+                    name="f",
+                    title="f",
+                    x="topology.n",
+                    series=(SeriesSpec(sweep="nope"),),
+                ),
+            ),
+        )
+
+
+def test_path_value_reads_what_with_path_wrote():
+    spec = tiny_campaign().sweeps[0].base
+    assert path_value(spec, "topology.n") == 5
+    assert path_value(spec, "model.fack") == 20.0
+    assert path_value(spec, "seed") == 3
+    assert path_value(with_path(spec, "topology.n", 9), "topology.n") == 9
+    with pytest.raises(ExperimentError):
+        path_value(spec, "topology.bogus")
+    with pytest.raises(ExperimentError):
+        path_value(spec, "bogus")
+
+
+# ----------------------------------------------------------------------
+# Sharding
+# ----------------------------------------------------------------------
+def test_parse_shard():
+    assert parse_shard("0/1") == (0, 1)
+    assert parse_shard("1/2") == (1, 2)
+    for bad in ("2/2", "-1/2", "x/2", "1", "1/0", "1/x"):
+        with pytest.raises(ExperimentError):
+            parse_shard(bad)
+
+
+def test_shards_partition_the_points():
+    points = expand_points(build_campaign("figure1"))
+    shards = [shard_points(points, i, 3) for i in range(3)]
+    merged = [p for shard in shards for p in shard]
+    assert sorted(merged, key=points.index) == points
+    assert sum(len(s) for s in shards) == len(points)
+
+
+# ----------------------------------------------------------------------
+# Result store
+# ----------------------------------------------------------------------
+def _one_result():
+    spec = tiny_campaign().sweeps[0].expand()[0]
+    return run(spec, keep_raw=False)
+
+
+def test_store_round_trip(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    result = _one_result()
+    assert store.get(result.spec) is None
+    store.put(result)
+    again = store.get(result.spec)
+    assert again == result
+    assert store.stats.hits == 1
+    assert store.stats.misses == 1
+    assert store.stats.writes == 1
+
+
+def test_store_entry_is_strict_json(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    path = store.put(_one_result())
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.loads(fh.read())  # strict parse (no NaN/Infinity)
+    assert document["format"] == 1
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    ["truncate", "flip", "not_json", "bad_format", "wrong_digest"],
+)
+def test_store_detects_corruption_and_reruns(tmp_path, corruption):
+    store = ResultStore(str(tmp_path / "store"))
+    result = _one_result()
+    path = store.put(result)
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if corruption == "truncate":
+        damaged = text[: len(text) // 2]
+    elif corruption == "flip":
+        damaged = text.replace('"solved": true', '"solved": false')
+    elif corruption == "not_json":
+        damaged = "definitely not json{{{"
+    elif corruption == "bad_format":
+        damaged = text.replace('"format": 1', '"format": 99')
+    else:
+        damaged = text.replace('"sha256": "', '"sha256": "0000')
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(damaged)
+    assert store.get(result.spec) is None  # never trusted
+    assert store.stats.corrupt == 1
+    store.put(result)  # re-run heals the entry ...
+    healed = store.get(result.spec)
+    assert healed == result  # ... and the replay matches the original
+
+
+def test_store_rejects_entry_for_a_different_spec(tmp_path):
+    """A hash-keyed file whose embedded spec disagrees is not trusted."""
+    store = ResultStore(str(tmp_path / "store"))
+    result = _one_result()
+    path = store.put(result)
+    other = result.spec.with_seed(999)
+    os.makedirs(os.path.dirname(store.path_for(spec_key(other))), exist_ok=True)
+    os.replace(path, store.path_for(spec_key(other)))
+    assert store.get(other) is None
+    assert store.stats.corrupt == 1
+
+
+# ----------------------------------------------------------------------
+# Executor: run, resume, shards
+# ----------------------------------------------------------------------
+def test_run_campaign_without_store_runs_everything():
+    campaign = tiny_campaign()
+    outcome = run_campaign(campaign, store=None)
+    assert outcome.ran == outcome.total == 2
+    assert outcome.cached == 0
+    checks = evaluate_checks(campaign, results_by_sweep(outcome))
+    assert all(check.ok for check in checks)
+
+
+def test_second_run_is_a_pure_cache_replay(tmp_path):
+    campaign = tiny_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    first = run_campaign(campaign, store)
+    second = run_campaign(campaign, store)
+    assert first.ran == first.total
+    assert second.ran == 0
+    assert second.cached == second.total
+    assert second.cache_hit_rate == 1.0
+    assert "cache hit 100.0%" in second.describe()
+    assert second.results == first.results
+
+
+def _store_bytes(root: str) -> dict[str, bytes]:
+    found = {}
+    for dirpath, _, filenames in os.walk(root):
+        for filename in filenames:
+            path = os.path.join(dirpath, filename)
+            with open(path, "rb") as fh:
+                found[os.path.relpath(path, root)] = fh.read()
+    return found
+
+
+def test_interrupted_then_resumed_is_byte_identical(tmp_path):
+    """Partial store (simulated interruption) + resume == one-shot run."""
+    campaign = tiny_campaign(seeds=2)
+    uninterrupted = ResultStore(str(tmp_path / "a"))
+    run_campaign(campaign, uninterrupted)
+
+    interrupted = ResultStore(str(tmp_path / "b"))
+    run_campaign(campaign, interrupted, shard=(0, 2))  # "crash" after shard 0
+    resumed = run_campaign(campaign, interrupted)  # resume fills the rest
+    assert 0 < resumed.cached < resumed.total
+
+    assert _store_bytes(str(tmp_path / "a")) == _store_bytes(str(tmp_path / "b"))
+
+    art_a, art_b = str(tmp_path / "art_a"), str(tmp_path / "art_b")
+    for store, target in ((uninterrupted, art_a), (interrupted, art_b)):
+        points, missing = collect_results(campaign, store)
+        assert not missing
+        write_artifacts(
+            campaign, points, evaluate_checks(campaign, points), target
+        )
+    assert _store_bytes(art_a) == _store_bytes(art_b)
+
+
+def test_sharded_stores_merge_to_a_complete_campaign(tmp_path):
+    campaign = tiny_campaign(seeds=2)
+    store = ResultStore(str(tmp_path / "store"))
+    for index in range(2):
+        outcome = run_campaign(campaign, store, shard=(index, 2))
+        assert outcome.total < 4  # strictly partial
+    report = verify_campaign(campaign, store)
+    assert report.complete and report.ok
+
+
+def test_verify_reports_missing_points(tmp_path):
+    campaign = tiny_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    run_campaign(campaign, store, shard=(0, 2))
+    report = verify_campaign(campaign, store)
+    assert not report.complete
+    assert not report.ok
+    assert not report.checks  # partial campaigns are never check-judged
+    assert report.present + len(report.missing) == report.total
+
+
+def test_corrupt_entry_is_recomputed_on_resume(tmp_path):
+    campaign = tiny_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    run_campaign(campaign, store)
+    victim = expand_points(campaign)[0].spec
+    path = store.path_for(spec_key(victim))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{ truncated")
+    healed = run_campaign(campaign, store)
+    assert healed.ran == 1
+    assert healed.corrupt == 1
+    assert "1 corrupt entries re-run" in healed.describe()
+    assert verify_campaign(campaign, store).ok
+
+
+def test_failing_check_fails_verification(tmp_path):
+    campaign = tiny_campaign(unsolvable=True)
+    store = ResultStore(str(tmp_path / "store"))
+    run_campaign(campaign, store)
+    report = verify_campaign(campaign, store)
+    assert report.complete
+    assert not report.ok
+    failed = [check for check in report.checks if not check.ok]
+    assert failed and any("solved rate" in f for f in failed[0].failures)
+
+
+# ----------------------------------------------------------------------
+# Report artifacts
+# ----------------------------------------------------------------------
+def test_artifacts_written_and_deterministic(tmp_path):
+    campaign = tiny_campaign()
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    checks = evaluate_checks(campaign, points)
+    written = write_artifacts(campaign, points, checks, str(tmp_path / "x"))
+    assert set(written) == {
+        "tiny/points.csv",
+        "tiny/t_vs_n.csv",
+        "tiny/t_vs_n.txt",
+        "tiny/t_vs_n.svg",
+        "tiny/report.md",
+        "tiny/manifest.json",
+    }
+    write_artifacts(campaign, points, checks, str(tmp_path / "y"))
+    assert _store_bytes(str(tmp_path / "x")) == _store_bytes(str(tmp_path / "y"))
+    manifest = json.loads((tmp_path / "x" / "tiny" / "manifest.json").read_text())
+    assert manifest["points"] == 2
+    assert all(check["ok"] for check in manifest["checks"])
+    svg = (tmp_path / "x" / "tiny" / "t_vs_n.svg").read_text()
+    assert svg.startswith("<svg") and "polyline" in svg
+    csv_text = (tmp_path / "x" / "tiny" / "t_vs_n.csv").read_text()
+    assert csv_text.splitlines()[0] == "series,topology.n,median,mean,min,max,count"
+    assert "bound:bmmb_gg" in csv_text
+
+
+def test_artifacts_survive_unsolved_points(tmp_path):
+    """A completion_time figure over unsolved (inf) points must still render."""
+    campaign = tiny_campaign(unsolvable=True)
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    checks = evaluate_checks(campaign, points)
+    write_artifacts(campaign, points, checks, str(tmp_path / "art"))
+    ascii_text = (tmp_path / "art" / "tiny" / "t_vs_n.txt").read_text()
+    assert "inf" in ascii_text

@@ -22,6 +22,7 @@ EXAMPLES = [
     "scheduler_gallery",
     "backbone_structuring",
     "fault_scenarios",
+    "campaign_report",
 ]
 
 

@@ -21,7 +21,7 @@ from repro.faults import (
     validate_plan,
 )
 from repro.sim.rng import RandomSource
-from repro.topology import DualGraph, line_network
+from repro.topology import DualGraph
 
 
 def grey_line(n: int = 8) -> DualGraph:

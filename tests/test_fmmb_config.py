@@ -9,7 +9,6 @@ from repro.core.fmmb.mis import _Announce, _Elect, build_mis
 from repro.errors import ExperimentError
 from repro.mac.rounds import Deliveries, Intents, RoundScheduler
 from repro.sim.rng import RandomSource
-from repro.topology import line_network
 from repro.topology.dualgraph import DualGraph
 
 

@@ -7,7 +7,7 @@ import pytest
 from repro.core.fmmb.config import FMMBConfig
 from repro.core.fmmb.gather import gather_messages
 from repro.core.fmmb.mis import build_mis, require_valid_mis
-from repro.ids import Message, MessageAssignment
+from repro.ids import MessageAssignment
 from repro.mac.rounds import RandomRoundScheduler
 from repro.sim.rng import RandomSource
 from repro.topology import grid_network, line_network, random_geometric_network

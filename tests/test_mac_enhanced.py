@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.mac.enhanced import EnhancedMACLayer
 from repro.mac.interfaces import Automaton
 from repro.mac.schedulers.base import Scheduler

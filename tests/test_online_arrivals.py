@@ -11,7 +11,7 @@ from repro.mac.schedulers import UniformDelayScheduler, WorstCaseAckScheduler
 from repro.sim.rng import RandomSource
 from repro.topology import line_network
 
-from tests.conftest import FACK, FPROG, run_bmmb
+from tests.conftest import FACK, run_bmmb
 
 
 def test_schedule_rejects_duplicate_message():

@@ -125,7 +125,6 @@ def test_spread_delivery_rounds_are_monotone_with_distance():
 
 def test_spread_idles_when_nothing_to_do():
     dual = line_network(5)
-    assignment = MessageAssignment.single_source(2, 1)
     # All nodes already have the message.
     mis = frozenset({0, 2, 4})
     rng = RandomSource(5, "idle")
