@@ -104,8 +104,8 @@ from repro.core.fmmb import FMMBConfig, run_fmmb
 from repro.core.leader import FloodMaxNode, elected_correctly
 from repro.core.problem import Arrival, ArrivalSchedule
 from repro.core.structuring import build_cds, cds_broadcast_schedule, validate_cds
-from repro.radio import RadioMACLayer, SlottedRadioNetwork
-from repro.runtime import RunResult, run_standard
+from repro.radio import RadioMACLayer, SINRRadioNetwork, SlottedRadioNetwork
+from repro.runtime import Observation, Probe, RunResult, run_standard
 from repro.runtime.runner import ProtocolRun, run_protocol
 from repro.analysis import (
     bmmb_arbitrary_bound,
@@ -122,6 +122,8 @@ from repro.experiments import (
     FaultSpec,
     ModelSpec,
     SchedulerSpec,
+    Substrate,
+    SubstrateBase,
     Sweep,
     SweepResult,
     TopologySpec,
@@ -130,6 +132,7 @@ from repro.experiments import (
     list_faults,
     list_macs,
     list_schedulers,
+    list_substrates,
     list_topologies,
     list_workloads,
     materialize_topology,
@@ -137,6 +140,7 @@ from repro.experiments import (
     register_fault,
     register_mac,
     register_scheduler,
+    register_substrate,
     register_topology,
     register_workload,
     run,
@@ -224,9 +228,12 @@ __all__ = [
     "cds_broadcast_schedule",
     "RadioMACLayer",
     "SlottedRadioNetwork",
+    "SINRRadioNetwork",
     # runtime & analysis
     "RunResult",
     "run_standard",
+    "Observation",
+    "Probe",
     "ProtocolRun",
     "run_protocol",
     "bmmb_gg_bound",
@@ -255,12 +262,16 @@ __all__ = [
     "list_macs",
     "list_workloads",
     "list_faults",
+    "list_substrates",
     "register_topology",
     "register_scheduler",
     "register_algorithm",
     "register_mac",
     "register_workload",
     "register_fault",
+    "register_substrate",
+    "Substrate",
+    "SubstrateBase",
     # fault & dynamics injection
     "FaultEngine",
     "FaultEvent",

@@ -365,4 +365,32 @@ def _check_growth_gap(
     return failures
 
 
+@register_check("metric_dominates")
+def _check_metric_dominates(
+    points_by_sweep: PointsBySweep,
+    upper: str = "",
+    lower: str = "",
+    slack: float = 1e-9,
+) -> list[str]:
+    """At every point, series value ``upper`` must be >= ``lower``.
+
+    Values use the same addressing as figure series (``metric:<gauge>``,
+    ``solved``, or a result attribute), so the check reads the one
+    documented metrics surface the substrates' probes emit.  Used by the
+    radio-family campaigns to assert the model ordering ``empirical_fack
+    >= empirical_fprog`` pointwise.
+    """
+    if not upper or not lower:
+        return ["metric_dominates: needs 'upper' and 'lower' params"]
+    failures = []
+    for point in _all_points(points_by_sweep):
+        hi = y_value(point, upper)
+        lo = y_value(point, lower)
+        if hi + slack < lo:
+            failures.append(
+                f"{point.spec.name}: {upper} = {hi:g} below {lower} = {lo:g}"
+            )
+    return failures
+
+
 CheckFn = Callable[..., "list[str]"]

@@ -57,6 +57,7 @@ from repro.experiments import (
     FAULTS,
     MACS,
     SCHEDULERS,
+    SUBSTRATES,
     TOPOLOGIES,
     WORKLOADS,
     AlgorithmSpec,
@@ -98,7 +99,33 @@ _REGISTRIES = (
     ("mac", MACS),
     ("workload", WORKLOADS),
     ("fault", FAULTS),
+    ("substrate", SUBSTRATES),
 )
+
+
+def _substrate_capabilities(substrate) -> str:
+    """Compact capability summary for the registry table."""
+    flags = []
+    if substrate.supports_faults:
+        flags.append("faults")
+    if substrate.supports_arrivals:
+        flags.append("arrivals")
+    flags.append(f"scheduler={substrate.scheduler_role}")
+    return ",".join(flags)
+
+
+def _substrate_doc(substrate) -> str:
+    """One-line doc for the registry table.
+
+    ``describe()`` comes from :class:`SubstrateBase`, not the
+    :class:`Substrate` protocol, so a protocol-only third-party
+    registration must not crash the table — fall back to its docstring.
+    """
+    describe = getattr(substrate, "describe", None)
+    if callable(describe):
+        return describe()
+    doc = (getattr(substrate, "__doc__", "") or "").strip()
+    return doc.splitlines()[0] if doc else ""
 
 
 def _parse_scalar(token: str) -> Any:
@@ -175,6 +202,10 @@ def cmd_registry(args: argparse.Namespace) -> int:
             row: dict[str, object] = {"registry": label, "name": name}
             if label == "algorithm":
                 row["substrates"] = ", ".join(registry.get(name).substrates)
+            if label == "substrate":
+                substrate = registry.get(name)
+                row["capabilities"] = _substrate_capabilities(substrate)
+                row["description"] = _substrate_doc(substrate)
             rows.append(row)
     print(render_table(rows, title="registered experiment components"))
     return 0
@@ -189,6 +220,7 @@ def _bmmb_spec(args: argparse.Namespace) -> ExperimentSpec:
         workload=WorkloadSpec("one_each", {"k": args.k}),
         fault=_parse_fault(getattr(args, "fault", None)),
         model=ModelSpec(fack=args.fack, fprog=args.fprog),
+        substrate=getattr(args, "substrate", "standard"),
         seed=args.seed,
     )
 
@@ -276,6 +308,10 @@ def _sweep_json_payload(base, sweep) -> dict:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    # --substrate is validated against the live substrate registry by
+    # spec construction itself (ExperimentSpec.validate); the resulting
+    # ExperimentError lists the registered names and main() converts it
+    # to exit status 2.
     base = _bmmb_spec(args)
     axes: dict[str, list] = {}
     for item in args.param or []:
@@ -680,6 +716,13 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="replicate a BMMB experiment over seeds and axes"
     )
     _add_bmmb_options(p_sweep)
+    p_sweep.add_argument(
+        "--substrate",
+        default="standard",
+        metavar="NAME",
+        help="execution substrate for every point (validated against the "
+        "substrate registry; see `repro registry`)",
+    )
     p_sweep.add_argument(
         "--seeds", type=int, default=8, help="replications per grid point"
     )

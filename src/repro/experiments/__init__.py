@@ -1,17 +1,27 @@
-"""Declarative experiments: specs, registries, one runner, parallel sweeps.
+"""Declarative experiments: specs, registries, substrates, parallel sweeps.
 
 This subsystem is the single way to describe and run executions:
 
 * :mod:`~repro.experiments.specs` — frozen, JSON-round-trippable
   descriptions (:class:`ExperimentSpec` and its component specs);
 * :mod:`~repro.experiments.registries` — string-keyed registries of
-  topologies, schedulers, algorithms, MAC layers, and workloads, populated
-  with everything the package ships and open to extension via the
-  ``@register_*`` decorators;
-* :mod:`~repro.experiments.runner` — ``run(spec)``, dispatching to the
-  standard, protocol, FMMB-round, and radio substrates;
+  topologies, schedulers, algorithms, MAC layers, workloads, and fault
+  scenarios, populated with everything the package ships and open to
+  extension via the ``@register_*`` decorators;
+* :mod:`~repro.experiments.substrates` — the pluggable execution-engine
+  layer: the :class:`Substrate` protocol (``prepare``/``execute`` plus
+  declared capabilities), the :data:`SUBSTRATES` registry with
+  ``@register_substrate``, the shared :class:`ExecutionContext`
+  (seed-derived streams, topology/workload/fault materialization), and
+  the five built-in engines ``standard``, ``protocol``, ``rounds``,
+  ``radio``, and ``sinr``;
+* :mod:`~repro.experiments.runner` — ``run(spec)``, a thin generic loop
+  over the substrate registry that summarizes every execution as an
+  :class:`ExperimentResult` carrying scalar metrics and the typed
+  observation stream (:mod:`repro.runtime.observations`);
 * :mod:`~repro.experiments.sweep` — spec grids with derived per-point
-  seeds and a process-parallel ``run_sweep``.
+  seeds and a process-parallel ``run_sweep`` (``"substrate"`` is a
+  sweepable axis like any other).
 
 Example::
 
@@ -19,6 +29,7 @@ Example::
 
     spec = ExperimentSpec(
         topology=TopologySpec("random_geometric", {"n": 40, "side": 3.0}),
+        substrate="sinr",
         seed=7,
     )
     result = run(spec)
@@ -48,14 +59,10 @@ from repro.experiments.registries import (
 )
 from repro.experiments.runner import (
     ExperimentResult,
-    RadioRun,
-    materialize_fault_engine,
-    materialize_topology,
-    materialize_workload,
     run,
 )
 from repro.experiments.specs import (
-    SUBSTRATES,
+    BUILTIN_SUBSTRATES,
     AlgorithmSpec,
     ExperimentSpec,
     FaultSpec,
@@ -64,7 +71,25 @@ from repro.experiments.specs import (
     TopologySpec,
     WorkloadSpec,
 )
+from repro.experiments.substrates import (
+    SUBSTRATES,
+    Execution,
+    ExecutionContext,
+    Outcome,
+    RadioRun,
+    Substrate,
+    SubstrateBase,
+    get_substrate,
+    list_substrates,
+    materialize_fault_engine,
+    materialize_topology,
+    materialize_workload,
+    register_substrate,
+    smoke_spec,
+    substrate_smoke,
+)
 from repro.experiments.sweep import Sweep, SweepResult, run_sweep
+from repro.runtime.observations import Observation, Probe
 
 __all__ = [
     # specs
@@ -75,7 +100,7 @@ __all__ = [
     "WorkloadSpec",
     "FaultSpec",
     "ModelSpec",
-    "SUBSTRATES",
+    "BUILTIN_SUBSTRATES",
     # registries
     "Registry",
     "AlgorithmEntry",
@@ -85,25 +110,40 @@ __all__ = [
     "MACS",
     "WORKLOADS",
     "FAULTS",
+    "SUBSTRATES",
     "register_topology",
     "register_scheduler",
     "register_algorithm",
     "register_mac",
     "register_workload",
     "register_fault",
+    "register_substrate",
     "list_topologies",
     "list_schedulers",
     "list_algorithms",
     "list_macs",
     "list_workloads",
     "list_faults",
+    "list_substrates",
+    # substrates
+    "Substrate",
+    "SubstrateBase",
+    "ExecutionContext",
+    "Execution",
+    "Outcome",
+    "get_substrate",
+    "smoke_spec",
+    "substrate_smoke",
+    "materialize_fault_engine",
+    "materialize_topology",
+    "materialize_workload",
     # runner
     "run",
     "ExperimentResult",
     "RadioRun",
-    "materialize_fault_engine",
-    "materialize_topology",
-    "materialize_workload",
+    # observations
+    "Observation",
+    "Probe",
     # sweep
     "Sweep",
     "SweepResult",

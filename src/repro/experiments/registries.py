@@ -18,7 +18,12 @@ Builder conventions:
   substrates; the ``fmmb`` entry instead returns its
   :class:`~repro.core.fmmb.config.FMMBConfig` (the rounds substrate owns
   its node drivers);
-* mac: the registry stores the MAC layer class itself.
+* mac: the registry stores the MAC layer class (or an equivalent builder
+  ``build(dual_or_sim, rng, **params)``, like the ``sinr`` entry).
+
+Execution engines have their own registry in
+:mod:`repro.experiments.substrates` (``@register_substrate``); this module
+stays limited to the components a substrate assembles.
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ from repro.mac.schedulers import (
     WorstCaseAckScheduler,
 )
 from repro.mac.standard import StandardMACLayer
-from repro.radio import RadioMACLayer
+from repro.radio import RadioMACLayer, sinr_mac_layer
 from repro.topology.generators import (
     grid_network,
     line_graph,
@@ -345,7 +350,7 @@ def _build_greyzone_adversary(rng, depth: int = 10, inject_fraction: float = 0.2
 # ----------------------------------------------------------------------
 # Built-in algorithms
 # ----------------------------------------------------------------------
-@register_algorithm("bmmb", substrates=("standard", "radio"))
+@register_algorithm("bmmb", substrates=("standard", "radio", "sinr"))
 def _build_bmmb():
     return lambda _node: BMMBNode()
 
@@ -380,6 +385,7 @@ def _build_fmmb(**config):
 register_mac("standard")(StandardMACLayer)
 register_mac("enhanced")(EnhancedMACLayer)
 register_mac("radio")(RadioMACLayer)
+register_mac("sinr")(sinr_mac_layer)
 
 
 # ----------------------------------------------------------------------

@@ -1,82 +1,105 @@
 """The single entry point: ``run(spec) -> ExperimentResult``.
 
-The dispatcher materializes a spec's components from the registries and
-routes to the right execution engine:
+``run`` contains no substrate-specific dispatch.  It resolves the spec's
+substrate from the :data:`~repro.experiments.substrates.SUBSTRATES`
+registry, enforces the substrate's declared capabilities (faults,
+arrivals), builds a shared
+:class:`~repro.experiments.substrates.ExecutionContext` (seed-derived
+streams, topology, workload, fault engine), and hands the context to the
+engine:
 
-* ``standard`` — :func:`repro.runtime.runner.run_standard` (event-driven
-  abstract MAC, MMB workloads);
-* ``protocol`` — :func:`repro.runtime.runner.run_protocol` (wakeup-driven
-  protocols such as leader election and consensus, no arrivals);
-* ``rounds`` — :func:`repro.core.fmmb.run_fmmb` (FMMB's lock-step round
-  substrate on the enhanced model);
-* ``radio`` — :class:`repro.radio.RadioMACLayer` (the slotted collision
-  radio below the abstraction, with empirical ``Fack``/``Fprog``).
+    substrate = SUBSTRATES.get(spec.substrate)
+    outcome = substrate.execute(ExecutionContext(spec, keep_raw))
 
-Stream derivation is fixed and documented: the root stream is
-``RandomSource(spec.seed, "experiment")`` and components draw from the
-children ``topology``, ``scheduler``, ``workload``, and ``radio``.  The
-``rounds`` substrate passes ``spec.seed`` straight to ``run_fmmb`` so a
-spec run reproduces the legacy entry point exactly.
+Everything engine-specific — the five built-in substrates ``standard``,
+``protocol``, ``rounds``, ``radio``, and ``sinr``, plus any third-party
+``@register_substrate`` entry — lives in
+:mod:`repro.experiments.substrates`.  Stream derivation is fixed and
+documented there: the root stream is ``RandomSource(spec.seed,
+"experiment")`` and components draw from the children ``topology``,
+``scheduler``, ``workload``, ``radio``, and ``faults``.
+
+This module keeps the substrate-independent result type
+(:class:`ExperimentResult`) and re-exports the materialization helpers
+(``materialize_topology`` and friends) that predate the substrate API.
 """
 
 from __future__ import annotations
 
 import math
 import time as _time
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Mapping
 
-from repro.core.fmmb import run_fmmb
-from repro.core.problem import ArrivalSchedule
-from repro.errors import ExperimentError
-from repro.experiments.registries import (
-    ALGORITHMS,
-    FAULTS,
-    MACS,
-    SCHEDULERS,
-    TOPOLOGIES,
-    WORKLOADS,
-    AlgorithmEntry,
-)
 from repro.experiments.specs import ExperimentSpec
-from repro.faults.engine import FaultEngine
-from repro.faults.outcome import survivor_outcome
-from repro.ids import MessageAssignment
-from repro.runtime.runner import run_protocol, run_standard
-from repro.runtime.validate import required_deliveries
-from repro.sim.rng import RandomSource
-from repro.topology.dualgraph import DualGraph
+from repro.experiments.substrates import (
+    FAULT_STREAM,
+    ROOT_STREAM,
+    SUBSTRATES,
+    ExecutionContext,
+    RadioRun,
+    check_capabilities,
+    check_workload_capability,
+    clear_topology_cache,
+    materialize_fault_engine,
+    materialize_topology,
+    materialize_workload,
+    root_stream,
+)
+from repro.runtime.observations import Observation
 
-#: Name of the root stream every spec-driven execution derives from.
-ROOT_STREAM = "experiment"
-#: Child stream fault scenarios compile their plans from.
-FAULT_STREAM = "faults"
+#: Names in ``__all__`` are re-exported on purpose: the pre-substrate
+#: dispatcher lived here, and downstream code (CLI, perf harness, golden
+#: recorder) still imports these helpers from this module.
+__all__ = [
+    "ExperimentResult",
+    "RadioRun",
+    "run",
+    "encode_float",
+    "decode_float",
+    "ROOT_STREAM",
+    "FAULT_STREAM",
+    "SUBSTRATES",
+    "ExecutionContext",
+    "check_capabilities",
+    "check_workload_capability",
+    "clear_topology_cache",
+    "materialize_fault_engine",
+    "materialize_topology",
+    "materialize_workload",
+    "root_stream",
+]
 
 
 @dataclass(frozen=True)
 class ExperimentResult:
     """Substrate-independent summary of one spec execution.
 
-    Equality ignores ``wall_time`` and ``raw``, so two runs of the same
-    spec — in the same process or different ones — compare equal exactly
-    when their observable outcomes match.
+    Equality ignores ``wall_time``, ``raw``, and ``observations``, so two
+    runs of the same spec — in the same process or different ones —
+    compare equal exactly when their observable outcomes match.
 
     Attributes:
         spec: The spec that produced this result.
         solved: Whether the execution met its success criterion (MMB
-            solved; protocol postcondition at quiescence; radio MMB
+            solved; protocol postcondition at quiescence; radio-family MMB
             solved within the slot budget).
         completion_time: Solution time (substrate units: simulated time,
-            or slots × slot duration for radio); ``inf`` when unsolved.
+            or slots × slot duration for the radio family); ``inf`` when
+            unsolved.
         broadcast_count: Number of ``bcast`` events (0 on the rounds
             substrate, which counts rounds in ``metrics`` instead).
         delivered_count: Number of recorded MMB deliveries.
         metrics: Substrate-specific scalar metrics (round counts,
-            empirical bounds, event totals, ...).
+            empirical bounds, event totals, ...) — exactly the gauges the
+            substrate registered on its execution probe.
         wall_time: Host seconds the run took (excluded from equality).
-        raw: The legacy result object (``RunResult``, ``ProtocolRun``,
-            ``FMMBResult``, or ``RadioRun``); ``None`` when summarized for
-            a sweep.  Excluded from equality.
+        raw: The substrate's native result object (``RunResult``,
+            ``ProtocolRun``, ``FMMBResult``, or ``RadioRun``); ``None``
+            when summarized for a sweep.  Excluded from equality.
+        observations: The typed observation stream (see
+            :mod:`repro.runtime.observations`); empty on ``keep_raw=False``
+            runs.  Excluded from equality and serialization.
     """
 
     spec: ExperimentSpec
@@ -87,9 +110,13 @@ class ExperimentResult:
     metrics: dict[str, float] = field(default_factory=dict)
     wall_time: float = field(default=0.0, compare=False)
     raw: Any = field(default=None, compare=False, repr=False)
+    observations: tuple[Observation, ...] = field(
+        default=(), compare=False, repr=False
+    )
 
     def to_dict(self) -> dict[str, Any]:
-        """The summary as a strict-JSON dict (``raw``/``wall_time`` dropped).
+        """The summary as a strict-JSON dict (``raw``/``wall_time``/
+        ``observations`` dropped).
 
         Non-finite floats are encoded as strings (``"inf"``, ``"-inf"``,
         ``"nan"``) so the document survives strict JSON parsers and hashes
@@ -135,400 +162,38 @@ def decode_float(value: Any) -> float:
     return float(value)
 
 
-@dataclass
-class RadioRun:
-    """Raw outcome of a radio-substrate execution.
-
-    Attributes:
-        layer: The radio MAC adapter after the run (instances, deliveries,
-            empirical-bound extraction).
-        slots: Radio slots consumed.
-        automata: The per-node automata after the run.
-    """
-
-    layer: Any
-    slots: int
-    automata: dict[int, Any]
-
-
-def root_stream(spec: ExperimentSpec) -> RandomSource:
-    """The root random stream of a spec execution."""
-    return RandomSource(spec.seed, ROOT_STREAM)
-
-
-#: Process-local memo of built topologies.  Keyed by (kind, params, seed),
-#: so a hit returns the *identical* (deterministically built, immutable)
-#: network — sweep workers that run many points over the same topology
-#: (explicit seeds, ``derive_seeds=False``) skip the rebuild per point.
-_TOPOLOGY_CACHE: dict[str, DualGraph] = {}
-_TOPOLOGY_CACHE_MAX = 8
-
-
-def clear_topology_cache() -> None:
-    """Drop the process-local topology memo.
-
-    Benchmarks call this between timed repeats so every repeat pays the
-    cold build (a cache hit would misattribute build cost to execution
-    and make comparisons against cacheless revisions unfair).
-    """
-    _TOPOLOGY_CACHE.clear()
-
-
-def materialize_topology(spec: ExperimentSpec) -> DualGraph:
-    """Build the spec's network exactly as :func:`run` will.
-
-    Useful for computing topology-dependent model constants (diameters,
-    contention-provisioned ``Fack``) before constructing the final spec:
-    the build is deterministic in ``spec.seed`` and ``spec.topology``, so
-    the network returned here is the one the run will use.  Results are
-    memoized per process (the build is pure and :class:`DualGraph` is
-    immutable, so sharing the object is safe).
-    """
-    stream = root_stream(spec).child("topology")
-    key = (
-        f"{spec.topology.kind}|"
-        f"{sorted(spec.topology.params.items())!r}|{stream.seed}"
-    )
-    cached = _TOPOLOGY_CACHE.get(key)
-    if cached is not None:
-        return cached
-    build = TOPOLOGIES.get(spec.topology.kind)
-    dual = build(stream, **spec.topology.params)
-    if len(_TOPOLOGY_CACHE) >= _TOPOLOGY_CACHE_MAX:
-        _TOPOLOGY_CACHE.clear()
-    _TOPOLOGY_CACHE[key] = dual
-    return dual
-
-
-def materialize_workload(spec: ExperimentSpec, dual: DualGraph):
-    """Build the spec's workload against an already-built network."""
-    if spec.workload is None:
-        raise ExperimentError(
-            f"substrate {spec.substrate!r} needs a workload, got None"
-        )
-    build = WORKLOADS.get(spec.workload.kind)
-    return build(dual, root_stream(spec).child("workload"), **spec.workload.params)
-
-
-def materialize_fault_engine(
-    spec: ExperimentSpec, dual: DualGraph
-) -> FaultEngine | None:
-    """Compile the spec's fault scenario into an engine (None when off).
-
-    The plan draws only from the ``faults`` child stream, so enabling or
-    tuning faults never perturbs the topology/scheduler/workload streams —
-    and ``FaultSpec("none")`` builds nothing at all, keeping fault-free
-    specs bit-identical to pre-fault behavior.
-    """
-    fault = spec.fault
-    if fault is None or not fault.enabled:
-        return None
-    build = FAULTS.get(fault.kind)
-    try:
-        plan = build(dual, root_stream(spec).child(FAULT_STREAM), **fault.params)
-    except TypeError as exc:
-        # A param the builder doesn't take, or a value of the wrong type:
-        # surface it as a spec-composition error, not a traceback.
-        raise ExperimentError(
-            f"fault scenario {fault.kind!r} rejected params "
-            f"{sorted(fault.params)}: {exc}"
-        ) from exc
-    return FaultEngine(dual, plan)
-
-
-def _fault_mmb_result(
-    dual: DualGraph,
-    workload,
-    delivery_times,
-    engine: FaultEngine,
-) -> tuple[bool, float, dict[str, float]]:
-    """Among-survivors verdict + fault metrics for an MMB execution."""
-    arrival_times = (
-        workload.arrival_times()
-        if isinstance(workload, ArrivalSchedule)
-        else None
-    )
-    outcome = survivor_outcome(
-        dual,
-        _static_assignment(workload),
-        delivery_times,
-        engine,
-        arrival_times=arrival_times,
-    )
-    metrics = engine.metrics()
-    metrics.update(outcome.metrics())
-    return outcome.solved, outcome.completion_time, metrics
-
-
-def _algorithm_entry(spec: ExperimentSpec) -> AlgorithmEntry:
-    entry = ALGORITHMS.get(spec.algorithm.kind)
-    if spec.substrate not in entry.substrates:
-        raise ExperimentError(
-            f"algorithm {spec.algorithm.kind!r} does not run on substrate "
-            f"{spec.substrate!r} (supported: {', '.join(entry.substrates)})"
-        )
-    return entry
-
-
-def _static_assignment(workload) -> MessageAssignment:
-    if isinstance(workload, ArrivalSchedule):
-        return workload.as_assignment()
-    return workload
-
-
-# ----------------------------------------------------------------------
-# Substrate runners
-# ----------------------------------------------------------------------
-def _run_standard(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
-    root = root_stream(spec)
-    dual = materialize_topology(spec)
-    entry = _algorithm_entry(spec)
-    factory = entry.build(**spec.algorithm.params)
-    scheduler = SCHEDULERS.get(spec.scheduler.kind)(
-        root.child("scheduler"), **spec.scheduler.params
-    )
-    workload = materialize_workload(spec, dual)
-    mac_class = MACS.get(spec.model.mac)
-    engine = materialize_fault_engine(spec, dual)
-    result = run_standard(
-        dual,
-        workload,
-        factory,
-        scheduler,
-        spec.model.fack,
-        spec.model.fprog,
-        max_time=spec.model.max_time,
-        max_events=spec.model.max_events,
-        keep_instances=keep_raw,
-        mac_class=mac_class,
-        fault_engine=engine,
-    )
-    solved = result.solved
-    completion = result.completion_time
-    metrics = {
-        "rcv_count": float(result.rcv_count),
-        "sim_events": float(result.sim_events),
-        "max_latency": result.max_latency,
-    }
-    if engine is not None:
-        solved, completion, fault_metrics = _fault_mmb_result(
-            dual, workload, result.deliveries.times, engine
-        )
-        metrics.update(fault_metrics)
-    return ExperimentResult(
-        spec=spec,
-        solved=solved,
-        completion_time=completion,
-        broadcast_count=result.broadcast_count,
-        delivered_count=len(result.deliveries.times),
-        metrics=metrics,
-        raw=result if keep_raw else None,
-    )
-
-
-def _run_protocol(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
-    root = root_stream(spec)
-    dual = materialize_topology(spec)
-    entry = _algorithm_entry(spec)
-    factory = entry.build(**spec.algorithm.params)
-    scheduler = SCHEDULERS.get(spec.scheduler.kind)(
-        root.child("scheduler"), **spec.scheduler.params
-    )
-    mac_class = MACS.get(spec.model.mac)
-    engine = materialize_fault_engine(spec, dual)
-    result = run_protocol(
-        dual,
-        factory,
-        scheduler,
-        spec.model.fack,
-        spec.model.fprog,
-        max_time=spec.model.max_time,
-        max_events=spec.model.max_events,
-        mac_class=mac_class,
-        fault_engine=engine,
-    )
-    metrics = {
-        "end_time": result.end_time,
-        "quiesced": float(result.quiesced),
-    }
-    if engine is None:
-        solved = result.quiesced and (
-            entry.postcondition is None
-            or entry.postcondition(dual, result.automata)
-        )
-        completion = result.end_time
-    else:
-        # Judge the postcondition among survivors: the engine's view
-        # answers the same component queries as the static graph.
-        view = engine.view()
-        survivors = {v: result.automata[v] for v in view.nodes}
-        solved = result.quiesced and (
-            entry.postcondition is None
-            or entry.postcondition(view, survivors)
-        )
-        # end_time includes draining the installed fault timeline; the
-        # protocol's actual end is the last MAC/automaton event.
-        completion = result.last_activity
-        metrics["last_activity"] = result.last_activity
-        metrics.update(engine.metrics())
-    return ExperimentResult(
-        spec=spec,
-        solved=solved,
-        completion_time=completion if solved else math.inf,
-        broadcast_count=result.broadcast_count,
-        delivered_count=0,
-        metrics=metrics,
-        raw=result if keep_raw else None,
-    )
-
-
-def _run_rounds(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
-    dual = materialize_topology(spec)
-    entry = _algorithm_entry(spec)
-    config = entry.build(**spec.algorithm.params)
-    workload = materialize_workload(spec, dual)
-    if isinstance(workload, ArrivalSchedule):
-        raise ExperimentError(
-            "the rounds substrate takes time-0 assignments, not arrival "
-            "schedules"
-        )
-    engine = materialize_fault_engine(spec, dual)
-    result = run_fmmb(
-        dual,
-        workload,
-        fprog=spec.model.fprog,
-        seed=spec.seed,
-        config=config,
-        fault_engine=engine,
-    )
-    solved = result.solved
-    completion = result.completion_time
-    metrics = {
-        "rounds_total": float(result.total_rounds),
-        "rounds_mis": float(result.mis_result.rounds_used),
-        "rounds_gather": float(result.gather_result.rounds_used),
-        "rounds_spread": float(result.spread_result.rounds_used),
-        "completion_rounds": float(result.completion_rounds),
-        "mis_valid": float(result.mis_valid),
-    }
-    if engine is not None:
-        # Replay any fault events past the last simulated round so the
-        # final engine state (survivors, joins) is judged at the same
-        # cutoff as the other substrates, which drain the timeline.
-        engine.advance_to(math.inf)
-        # A delivery in round r is available by the end of slot r.
-        delivery_times = {
-            key: (rnd + 1) * spec.model.fprog
-            for key, rnd in result.delivery_rounds.items()
-        }
-        solved, completion, fault_metrics = _fault_mmb_result(
-            dual, workload, delivery_times, engine
-        )
-        metrics.update(fault_metrics)
-    return ExperimentResult(
-        spec=spec,
-        solved=solved,
-        completion_time=completion,
-        broadcast_count=0,
-        delivered_count=len(result.delivery_rounds),
-        metrics=metrics,
-        raw=result if keep_raw else None,
-    )
-
-
-def _run_radio(spec: ExperimentSpec, keep_raw: bool) -> ExperimentResult:
-    root = root_stream(spec)
-    dual = materialize_topology(spec)
-    entry = _algorithm_entry(spec)
-    factory = entry.build(**spec.algorithm.params)
-    params = dict(spec.model.params)
-    max_slots = int(params.pop("max_slots", 500_000))
-    engine = materialize_fault_engine(spec, dual)
-    if engine is not None:
-        params["fault_engine"] = engine
-    layer = MACS.get("radio")(dual, root.child("radio"), **params)
-    automata = {node: factory(node) for node in dual.nodes}
-    for node, automaton in automata.items():
-        layer.register(node, automaton)
-    workload = materialize_workload(spec, dual)
-    if isinstance(workload, ArrivalSchedule):
-        for arrival in workload.sorted_by_time():
-            layer.inject_arrival(arrival.node, arrival.message, time=arrival.time)
-    else:
-        for node, messages in sorted(workload.messages.items()):
-            for message in messages:
-                layer.inject_arrival(node, message)
-    slots = layer.run(max_slots=max_slots)
-    static = _static_assignment(workload)
-    metrics: dict[str, float] = {}
-    if engine is not None:
-        solved, completion, metrics = _fault_mmb_result(
-            dual, workload, layer.deliveries, engine
-        )
-    else:
-        required = required_deliveries(dual, static)
-        solved = True
-        completion = 0.0
-        for mid, nodes in required.items():
-            for node in nodes:
-                delivered_at = layer.deliveries.get((node, mid))
-                if delivered_at is None:
-                    solved = False
-                    completion = math.inf
-                    break
-                completion = max(completion, delivered_at)
-            if not solved:
-                break
-    bounds = layer.empirical_bounds()
-    metrics.update(
-        {
-            "slots": float(slots),
-            "empirical_fack": bounds.fack,
-            "empirical_fprog": bounds.fprog,
-            "delivery_success_rate": bounds.delivery_success_rate,
-        }
-    )
-    return ExperimentResult(
-        spec=spec,
-        solved=solved,
-        completion_time=completion,
-        broadcast_count=len(layer.instances),
-        delivered_count=len(layer.deliveries),
-        metrics=metrics,
-        raw=RadioRun(layer=layer, slots=slots, automata=automata)
-        if keep_raw
-        else None,
-    )
-
-
-_SUBSTRATE_RUNNERS: dict[str, Callable[[ExperimentSpec, bool], ExperimentResult]] = {
-    "standard": _run_standard,
-    "protocol": _run_protocol,
-    "rounds": _run_rounds,
-    "radio": _run_radio,
-}
-
-
 def run(spec: ExperimentSpec, keep_raw: bool = True) -> ExperimentResult:
-    """Execute one spec and summarize the outcome.
+    """Execute one spec on its substrate and summarize the outcome.
 
     Args:
         spec: The experiment description.
         keep_raw: Retain the substrate's native result object in
-            ``result.raw`` (instance logs, automata, delivery tables).
-            Disable for sweeps — summaries stay small, picklable, and
-            comparable across processes.
+            ``result.raw`` and the typed observation stream in
+            ``result.observations``.  Disable for sweeps — summaries stay
+            small, picklable, and comparable across processes.
 
     Returns:
         The :class:`ExperimentResult`.
+
+    Raises:
+        ExperimentError: Unknown substrate, or a capability mismatch
+            (e.g. a fault scenario on a substrate with
+            ``supports_faults=False``).
     """
-    try:
-        runner = _SUBSTRATE_RUNNERS[spec.substrate]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown substrate {spec.substrate!r}; choose from "
-            f"{', '.join(sorted(_SUBSTRATE_RUNNERS))}"
-        ) from None
+    substrate = SUBSTRATES.get(spec.substrate)
+    check_capabilities(spec, substrate)
     started = _time.perf_counter()
-    result = runner(spec, keep_raw)
-    return replace(result, wall_time=_time.perf_counter() - started)
+    ctx = ExecutionContext(spec, keep_raw=keep_raw)
+    check_workload_capability(ctx, substrate)
+    outcome = substrate.execute(ctx)
+    return ExperimentResult(
+        spec=spec,
+        solved=outcome.solved,
+        completion_time=outcome.completion_time,
+        broadcast_count=outcome.broadcast_count,
+        delivered_count=outcome.delivered_count,
+        metrics=outcome.metrics,
+        wall_time=_time.perf_counter() - started,
+        raw=outcome.raw,
+        observations=outcome.observations,
+    )

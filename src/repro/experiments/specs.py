@@ -21,8 +21,12 @@ from typing import Any, Mapping
 from repro.errors import ExperimentError
 from repro.ids import Time
 
-#: The substrates :func:`repro.experiments.runner.run` can dispatch to.
-SUBSTRATES = ("standard", "protocol", "rounds", "radio")
+#: The built-in substrate keys.  Validation does **not** use this tuple —
+#: specs are checked against the live registry
+#: (:data:`repro.experiments.substrates.SUBSTRATES`), so third-party
+#: ``@register_substrate`` entries are spec-expressible.  This constant
+#: only documents what the package itself ships.
+BUILTIN_SUBSTRATES = ("standard", "protocol", "rounds", "radio", "sinr")
 
 
 def _params_dict(params: Mapping[str, Any] | None) -> dict[str, Any]:
@@ -202,11 +206,31 @@ class ExperimentSpec:
     name: str = "experiment"
 
     def __post_init__(self) -> None:
-        if self.substrate not in SUBSTRATES:
-            raise ExperimentError(
-                f"unknown substrate {self.substrate!r}; choose from "
-                f"{', '.join(SUBSTRATES)}"
-            )
+        self.validate()
+
+    def validate(self) -> "ExperimentSpec":
+        """Check the spec against the live substrate registry.
+
+        Raises :class:`~repro.errors.ExperimentError` when the substrate
+        is not registered (the message lists what is) or when the spec
+        asks for a capability the substrate does not declare — e.g. a
+        fault scenario on a substrate with ``supports_faults=False``.
+        Returns ``self`` so the call chains.
+
+        The import is deferred: :mod:`repro.experiments.substrates`
+        imports this module for its type definitions, and by validating
+        against the registry at *use* time, any ``@register_substrate``
+        entry added after import — including third-party ones — is
+        immediately spec-expressible.
+        """
+        from repro.experiments.substrates import (
+            SUBSTRATES,
+            check_capabilities,
+        )
+
+        substrate = SUBSTRATES.get(self.substrate)
+        check_capabilities(self, substrate)
+        return self
 
     # ------------------------------------------------------------------
     # Derivation

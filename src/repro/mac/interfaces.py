@@ -6,6 +6,16 @@ In the **standard** model the API offers only ``bcast`` (plus topology
 introspection the paper grants: ids and the reliable/unreliable split of
 one's own neighborhood).  The **enhanced** model adds ``abort``, timers, and
 the values of ``Fack``/``Fprog``.
+
+This interface is what makes algorithms *substrate-portable*: every
+execution engine registered in
+:data:`repro.experiments.substrates.SUBSTRATES` — the event-driven MAC
+layers, and the radio-family adapters that realize acknowledged local
+broadcast over collision (``radio``) or SINR (``sinr``) reception —
+implements :class:`MACApi` bindings, so an automaton written against this
+protocol runs unchanged on any of them and its executions surface through
+the same typed observation stream
+(:mod:`repro.runtime.observations`).
 """
 
 from __future__ import annotations

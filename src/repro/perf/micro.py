@@ -207,6 +207,52 @@ def bench_fault_epoch(repeats: int = 3) -> BenchRecord:
     return measure("fault_epoch", "micro", once, repeats)
 
 
+@_micro("sinr_slots")
+def bench_sinr_slots(repeats: int = 3) -> BenchRecord:
+    """BMMB over the SINR-reception radio: n=24 grey-zone network, k=6.
+
+    Exercises the ``sinr`` substrate end to end — gain-table build, the
+    per-slot SINR reception loop, the decay MAC adapter, and the
+    empirical-bound extraction — so the newest engine has a regression
+    baseline alongside the collision-radio and event-kernel paths.
+    """
+    from repro.experiments.runner import clear_topology_cache, run as run_spec
+    from repro.experiments.specs import (
+        AlgorithmSpec,
+        ExperimentSpec,
+        ModelSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    spec = ExperimentSpec(
+        name="perf-sinr-slots",
+        topology=TopologySpec(
+            "random_geometric",
+            {"n": 24, "side": 2.5, "c": 1.6, "grey_edge_probability": 0.4},
+        ),
+        algorithm=AlgorithmSpec("bmmb"),
+        workload=WorkloadSpec("one_each", {"k": 6}),
+        model=ModelSpec(params={"max_slots": 500_000}),
+        substrate="sinr",
+        seed=13,
+    )
+
+    def once():
+        clear_topology_cache()  # every repeat pays the cold build
+        t_run, result = timed(lambda: run_spec(spec, keep_raw=False))
+        return (
+            result.metrics.get("slots"),
+            {"run": t_run},
+            {
+                "solved": float(result.solved),
+                "slots": result.metrics.get("slots", 0.0),
+            },
+        )
+
+    return measure("sinr_slots", "micro", once, repeats)
+
+
 # ----------------------------------------------------------------------
 # Topology queries
 # ----------------------------------------------------------------------

@@ -22,14 +22,22 @@ the paper's footnote 2 motivates it:
   ``Fack`` and ``Fprog`` of each execution, regenerating footnote 2's
   claim: progress stays polylogarithmic in contention while
   acknowledgments grow linearly with it.
+* :mod:`~repro.radio.sinr` — :class:`SINRRadioNetwork`, the same slot
+  surface under SINR (signal-to-interference-plus-noise) reception over an
+  embedded topology, after the local broadcast layer of Halldórsson,
+  Holzer & Lynch.  :func:`sinr_mac_layer` plugs it under the unchanged
+  :class:`RadioMACLayer`, backing the ``sinr`` experiment substrate.
 """
 
 from repro.radio.decay import DecaySchedule
 from repro.radio.mac_adapter import EmpiricalBounds, RadioMACLayer
+from repro.radio.sinr import SINRRadioNetwork, sinr_mac_layer
 from repro.radio.slotted import SlottedRadioNetwork
 
 __all__ = [
     "SlottedRadioNetwork",
+    "SINRRadioNetwork",
+    "sinr_mac_layer",
     "DecaySchedule",
     "RadioMACLayer",
     "EmpiricalBounds",

@@ -116,6 +116,15 @@ class RadioMACLayer:
             neighbors that are still alive, arrivals addressed to a
             not-yet-joined node fire when it joins, and flapped-up grey
             edges stop fading while reliable.
+        network: A pre-built slot-reception engine implementing the
+            :class:`~repro.radio.slotted.SlottedRadioNetwork` surface
+            (``run_slot`` / ``slot`` / ``stats`` / ``fault_engine``).
+            ``None`` (the default) builds the binary collision radio over
+            the ``fading`` child stream exactly as before; the ``sinr``
+            substrate injects an
+            :class:`~repro.radio.sinr.SINRRadioNetwork` here, reusing
+            the whole adapter (decay schedules, acknowledgment,
+            empirical-bound extraction) over a different reception model.
     """
 
     def __init__(
@@ -128,6 +137,7 @@ class RadioMACLayer:
         phases: int | None = None,
         depth: int | None = None,
         fault_engine=None,
+        network=None,
     ):
         if slot_duration <= 0:
             raise MACError(f"slot_duration must be positive: {slot_duration}")
@@ -141,8 +151,12 @@ class RadioMACLayer:
             else decay_depth_for(dual.max_gprime_degree() + 1)
         )
         self._rng = rng
-        self.radio = SlottedRadioNetwork(
-            dual, rng.child("fading"), p_unreliable_live=p_unreliable_live
+        self.radio = (
+            network
+            if network is not None
+            else SlottedRadioNetwork(
+                dual, rng.child("fading"), p_unreliable_live=p_unreliable_live
+            )
         )
         self.faults = fault_engine
         self._fault_aborted: dict[NodeId, object] = {}

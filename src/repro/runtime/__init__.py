@@ -5,10 +5,25 @@ execution to quiescence and returns a :class:`~repro.runtime.results.RunResult`
 with completion times, per-message latencies, broadcast counts, and the
 instance log (for axiom certification).  FMMB has its own entry point in
 :mod:`repro.core.fmmb` because it runs on the slotted-rounds substrate.
+
+:mod:`~repro.runtime.observations` defines the typed observation stream
+(:class:`Observation`/:class:`Probe`) every execution substrate emits
+through; :mod:`~repro.runtime.trace` converts its MAC-event subset into
+archivable chronological traces.
 """
 
+from repro.runtime.observations import OBSERVATION_KINDS, Observation, Probe
 from repro.runtime.results import DeliveryLog, RunResult
 from repro.runtime.runner import run_standard
 from repro.runtime.validate import required_deliveries, solved
 
-__all__ = ["DeliveryLog", "RunResult", "run_standard", "solved", "required_deliveries"]
+__all__ = [
+    "DeliveryLog",
+    "RunResult",
+    "run_standard",
+    "solved",
+    "required_deliveries",
+    "Observation",
+    "Probe",
+    "OBSERVATION_KINDS",
+]

@@ -1,0 +1,225 @@
+"""The typed observation stream every execution substrate emits through.
+
+An execution, whatever engine ran it, is observable as one flat stream of
+:class:`Observation` records — MAC events (``bcast`` / ``rcv`` / ``ack`` /
+``abort``), MMB outputs (``deliver``), environment inputs (``arrival``),
+substrate clock markers (``round`` / ``slot``), and fault transitions
+(``crash`` / ``recover`` / ``join`` / ``leave`` / ``link_up`` /
+``link_down``).  The :class:`Probe` collects the stream plus the scalar
+gauges that become :attr:`ExperimentResult.metrics
+<repro.experiments.ExperimentResult.metrics>`, replacing the per-substrate
+ad-hoc metrics assembly with one documented surface.
+
+Consumers:
+
+* :class:`~repro.experiments.ExperimentResult` carries the stream in its
+  ``observations`` field (``keep_raw=True`` runs only) and its ``metrics``
+  are exactly the probe's gauges;
+* :func:`repro.runtime.trace.from_observations` converts the MAC-event
+  subset into :class:`~repro.runtime.trace.TraceEvent` records for the
+  chronological trace tooling;
+* campaign checks read the gauges by name (``metric:<gauge>`` series).
+
+High-frequency clocks are summarized, not enumerated: the ``round`` and
+``slot`` kinds appear once per execution as an aggregate marker whose
+``value`` is the count (a 200k-slot radio run must not materialize 200k
+records).  Every other kind is one record per event.
+
+The probe never perturbs execution: substrates emit observations *after*
+the engine has run (derived from instance logs, delivery tables, and fault
+plans), so enabling observation capture cannot change a single RNG draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.errors import ExperimentError
+from repro.ids import NodeId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.engine import FaultEngine
+    from repro.mac.messages import MessageInstance
+
+#: Every observation kind a substrate may emit, in canonical tie-break
+#: order (events at equal times sort by this order, then key, then node).
+OBSERVATION_KINDS: tuple[str, ...] = (
+    "arrival",
+    "bcast",
+    "rcv",
+    "deliver",
+    "ack",
+    "abort",
+    "round",
+    "slot",
+    "crash",
+    "recover",
+    "join",
+    "leave",
+    "link_up",
+    "link_down",
+)
+
+_KIND_ORDER = {kind: index for index, kind in enumerate(OBSERVATION_KINDS)}
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One typed event of an execution, substrate-independent.
+
+    Attributes:
+        time: Event time in the substrate's time unit (simulated time, or
+            slots × slot duration on the slotted substrates).
+        kind: One of :data:`OBSERVATION_KINDS`.
+        node: The acting node (receiver for ``rcv``/``deliver``, sender
+            otherwise); ``None`` for node-less markers like ``round``.
+        key: A stable label — message id for ``deliver``/``arrival``,
+            payload tag for MAC events, ``"u-v"`` for link transitions.
+        ref: Message-instance id for MAC events (``-1`` otherwise), so the
+            stream converts losslessly to trace events.
+        value: Magnitude; ``1.0`` for point events, the aggregate count
+            for ``round``/``slot`` markers.
+    """
+
+    time: Time
+    kind: str
+    node: NodeId | None = None
+    key: str = ""
+    ref: int = -1
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_ORDER:
+            raise ExperimentError(
+                f"unknown observation kind {self.kind!r}; one of "
+                f"{', '.join(OBSERVATION_KINDS)}"
+            )
+
+    def sort_key(self) -> tuple:
+        node = self.node if self.node is not None else -1
+        return (self.time, _KIND_ORDER[self.kind], self.ref, node, self.key)
+
+
+def _payload_tag(payload: object) -> str:
+    """A stable string label for an instance payload."""
+    mid = getattr(payload, "mid", None)
+    if mid is not None:
+        return str(mid)
+    return str(payload)
+
+
+class Probe:
+    """Collects one execution's observation stream and scalar gauges.
+
+    Substrates create one probe per execution, derive observations from
+    the engine's native records once it has run, and register their
+    summary scalars as *gauges* — :meth:`metrics` returns exactly the
+    gauge dict, which becomes ``ExperimentResult.metrics`` unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[Observation] = []
+        self._gauges: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        time: Time,
+        node: NodeId | None = None,
+        key: str = "",
+        ref: int = -1,
+        value: float = 1.0,
+    ) -> None:
+        """Record one observation (kind-checked)."""
+        self._events.append(
+            Observation(
+                time=time, kind=kind, node=node, key=key, ref=ref, value=value
+            )
+        )
+
+    def gauge(self, name: str, value: float) -> None:
+        """Register one scalar metric (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def gauges(self, values: dict[str, float]) -> None:
+        """Register several scalar metrics at once."""
+        for name, value in values.items():
+            self.gauge(name, value)
+
+    # ------------------------------------------------------------------
+    # Derivation helpers (post-run, never during execution)
+    # ------------------------------------------------------------------
+    def observe_instances(self, instances: Iterable["MessageInstance"]) -> None:
+        """Emit ``bcast``/``rcv``/``ack``/``abort`` from a MAC instance log."""
+        for inst in instances:
+            tag = _payload_tag(inst.payload)
+            self.emit("bcast", inst.bcast_time, inst.sender, tag, inst.iid)
+            for receiver, rtime in inst.rcv_times.items():
+                self.emit("rcv", rtime, receiver, tag, inst.iid)
+            if inst.ack_time is not None:
+                self.emit("ack", inst.ack_time, inst.sender, tag, inst.iid)
+            if inst.abort_time is not None:
+                self.emit("abort", inst.abort_time, inst.sender, tag, inst.iid)
+
+    def observe_deliveries(
+        self, times: dict[tuple[NodeId, str], Time]
+    ) -> None:
+        """Emit one ``deliver`` per MMB delivery table entry."""
+        for (node, mid), time in times.items():
+            self.emit("deliver", time, node, mid)
+
+    def observe_arrivals(
+        self, arrivals: Iterable[tuple[NodeId, str, Time]]
+    ) -> None:
+        """Emit one ``arrival`` per environment input (node, mid, time)."""
+        for node, mid, time in arrivals:
+            self.emit("arrival", time, node, mid)
+
+    def observe_fault_plan(self, engine: "FaultEngine") -> None:
+        """Emit the fault timeline (crash/join/leave/link transitions)."""
+        for event in engine.plan.events:
+            if event.node is not None:
+                self.emit(event.kind.value, event.time, event.node)
+            else:
+                u, v = event.edge
+                self.emit(event.kind.value, event.time, None, f"{u}-{v}")
+
+    def observe_clock(self, kind: str, count: int, end_time: Time) -> None:
+        """Emit the aggregate ``round``/``slot`` marker for an execution."""
+        if kind not in ("round", "slot"):
+            raise ExperimentError(
+                f"clock marker must be 'round' or 'slot', got {kind!r}"
+            )
+        self.emit(kind, end_time, None, value=float(count))
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def events(self) -> tuple[Observation, ...]:
+        """The stream in chronological order (stable tie-break)."""
+        return tuple(sorted(self._events, key=Observation.sort_key))
+
+    def count(self, kind: str) -> float:
+        """Total ``value`` of one kind (event count for point events)."""
+        return sum(o.value for o in self._events if o.kind == kind)
+
+    def counts(self) -> dict[str, float]:
+        """Per-kind totals for every kind present in the stream."""
+        totals: dict[str, float] = {}
+        for obs in self._events:
+            totals[obs.kind] = totals.get(obs.kind, 0.0) + obs.value
+        return totals
+
+    def metrics(self) -> dict[str, float]:
+        """The gauge dict — becomes ``ExperimentResult.metrics`` verbatim."""
+        return dict(self._gauges)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self.events())

@@ -6,6 +6,12 @@ time-ordered list of event records (``bcast`` / ``rcv`` / ``ack`` /
 ``abort``), serializes them as JSON lines, and reloads them into an
 instance log — so traces can be archived next to experiment results and
 re-certified by the axiom checker later.
+
+Substrate-independent executions expose the same events through the typed
+observation stream (:mod:`repro.runtime.observations`);
+:func:`from_observations` converts that stream's MAC-event subset into
+trace events, so ``run(spec)`` results from *any* substrate feed the same
+trace tooling without touching engine-native records.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Iterable, Iterator
 from repro.errors import ExperimentError
 from repro.ids import InstanceId, NodeId, Time
 from repro.mac.messages import InstanceLog, MessageInstance
+from repro.runtime.observations import Observation
 
 
 @dataclass(frozen=True)
@@ -64,6 +71,29 @@ def flatten(instances: Iterable[MessageInstance]) -> list[TraceEvent]:
             events.append(
                 TraceEvent(inst.abort_time, "abort", inst.sender, inst.iid, payload)
             )
+    events.sort(key=lambda e: (e.time, _KIND_ORDER[e.kind], e.iid, e.node))
+    return events
+
+
+def from_observations(observations: Iterable[Observation]) -> list[TraceEvent]:
+    """The MAC-event subset of an observation stream as trace events.
+
+    Accepts the ``observations`` field of any
+    :class:`~repro.experiments.ExperimentResult` (``keep_raw=True`` runs).
+    Non-MAC kinds (``deliver``, ``round``, fault transitions, ...) are
+    skipped — the trace vocabulary is exactly the four MAC events.
+    """
+    events = [
+        TraceEvent(
+            time=obs.time,
+            kind=obs.kind,
+            node=obs.node if obs.node is not None else -1,
+            iid=obs.ref,
+            payload=obs.key,
+        )
+        for obs in observations
+        if obs.kind in _KIND_ORDER
+    ]
     events.sort(key=lambda e: (e.time, _KIND_ORDER[e.kind], e.iid, e.node))
     return events
 

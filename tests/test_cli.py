@@ -260,3 +260,72 @@ def test_sweep_json_to_file_keeps_the_tables(capsys, tmp_path):
         for run_row in payload["runs"]
     }
     assert fractions == {0.0, 0.2}
+
+
+def test_registry_lists_substrates_with_capabilities(capsys):
+    status = main(["registry"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "substrate" in out
+    assert "sinr" in out
+    assert "scheduler=emergent" in out
+    assert "SINR-reception" in out  # one-line doc column
+
+
+def test_info_lists_the_substrate_registry(capsys):
+    status = main(["info", "--n", "10", "--side", "2.0"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "substrate" in out
+
+
+def test_sweep_unknown_substrate_exits_2(capsys):
+    status = main(
+        ["sweep", "--n", "10", "--side", "2.0", "--seeds", "1",
+         "--substrate", "warp"]
+    )
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "unknown substrate 'warp'" in err
+    assert "sinr" in err  # the registered set is listed
+
+
+def test_sweep_on_the_sinr_substrate(capsys):
+    status = main(
+        ["sweep", "--n", "12", "--side", "2.0", "--k", "2",
+         "--seeds", "2", "--substrate", "sinr"]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "solved rate" in out
+
+
+def test_registry_survives_protocol_only_substrate(capsys):
+    # A third-party registration that satisfies only the Substrate
+    # protocol (no SubstrateBase, no describe()) must not crash the
+    # registry table.
+    from repro.experiments import SUBSTRATES
+
+    class Bare:
+        """Bare protocol-only substrate."""
+
+        name = ""
+        supports_faults = True
+        supports_arrivals = False
+        scheduler_role = "seeded"
+
+        def prepare(self, ctx):
+            raise NotImplementedError
+
+        def execute(self, ctx):
+            raise NotImplementedError
+
+    if "bare_proto" not in SUBSTRATES:
+        from repro.experiments import register_substrate
+
+        register_substrate("bare_proto")(Bare())
+    status = main(["registry"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "bare_proto" in out
+    assert "Bare protocol-only substrate." in out

@@ -116,7 +116,7 @@ def test_builtin_registry_contents():
     assert {"bmmb", "fmmb", "flood_max", "flood_consensus"} <= set(
         list_algorithms()
     )
-    assert {"standard", "enhanced", "radio"} <= set(list_macs())
+    assert {"standard", "enhanced", "radio", "sinr"} <= set(list_macs())
     assert {"one_each", "single_source", "staggered", "poisson"} <= set(
         list_workloads()
     )
@@ -135,7 +135,7 @@ def test_duplicate_registration_rejected():
 
 
 def test_algorithm_entries_declare_substrates():
-    assert ALGORITHMS.get("bmmb").substrates == ("standard", "radio")
+    assert ALGORITHMS.get("bmmb").substrates == ("standard", "radio", "sinr")
     assert ALGORITHMS.get("flood_max").substrates == ("protocol",)
     assert ALGORITHMS.get("flood_max").postcondition is not None
     assert ALGORITHMS.get("fmmb").substrates == ("rounds",)
