@@ -15,6 +15,9 @@ wrappers over these definitions):
   crash fractions and link flapping (beyond-paper scenario diversity).
 * ``radio_footnote2`` — footnote 2 from below: the decay radio MAC's
   emergent ``Fack`` grows with contention while ``Fprog`` stays small.
+* ``saturation`` — steady-state service mode: arrival-rate sweeps per
+  substrate under the ``open_arrivals`` workload, load-latency curves,
+  and the saturation-knee check (see :mod:`repro.traffic`).
 
 Builders accept an optional ``n_max`` that reduces the campaign.  For the
 ladder campaigns (``figure1``, ``figure2_lowerbound``, ``radio_footnote2``)
@@ -563,6 +566,157 @@ def _radio_footnote2(n_max: int | None = None, seeds: int = 3) -> CampaignSpec:
                     # Fack's linear growth once the ladder spans ~an order
                     # of magnitude; reduced ladders get more headroom.
                     "max_slow_fraction": 0.5 if span_ratio >= 8 else 0.75,
+                },
+            ),
+        ),
+    )
+
+
+@register_campaign(
+    "saturation",
+    "Load vs latency under open arrivals: locate each substrate's knee",
+)
+def _saturation(n_max: int | None = None, seeds: int = 3) -> CampaignSpec:
+    n = 16 if n_max is None else max(min(16, n_max), 8)
+    topology = TopologySpec(
+        "random_geometric",
+        {"n": n, "side": 2.2, "c": 1.6, "grey_edge_probability": 0.4},
+    )
+    workload = WorkloadSpec(
+        "open_arrivals", {"process": "poisson", "rate": 0.005, "count": 24}
+    )
+    # Per-substrate rate ladders straddling the empirically located knee
+    # (slotted-radio service is far slower than the abstract MAC's, so
+    # its ladder sits an order of magnitude lower).
+    standard = SweepDirective(
+        name="standard",
+        base=ExperimentSpec(
+            name="saturation-standard",
+            topology=topology,
+            algorithm=AlgorithmSpec("bmmb"),
+            scheduler=SchedulerSpec("worstcase"),
+            workload=workload,
+            model=ModelSpec(fack=FACK, fprog=FPROG),
+            seed=0,
+        ),
+        axes={"workload.rate": [0.005, 0.02, 0.08, 0.32]},
+        repeats=seeds,
+    )
+    radio = SweepDirective(
+        name="radio",
+        base=ExperimentSpec(
+            name="saturation-radio",
+            topology=topology,
+            algorithm=AlgorithmSpec("bmmb"),
+            workload=workload,
+            model=ModelSpec(params={"max_slots": 5_000_000}),
+            substrate="radio",
+            seed=0,
+        ),
+        axes={"workload.rate": [0.002, 0.005, 0.01, 0.02]},
+        repeats=seeds,
+    )
+    sinr = SweepDirective(
+        name="sinr",
+        base=ExperimentSpec(
+            name="saturation-sinr",
+            topology=topology,
+            algorithm=AlgorithmSpec("bmmb"),
+            workload=workload,
+            model=ModelSpec(params={"max_slots": 5_000_000}),
+            substrate="sinr",
+            seed=0,
+        ),
+        axes={"workload.rate": [0.002, 0.005, 0.01, 0.02]},
+        repeats=seeds,
+    )
+    return CampaignSpec(
+        name="saturation",
+        title="Steady-state saturation: delivery latency vs arrival rate",
+        description=(
+            "Sweeps the Poisson arrival rate of the open_arrivals "
+            "workload per substrate (standard under worst-case acks, "
+            "radio, sinr) and reads the warmup-trimmed steady-state "
+            "gauges the traffic subsystem emits.  Each substrate's "
+            "load-latency curve must stay flat at low rates and bend "
+            "sharply past its service capacity — the saturation knee the "
+            "knee check locates; throughput must plateau past it.  The "
+            "standard substrate queues but always drains, so it must "
+            "solve outright; past the knee a saturated slotted radio may "
+            "legitimately fail to drain within the slot budget, so the "
+            "radio-family solved gate tolerates a small unsolved tail."
+        ),
+        sweeps=(standard, radio, sinr),
+        figures=(
+            FigureSpec(
+                name="latency_vs_rate",
+                title="Delivery latency p95 vs arrival rate (n=%d)" % n,
+                x="workload.rate",
+                series=(
+                    SeriesSpec(
+                        sweep="standard",
+                        y="metric:latency_p95",
+                        agg="mean",
+                        label="standard (worst-case acks)",
+                    ),
+                    SeriesSpec(
+                        sweep="radio",
+                        y="metric:latency_p95",
+                        agg="mean",
+                        label="radio",
+                    ),
+                    SeriesSpec(
+                        sweep="sinr",
+                        y="metric:latency_p95",
+                        agg="mean",
+                        label="sinr",
+                    ),
+                ),
+                xlabel="arrival rate (messages per time unit)",
+                ylabel="latency p95 (substrate time units)",
+            ),
+            FigureSpec(
+                name="throughput_vs_rate",
+                title="Delivered throughput vs arrival rate (n=%d)" % n,
+                x="workload.rate",
+                series=(
+                    SeriesSpec(
+                        sweep="standard",
+                        y="metric:throughput",
+                        agg="mean",
+                        label="standard (worst-case acks)",
+                    ),
+                    SeriesSpec(
+                        sweep="radio",
+                        y="metric:throughput",
+                        agg="mean",
+                        label="radio",
+                    ),
+                    SeriesSpec(
+                        sweep="sinr",
+                        y="metric:throughput",
+                        agg="mean",
+                        label="sinr",
+                    ),
+                ),
+                xlabel="arrival rate (messages per time unit)",
+                ylabel="completions per time unit",
+            ),
+        ),
+        checks=(
+            CheckSpec(kind="solved", sweeps=("standard",)),
+            CheckSpec(
+                kind="solved",
+                sweeps=("radio", "sinr"),
+                params={"min_rate": 0.9},
+            ),
+            CheckSpec(
+                kind="saturation_knee",
+                params={
+                    "x": "workload.rate",
+                    "y": "metric:latency_p95",
+                    "knee_ratio": 3.0,
+                    "min_points": 3,
                 },
             ),
         ),

@@ -14,6 +14,7 @@ them from pure-JSON campaign specs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -362,6 +363,61 @@ def _check_growth_gap(
             f"{slow} grew {slow_growth:.2f}x, not under "
             f"{max_slow_fraction:.2f} of {fast}'s {fast_growth:.2f}x"
         )
+    return failures
+
+
+@register_check("saturation_knee")
+def _check_saturation_knee(
+    points_by_sweep: PointsBySweep,
+    x: str = "workload.rate",
+    y: str = "metric:latency_p95",
+    knee_ratio: float = 3.0,
+    min_points: int = 3,
+) -> list[str]:
+    """Each sweep's load-latency curve must contain a saturation knee.
+
+    Judged per sweep (each sweep is one substrate's curve, with its own
+    time unit): mean ``y`` at the lowest arrival rate is the uncongested
+    baseline, and the highest-rate mean must reach ``knee_ratio`` times
+    that baseline — i.e. the swept rate range actually crosses from the
+    flat regime into saturation.  The knee itself is the largest rate
+    whose latency stays within ``knee_ratio`` of the baseline; the check
+    fails if that is also the largest rate (the curve never bent).
+    """
+    failures = []
+    for name, points in points_by_sweep.items():
+        series = sorted(_series_means(points, x, y))
+        if len(series) < min_points:
+            failures.append(
+                f"{name}: need >= {min_points} rates on {x!r}, "
+                f"got {len(series)}"
+            )
+            continue
+        baseline = series[0][1]
+        if not math.isfinite(baseline) or baseline <= 0:
+            failures.append(
+                f"{name}: baseline {y} at {x}={series[0][0]:g} is "
+                f"{baseline:g}; the lowest rate must run uncongested"
+            )
+            continue
+        elbow = knee_ratio * baseline
+        top_rate, top = series[-1]
+        if top < elbow:
+            failures.append(
+                f"{name}: {y} at top rate {top_rate:g} is {top:g}, under "
+                f"{knee_ratio:g}x the baseline {baseline:g} — the rate "
+                "range never reaches saturation"
+            )
+            continue
+        knee = max(
+            (rate for rate, latency in series if latency <= elbow),
+            default=None,
+        )
+        if knee is None or knee == top_rate:
+            failures.append(
+                f"{name}: no rate below the top stays within "
+                f"{knee_ratio:g}x baseline — the curve never bent"
+            )
     return failures
 
 

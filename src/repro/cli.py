@@ -5,7 +5,7 @@ Subcommands:
 * ``info`` — generate a topology, print its summary, and list the
   experiment registries.
 * ``registry`` — list every registered topology, scheduler, algorithm,
-  MAC layer, and workload.
+  MAC layer, workload, arrival process, fault scenario, and substrate.
 * ``bmmb`` — run BMMB on a generated topology with a chosen scheduler and
   print completion vs the paper's bound.
 * ``fmmb`` — run FMMB on a grey-zone network and print per-subroutine
@@ -16,9 +16,10 @@ Subcommands:
   run's spec) for external analysis.
 * ``campaign`` — list/run/resume/report/verify the built-in reproduction
   campaigns (``figure1``, ``figure2_lowerbound``, ``crossover``,
-  ``fault_resilience``, ``radio_footnote2``): sharded, checkpointed
-  sweeps that regenerate the paper's figures into ``artifacts/`` and
-  validate them with machine checks.
+  ``fault_resilience``, ``radio_footnote2``, ``sinr_contention``,
+  ``saturation``): sharded, checkpointed sweeps that regenerate the
+  paper's figures into ``artifacts/`` and validate them with machine
+  checks.
 * ``lowerbound`` — run the Figure 2 adversary (or the Lemma 3.18 choke)
   and print the measured floor plus the axiom certificate.
 * ``radio`` — run BMMB over the decay-backed radio MAC on a star and print
@@ -77,6 +78,7 @@ from repro.mac.schedulers import ChokeAdversary, GreyZoneAdversary
 from repro.runtime.runner import run_standard
 from repro.topology.adversarial import choke_star_network, parallel_lines_network
 from repro.topology.metrics import summarize
+from repro.traffic import ARRIVALS
 
 
 def _topology_spec(args: argparse.Namespace) -> TopologySpec:
@@ -98,6 +100,7 @@ _REGISTRIES = (
     ("algorithm", ALGORITHMS),
     ("mac", MACS),
     ("workload", WORKLOADS),
+    ("arrival", ARRIVALS),
     ("fault", FAULTS),
     ("substrate", SUBSTRATES),
 )
@@ -741,7 +744,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="PATH=V1,V2,...",
         help="sweep axis, e.g. --param workload.k=2,4,8 or "
-        "--param model.fack=10,20,40 (repeatable)",
+        "--param model.fack=10,20,40 (repeatable); for an arrival-rate "
+        "sweep combine --param workload.kind=open_arrivals with "
+        "--param workload.rate=0.005,0.02,0.08 (steady-state gauges "
+        "such as metric latency_p95 land in the --json rows)",
     )
     p_sweep.add_argument(
         "--verbose", action="store_true", help="also print per-run rows"

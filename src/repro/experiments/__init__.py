@@ -91,6 +91,11 @@ from repro.experiments.substrates import (
 from repro.experiments.sweep import Sweep, SweepResult, run_sweep
 from repro.runtime.observations import Observation, Probe
 
+# Imported for its registration side effects: repro.traffic registers the
+# arrival processes and the "open_arrivals" workload kind, so any importer
+# of this package (CLI, sweep workers, spec unpickling) sees them.
+import repro.traffic  # noqa: E402  (must follow the registries above)
+
 __all__ = [
     # specs
     "ExperimentSpec",

@@ -162,7 +162,12 @@ def decode_float(value: Any) -> float:
     return float(value)
 
 
-def run(spec: ExperimentSpec, keep_raw: bool = True) -> ExperimentResult:
+def run(
+    spec: ExperimentSpec,
+    keep_raw: bool = True,
+    window: float | None = None,
+    max_windows: int | None = None,
+) -> ExperimentResult:
     """Execute one spec on its substrate and summarize the outcome.
 
     Args:
@@ -171,6 +176,13 @@ def run(spec: ExperimentSpec, keep_raw: bool = True) -> ExperimentResult:
             ``result.raw`` and the typed observation stream in
             ``result.observations``.  Disable for sweeps — summaries stay
             small, picklable, and comparable across processes.
+        window: Fold observations into time-window aggregates of this
+            width instead of retaining the raw stream (long-horizon
+            service runs).  Implies ``keep_raw=False`` — bounded memory
+            is the point — and surfaces the ``obs_*`` window gauges in
+            ``result.metrics``.
+        max_windows: Bound on retained window aggregates (oldest evicted
+            first); requires ``window``.
 
     Returns:
         The :class:`ExperimentResult`.
@@ -183,7 +195,11 @@ def run(spec: ExperimentSpec, keep_raw: bool = True) -> ExperimentResult:
     substrate = SUBSTRATES.get(spec.substrate)
     check_capabilities(spec, substrate)
     started = _time.perf_counter()
-    ctx = ExecutionContext(spec, keep_raw=keep_raw)
+    if window is not None:
+        keep_raw = False
+    ctx = ExecutionContext(
+        spec, keep_raw=keep_raw, window=window, max_windows=max_windows
+    )
     check_workload_capability(ctx, substrate)
     outcome = substrate.execute(ctx)
     return ExperimentResult(

@@ -218,6 +218,29 @@ def _static_assignment(workload) -> MessageAssignment:
     return workload
 
 
+def _arrival_capable_substrates() -> list[str]:
+    """Registered substrates declaring ``supports_arrivals=True`` (live —
+    includes third-party registrations)."""
+    return sorted(
+        name
+        for name in SUBSTRATES
+        if getattr(SUBSTRATES.get(name), "supports_arrivals", False)
+    )
+
+
+def _arrival_rejection(substrate_name: str, workload_kind: str | None) -> str:
+    """The capability-rejection message for timed arrivals on a time-0
+    substrate: names the substrate, the workload kind, and which
+    registered substrates do take arrival schedules."""
+    capable = ", ".join(_arrival_capable_substrates()) or "none registered"
+    kind = f"workload {workload_kind!r}" if workload_kind else "the workload"
+    return (
+        f"the {substrate_name} substrate takes time-0 assignments, "
+        f"not arrival schedules, but {kind} produced timed arrivals; "
+        f"arrival-capable substrates: {capable}"
+    )
+
+
 # ----------------------------------------------------------------------
 # The execution context: one per run, shared component derivation
 # ----------------------------------------------------------------------
@@ -238,19 +261,39 @@ class ExecutionContext:
         spec: The experiment being executed.
         keep_raw: Whether the run retains native result objects and the
             observation stream (disabled for sweep summaries).
+        window: Observation-window width for long-horizon service runs
+            (``None`` off); the probe folds events into O(window-count)
+            aggregates instead of retaining the raw stream.
         probe: The run's :class:`~repro.runtime.observations.Probe`;
             substrates register metric gauges and emit observations here.
         root: The root random stream.
     """
 
-    def __init__(self, spec: ExperimentSpec, keep_raw: bool = True):
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        keep_raw: bool = True,
+        window: float | None = None,
+        max_windows: int | None = None,
+    ):
         self.spec = spec
         self.keep_raw = keep_raw
-        self.probe = Probe()
+        self.window = window
+        self.probe = Probe(window=window, max_windows=max_windows)
         self.root = root_stream(spec)
         self._dual: DualGraph | None = None
         self._workload: Any = _UNSET
         self._engine: Any = _UNSET
+
+    @property
+    def record_observations(self) -> bool:
+        """Whether substrates should emit observations for this run.
+
+        True on ``keep_raw`` runs (raw stream retained) and on windowed
+        runs (events folded into bounded aggregates); summary-only runs
+        skip emission entirely.
+        """
+        return self.keep_raw or self.window is not None
 
     def stream(self, name: str) -> RandomSource:
         """The named child stream of the run's root stream."""
@@ -300,10 +343,8 @@ class ExecutionContext:
         """The workload, rejected if it carries timed arrivals."""
         workload = self.workload()
         if isinstance(workload, ArrivalSchedule):
-            raise ExperimentError(
-                f"the {substrate_name} substrate takes time-0 assignments, "
-                "not arrival schedules"
-            )
+            kind = self.spec.workload.kind if self.spec.workload else None
+            raise ExperimentError(_arrival_rejection(substrate_name, kind))
         return workload
 
     def fault_engine(self) -> FaultEngine | None:
@@ -528,9 +569,31 @@ def check_workload_capability(
         return
     if isinstance(ctx.workload(), ArrivalSchedule):
         raise ExperimentError(
-            f"the {substrate.name} substrate takes time-0 assignments, "
-            "not arrival schedules"
+            _arrival_rejection(substrate.name, ctx.spec.workload.kind)
         )
+
+
+# ----------------------------------------------------------------------
+# Shared steady-state service gauges (open-arrival workloads only)
+# ----------------------------------------------------------------------
+def _steady_gauges(
+    arrival_times: dict[str, float],
+    completion_times: dict[str, float],
+    warmup_fraction: float,
+) -> dict[str, float]:
+    """Warmup-trimmed service gauges for an open-arrival execution.
+
+    Only reached when the workload is an
+    :class:`~repro.traffic.OpenArrivalSchedule` (it carries
+    ``warmup_fraction``), so every pre-existing workload kind keeps its
+    exact metric set.  Imported lazily: ``repro.traffic`` registers
+    workloads and must be importable after this module.
+    """
+    from repro.traffic.metrics import steady_state_metrics
+
+    return steady_state_metrics(
+        arrival_times, completion_times, warmup_fraction=warmup_fraction
+    )
 
 
 # ----------------------------------------------------------------------
@@ -579,6 +642,7 @@ class StandardSubstrate(SubstrateBase):
         workload = ctx.workload()
         mac_class = ctx.mac_class()
         engine = ctx.fault_engine()
+        delivered_cap = spec.model.params.get("delivered_cap")
 
         def _run() -> Outcome:
             result = run_standard(
@@ -593,6 +657,7 @@ class StandardSubstrate(SubstrateBase):
                 keep_instances=ctx.keep_raw,
                 mac_class=mac_class,
                 fault_engine=engine,
+                delivered_cap=delivered_cap,
             )
             solved = result.solved
             completion = result.completion_time
@@ -604,12 +669,21 @@ class StandardSubstrate(SubstrateBase):
                     "max_latency": result.max_latency,
                 }
             )
+            warmup = getattr(workload, "warmup_fraction", None)
+            if warmup is not None:
+                probe.gauges(
+                    _steady_gauges(
+                        workload.arrival_times(),
+                        result.per_message_completion,
+                        warmup,
+                    )
+                )
             if engine is not None:
                 solved, completion, fault_metrics = _fault_mmb_result(
                     dual, workload, result.deliveries.times, engine
                 )
                 probe.gauges(fault_metrics)
-            if ctx.keep_raw:
+            if ctx.record_observations:
                 ctx.observe_workload_arrivals()
                 if result.instances is not None:
                     probe.observe_instances(result.instances)
@@ -685,7 +759,7 @@ class ProtocolSubstrate(SubstrateBase):
                 completion = result.last_activity
                 probe.gauge("last_activity", result.last_activity)
                 probe.gauges(engine.metrics())
-            if ctx.keep_raw:
+            if ctx.record_observations:
                 probe.observe_instances(result.instances)
                 ctx.observe_faults()
             return self.outcome(
@@ -752,7 +826,7 @@ class RoundsSubstrate(SubstrateBase):
                     dual, workload, delivery_times, engine
                 )
                 probe.gauges(fault_metrics)
-            if ctx.keep_raw:
+            if ctx.record_observations:
                 ctx.observe_workload_arrivals()
                 probe.observe_deliveries(delivery_times)
                 probe.observe_clock(
@@ -835,18 +909,25 @@ class RadioSubstrate(SubstrateBase):
                 probe.gauges(fault_metrics)
             else:
                 required = required_deliveries(dual, static)
-                solved = True
-                completion = 0.0
+                per_message: dict[str, float] = {}
                 for mid, nodes in required.items():
+                    worst = 0.0
                     for node in nodes:
                         delivered_at = layer.deliveries.get((node, mid))
                         if delivered_at is None:
-                            solved = False
-                            completion = math.inf
+                            worst = math.inf
                             break
-                        completion = max(completion, delivered_at)
-                    if not solved:
-                        break
+                        worst = max(worst, delivered_at)
+                    per_message[mid] = worst
+                solved = all(math.isfinite(t) for t in per_message.values())
+                completion = max(per_message.values(), default=0.0)
+                warmup = getattr(workload, "warmup_fraction", None)
+                if warmup is not None:
+                    probe.gauges(
+                        _steady_gauges(
+                            workload.arrival_times(), per_message, warmup
+                        )
+                    )
             bounds = layer.empirical_bounds()
             probe.gauges(
                 {
@@ -856,7 +937,7 @@ class RadioSubstrate(SubstrateBase):
                     "delivery_success_rate": bounds.delivery_success_rate,
                 }
             )
-            if ctx.keep_raw:
+            if ctx.record_observations:
                 ctx.observe_workload_arrivals()
                 probe.observe_instances(layer.instances)
                 probe.observe_deliveries(layer.deliveries)

@@ -60,6 +60,13 @@ def _with_path(spec: ExperimentSpec, path: str, value: Any) -> ExperimentSpec:
         params_key = rest[len("params."):] if rest.startswith("params.") else None
         if rest in sub_fields and rest != "params":
             new_sub = dataclasses.replace(sub, **{rest: value})
+            if rest == "kind" and value != sub.kind:
+                # Params are kind-specific: swapping the kind must not
+                # carry the old kind's params into the new builder.  Kind
+                # axes are applied before sibling param axes, so a grid
+                # pairing workload.kind with workload.rate still lands
+                # the rate on the new kind.
+                new_sub = dataclasses.replace(new_sub, params={})
         elif params_key:
             params = dict(sub.params)
             params[params_key] = value

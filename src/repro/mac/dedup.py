@@ -1,0 +1,80 @@
+"""Bounded delivered/dedup state for steady-state service mode.
+
+A one-shot MMB run can afford a ``(node, mid) -> time`` dict that grows
+with the message count, but a service under open arrival streams never
+stops injecting — its delivered/dedup state must be bounded.
+:class:`DeliveredRing` is the classic ring-buffer answer (the
+``EagerReliableBroadcast`` idiom): keep the ``cap`` newest entries in
+insertion order and forget the oldest.  The trade-off is explicit and
+counted: once a key is evicted, a late duplicate of that message can no
+longer be detected.  Unbounded one-shot runs therefore keep using a plain
+dict — the ring is strictly opt-in (``delivered_cap`` on the MAC layers).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator
+
+from repro.errors import ExperimentError
+
+
+class DeliveredRing:
+    """A mapping bounded to the ``cap`` most recently inserted keys.
+
+    Behaves like the delivered-state dict the MAC layers keep
+    (``in`` / ``[]`` / ``get`` / ``items`` / iteration), but inserting a
+    new key while full evicts the oldest entry (FIFO by insertion).
+    Overwriting an existing key refreshes its value without changing its
+    ring position — delivered times are write-once in practice.
+
+    Attributes:
+        cap: Maximum number of retained entries.
+        evictions: Number of entries dropped so far (observability for
+            the bounded-memory trade-off).
+    """
+
+    __slots__ = ("cap", "evictions", "_entries")
+
+    def __init__(self, cap: int):
+        if int(cap) < 1:
+            raise ExperimentError(f"delivered_cap must be >= 1, got {cap}")
+        self.cap = int(cap)
+        self.evictions = 0
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._entries[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if key not in self._entries and len(self._entries) >= self.cap:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._entries.get(key, default)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._entries)
+
+    def keys(self):
+        return self._entries.keys()
+
+    def values(self):
+        return self._entries.values()
+
+    def items(self):
+        return self._entries.items()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeliveredRing(cap={self.cap}, len={len(self._entries)}, "
+            f"evictions={self.evictions})"
+        )

@@ -105,6 +105,10 @@ class StandardMACLayer:
             The layer also schedules a fallback acknowledgment at
             ``bcast + Fack`` per instance so broadcasts whose reliable
             neighbors died cannot outlive the acknowledgment bound.
+        delivered_cap: Bound the per-(node, message) dedup table to this
+            many entries via :class:`~repro.mac.dedup.DeliveredRing`
+            (steady-state service mode; an evicted key can no longer veto
+            a late duplicate).  ``None`` keeps the exact unbounded dict.
     """
 
     _needs_abort_handles = False
@@ -118,6 +122,7 @@ class StandardMACLayer:
         fprog: Time,
         delivery_sink: DeliverySink | None = None,
         fault_engine: "FaultEngine | None" = None,
+        delivered_cap: int | None = None,
     ):
         if fprog <= 0 or fack <= 0:
             raise MACError(f"bounds must be positive (fack={fack}, fprog={fprog})")
@@ -139,7 +144,15 @@ class StandardMACLayer:
         self._pending: dict[NodeId, MessageInstance | None] = {}
         self._handles: dict[int, list[EventHandle]] = {}
         self._scheduled_receivers: dict[int, set[NodeId]] = {}
-        self._delivered: dict[tuple[NodeId, str], Time] = {}
+        # Steady-state service runs bound the dedup state with a ring
+        # (delivered times stay complete in the DeliveryLog); one-shot
+        # runs keep the unbounded dict and its exact duplicate check.
+        if delivered_cap is not None:
+            from repro.mac.dedup import DeliveredRing
+
+            self._delivered: Any = DeliveredRing(delivered_cap)
+        else:
+            self._delivered = {}
         self.faults = fault_engine
         self._track_handles = (
             self._needs_abort_handles or fault_engine is not None

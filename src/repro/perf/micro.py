@@ -253,6 +253,59 @@ def bench_sinr_slots(repeats: int = 3) -> BenchRecord:
     return measure("sinr_slots", "micro", once, repeats)
 
 
+@_micro("arrival_stream")
+def bench_arrival_stream(repeats: int = 3) -> BenchRecord:
+    """Open Poisson arrivals under windowed aggregation: n=32, 120 messages.
+
+    Exercises the steady-state traffic path end to end — arrival-process
+    sampling, deferred injection on the standard substrate, the windowed
+    (bounded-memory) observation probe, and the warmup-trimmed gauge
+    extraction — so the long-horizon service mode has a regression
+    baseline alongside the one-shot paths.
+    """
+    from repro.experiments.runner import clear_topology_cache, run as run_spec
+    from repro.experiments.specs import (
+        AlgorithmSpec,
+        ExperimentSpec,
+        ModelSpec,
+        SchedulerSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    spec = ExperimentSpec(
+        name="perf-arrival-stream",
+        topology=TopologySpec(
+            "random_geometric",
+            {"n": 32, "side": 3.0, "c": 1.6, "grey_edge_probability": 0.4},
+        ),
+        algorithm=AlgorithmSpec("bmmb"),
+        scheduler=SchedulerSpec("uniform"),
+        workload=WorkloadSpec(
+            "open_arrivals", {"process": "poisson", "rate": 0.05, "count": 120}
+        ),
+        model=ModelSpec(fack=20.0, fprog=1.0),
+        seed=17,
+    )
+
+    def once():
+        clear_topology_cache()  # every repeat pays the cold build
+        t_run, result = timed(
+            lambda: run_spec(spec, window=100.0, max_windows=16)
+        )
+        return (
+            result.metrics.get("sim_events"),
+            {"run": t_run},
+            {
+                "solved": float(result.solved),
+                "folded": result.metrics.get("obs_events_folded", 0.0),
+                "peak_windows": result.metrics.get("obs_retained_peak", 0.0),
+            },
+        )
+
+    return measure("arrival_stream", "micro", once, repeats)
+
+
 # ----------------------------------------------------------------------
 # Topology queries
 # ----------------------------------------------------------------------

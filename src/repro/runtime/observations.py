@@ -28,6 +28,15 @@ records).  Every other kind is one record per event.
 The probe never perturbs execution: substrates emit observations *after*
 the engine has run (derived from instance logs, delivery tables, and fault
 plans), so enabling observation capture cannot change a single RNG draw.
+
+Long-horizon service runs use the *windowed* mode
+(``Probe(window=..., max_windows=...)``): each emitted event is folded
+into a fixed-width time-window aggregate instead of being retained, and
+at most ``max_windows`` aggregates are kept (oldest evicted first), so
+observation memory is O(window count), not O(horizon).  Exact per-kind
+totals survive eviction; the raw stream does not — windowed probes
+report ``events() == ()`` and summarize through :meth:`Probe.windows`
+and the ``obs_*`` gauges merged into :meth:`Probe.metrics`.
 """
 
 from __future__ import annotations
@@ -109,6 +118,39 @@ def _payload_tag(payload: object) -> str:
     return str(payload)
 
 
+@dataclass(frozen=True)
+class WindowAggregate:
+    """One time window's folded observation totals (windowed probes).
+
+    Attributes:
+        index: Window index (``int(time // window)``).
+        start: Window start time (``index * window``).
+        end: Window end time (exclusive).
+        events: Total observation ``value`` folded into the window.
+        counts: Per-kind ``value`` totals within the window.
+    """
+
+    index: int
+    start: Time
+    end: Time
+    events: float
+    counts: dict[str, float]
+
+
+class _WindowBucket:
+    """Mutable accumulator behind one :class:`WindowAggregate`."""
+
+    __slots__ = ("events", "counts")
+
+    def __init__(self) -> None:
+        self.events = 0.0
+        self.counts: dict[str, float] = {}
+
+    def fold(self, kind: str, value: float) -> None:
+        self.events += value
+        self.counts[kind] = self.counts.get(kind, 0.0) + value
+
+
 class Probe:
     """Collects one execution's observation stream and scalar gauges.
 
@@ -116,11 +158,50 @@ class Probe:
     the engine's native records once it has run, and register their
     summary scalars as *gauges* — :meth:`metrics` returns exactly the
     gauge dict, which becomes ``ExperimentResult.metrics`` unchanged.
+
+    With ``window`` set the probe runs *windowed*: emits fold into
+    per-window aggregates (no raw :class:`Observation` retained) and at
+    most ``max_windows`` aggregates are kept, evicting the oldest window
+    first.  Eviction loses that window's breakdown but not the exact
+    per-kind totals, which are tracked separately.
+
+    Args:
+        window: Window width in substrate time units; ``None`` (default)
+            retains the full raw stream.
+        max_windows: Bound on retained window aggregates; requires
+            ``window``; ``None`` keeps every window.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, window: float | None = None, max_windows: int | None = None
+    ) -> None:
+        if window is not None and window <= 0:
+            raise ExperimentError(
+                f"observation window must be positive, got {window}"
+            )
+        if max_windows is not None:
+            if window is None:
+                raise ExperimentError(
+                    "max_windows requires a window width"
+                )
+            if int(max_windows) < 1:
+                raise ExperimentError(
+                    f"max_windows must be >= 1, got {max_windows}"
+                )
+        self.window = float(window) if window is not None else None
+        self.max_windows = int(max_windows) if max_windows is not None else None
         self._events: list[Observation] = []
         self._gauges: dict[str, float] = {}
+        self._buckets: dict[int, _WindowBucket] = {}
+        self._kind_totals: dict[str, float] = {}
+        self._folded = 0.0
+        self._evicted = 0
+        self._peak_retained = 0
+
+    @property
+    def windowed(self) -> bool:
+        """Whether this probe folds events instead of retaining them."""
+        return self.window is not None
 
     # ------------------------------------------------------------------
     # Emission
@@ -134,12 +215,36 @@ class Probe:
         ref: int = -1,
         value: float = 1.0,
     ) -> None:
-        """Record one observation (kind-checked)."""
-        self._events.append(
-            Observation(
-                time=time, kind=kind, node=node, key=key, ref=ref, value=value
+        """Record one observation (kind-checked); windowed probes fold it
+        into the window aggregate instead of retaining it."""
+        if self.window is None:
+            self._events.append(
+                Observation(
+                    time=time, kind=kind, node=node, key=key, ref=ref, value=value
+                )
             )
-        )
+            return
+        if kind not in _KIND_ORDER:
+            raise ExperimentError(
+                f"unknown observation kind {kind!r}; one of "
+                f"{', '.join(OBSERVATION_KINDS)}"
+            )
+        index = int(time // self.window)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = _WindowBucket()
+            if (
+                self.max_windows is not None
+                and len(self._buckets) > self.max_windows
+            ):
+                # Emission is post-run and not chronological, so evict the
+                # oldest window rather than assuming a moving frontier.
+                del self._buckets[min(self._buckets)]
+                self._evicted += 1
+            self._peak_retained = max(self._peak_retained, len(self._buckets))
+        bucket.fold(kind, value)
+        self._kind_totals[kind] = self._kind_totals.get(kind, 0.0) + value
+        self._folded += value
 
     def gauge(self, name: str, value: float) -> None:
         """Register one scalar metric (last write wins)."""
@@ -200,23 +305,65 @@ class Probe:
     # Consumption
     # ------------------------------------------------------------------
     def events(self) -> tuple[Observation, ...]:
-        """The stream in chronological order (stable tie-break)."""
+        """The stream in chronological order (stable tie-break).
+
+        Windowed probes retain no raw stream and return ``()``.
+        """
+        if self.window is not None:
+            return ()
         return tuple(sorted(self._events, key=Observation.sort_key))
 
     def count(self, kind: str) -> float:
-        """Total ``value`` of one kind (event count for point events)."""
+        """Total ``value`` of one kind (event count for point events).
+
+        Exact in both modes — windowed totals survive window eviction.
+        """
+        if self.window is not None:
+            return self._kind_totals.get(kind, 0.0)
         return sum(o.value for o in self._events if o.kind == kind)
 
     def counts(self) -> dict[str, float]:
         """Per-kind totals for every kind present in the stream."""
+        if self.window is not None:
+            return dict(self._kind_totals)
         totals: dict[str, float] = {}
         for obs in self._events:
             totals[obs.kind] = totals.get(obs.kind, 0.0) + obs.value
         return totals
 
+    def windows(self) -> tuple[WindowAggregate, ...]:
+        """Retained window aggregates in time order (windowed mode only)."""
+        if self.window is None:
+            raise ExperimentError(
+                "windows() requires a windowed probe (pass window=...)"
+            )
+        return tuple(
+            WindowAggregate(
+                index=index,
+                start=index * self.window,
+                end=(index + 1) * self.window,
+                events=bucket.events,
+                counts=dict(bucket.counts),
+            )
+            for index, bucket in sorted(self._buckets.items())
+        )
+
     def metrics(self) -> dict[str, float]:
-        """The gauge dict — becomes ``ExperimentResult.metrics`` verbatim."""
-        return dict(self._gauges)
+        """The gauge dict — becomes ``ExperimentResult.metrics`` verbatim.
+
+        Windowed probes additionally report the bounded-memory account:
+        ``obs_window`` (width), ``obs_windows_retained``,
+        ``obs_retained_peak``, ``obs_window_evictions``, and
+        ``obs_events_folded``.
+        """
+        out = dict(self._gauges)
+        if self.window is not None:
+            out["obs_window"] = self.window
+            out["obs_windows_retained"] = float(len(self._buckets))
+            out["obs_retained_peak"] = float(self._peak_retained)
+            out["obs_window_evictions"] = float(self._evicted)
+            out["obs_events_folded"] = self._folded
+        return out
 
     def __len__(self) -> int:
         return len(self._events)

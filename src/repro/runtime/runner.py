@@ -99,6 +99,7 @@ def run_standard(
     keep_instances: bool = True,
     mac_class: type[StandardMACLayer] = StandardMACLayer,
     fault_engine=None,
+    delivered_cap: int | None = None,
 ) -> RunResult:
     """Run one standard-model MMB execution to quiescence.
 
@@ -121,6 +122,10 @@ def run_standard(
         fault_engine: Optional fault/dynamics engine (see
             :mod:`repro.faults`); ``None`` runs fault-free, bit-identical
             to the pre-fault behavior.
+        delivered_cap: Bound the MAC layer's delivered/dedup state to this
+            many entries (ring-buffer eviction; see
+            :class:`repro.mac.dedup.DeliveredRing`) for steady-state
+            service runs.  ``None`` (default) keeps the unbounded dict.
 
     Returns:
         The summarized :class:`RunResult` (``solved`` keeps the paper's
@@ -142,6 +147,8 @@ def run_standard(
     sim = Simulator(max_events=max_events)
     deliveries = DeliveryLog()
     extra = {"fault_engine": fault_engine} if fault_engine is not None else {}
+    if delivered_cap is not None:
+        extra["delivered_cap"] = delivered_cap
     mac = mac_class(
         sim,
         dual,

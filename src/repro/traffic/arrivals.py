@@ -1,0 +1,213 @@
+"""Arrival processes: open message streams behind the workload registry.
+
+An *arrival process* turns a rate into an
+:class:`~repro.core.problem.ArrivalSchedule`: ``build(dual, rng, rate,
+count, ...) -> OpenArrivalSchedule``.  Processes are registry entries
+(:data:`ARRIVALS`, ``@register_arrival``) so campaigns and the CLI can
+name them, and the single ``open_arrivals`` workload bridges the registry
+into the existing workload axis — ``WorkloadSpec("open_arrivals",
+{"process": "bursty", "rate": 0.02, "count": 40})`` is a sweepable spec
+like any other.
+
+All randomness is drawn from the reserved ``arrivals`` child of the
+spec's ``workload`` stream, so adding or tuning an arrival process never
+perturbs topology/scheduler/fault streams, and two processes at the same
+seed draw from identical streams (paired comparisons stay paired).
+
+Schedules built here are :class:`OpenArrivalSchedule` — a marked subclass
+of :class:`ArrivalSchedule` that additionally carries the steady-state
+accounting intent (the warmup fraction).  Substrates key their
+steady-state gauges on that mark, which keeps every pre-existing workload
+kind (``staggered``, ``poisson``, time-0 assignments) on the unchanged,
+byte-identical code path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.problem import Arrival, ArrivalSchedule
+from repro.errors import ExperimentError
+from repro.experiments.registries import Registry, register_workload
+from repro.ids import Message
+
+#: Name of the reserved sub-stream arrival processes draw from (a child
+#: of the experiment's ``workload`` stream).
+ARRIVAL_STREAM = "arrivals"
+
+#: The arrival-process registry: string key -> schedule builder.
+ARRIVALS = Registry("arrival process")
+
+
+def register_arrival(name: str):
+    """Register ``build(dual, rng, rate, count, ...) -> OpenArrivalSchedule``
+    under ``name``."""
+    return ARRIVALS.register(name)
+
+
+def list_arrivals() -> list[str]:
+    """Registered arrival-process keys."""
+    return ARRIVALS.names()
+
+
+@dataclass(frozen=True)
+class OpenArrivalSchedule(ArrivalSchedule):
+    """An arrival schedule produced by a registered arrival process.
+
+    Identical to :class:`ArrivalSchedule` on every execution path; the
+    subclass is the *steady-state mark*: substrates that see it emit the
+    warmup-trimmed service metrics (throughput, latency percentiles,
+    in-flight gauges) with the carried ``warmup_fraction``.
+
+    Attributes:
+        warmup_fraction: Fraction of the run horizon discarded before
+            steady-state accounting starts.
+    """
+
+    warmup_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ExperimentError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+
+
+def _check_common(rate: float, count: int) -> None:
+    if rate <= 0:
+        raise ExperimentError(f"arrival rate must be positive, got {rate}")
+    if count < 1:
+        raise ExperimentError(f"arrival count must be >= 1, got {count}")
+
+
+def _exp_gap(rng, mean: float) -> float:
+    """One exponential inter-event gap with the given mean."""
+    return -mean * math.log(max(rng.random(), 1e-12))
+
+
+@register_arrival("poisson")
+def _poisson_process(
+    dual,
+    rng,
+    rate: float = 0.02,
+    count: int = 20,
+    prefix: str = "m",
+    warmup_fraction: float = 0.2,
+) -> OpenArrivalSchedule:
+    """Memoryless arrivals: exponential gaps with mean ``1/rate``, each
+    message injected at a uniformly random node."""
+    _check_common(rate, count)
+    nodes = list(dual.nodes)
+    arrivals = []
+    t = 0.0
+    for i in range(count):
+        t += _exp_gap(rng, 1.0 / rate)
+        node = rng.choice(nodes)
+        arrivals.append(Arrival(t, node, Message(f"{prefix}{i}", node)))
+    return OpenArrivalSchedule(tuple(arrivals), warmup_fraction=warmup_fraction)
+
+
+@register_arrival("bursty")
+def _bursty_process(
+    dual,
+    rng,
+    rate: float = 0.02,
+    count: int = 20,
+    mean_on: float = 50.0,
+    mean_off: float = 150.0,
+    prefix: str = "m",
+    warmup_fraction: float = 0.2,
+) -> OpenArrivalSchedule:
+    """Markov-modulated on/off arrivals.
+
+    The process alternates exponentially distributed ON and OFF dwell
+    periods (means ``mean_on`` / ``mean_off``).  During ON periods
+    arrivals are Poisson at rate ``rate / on_share`` where ``on_share =
+    mean_on / (mean_on + mean_off)`` — so the *long-run* average rate is
+    ``rate`` and the ``rate`` axis stays comparable across processes,
+    while the instantaneous load arrives in bursts.
+    """
+    _check_common(rate, count)
+    if mean_on <= 0 or mean_off <= 0:
+        raise ExperimentError(
+            f"dwell means must be positive (mean_on={mean_on}, "
+            f"mean_off={mean_off})"
+        )
+    on_share = mean_on / (mean_on + mean_off)
+    burst_gap = on_share / rate  # mean inter-arrival gap while ON
+    nodes = list(dual.nodes)
+    arrivals = []
+    t = 0.0
+    period_end = _exp_gap(rng, mean_on)
+    i = 0
+    while i < count:
+        gap = _exp_gap(rng, burst_gap)
+        if t + gap < period_end:
+            t += gap
+            node = rng.choice(nodes)
+            arrivals.append(Arrival(t, node, Message(f"{prefix}{i}", node)))
+            i += 1
+        else:
+            # ON period exhausted: skip the OFF dwell entirely.
+            t = period_end + _exp_gap(rng, mean_off)
+            period_end = t + _exp_gap(rng, mean_on)
+    return OpenArrivalSchedule(tuple(arrivals), warmup_fraction=warmup_fraction)
+
+
+@register_arrival("diurnal")
+def _diurnal_process(
+    dual,
+    rng,
+    rate: float = 0.02,
+    count: int = 20,
+    period: float = 500.0,
+    amplitude: float = 0.8,
+    prefix: str = "m",
+    warmup_fraction: float = 0.2,
+) -> OpenArrivalSchedule:
+    """Sinusoidally modulated arrivals (a day/night load curve).
+
+    The instantaneous rate is ``rate * (1 + amplitude * sin(2*pi*t /
+    period))``, realized by thinning a Poisson stream at the peak rate —
+    the mean rate over a full period is exactly ``rate``.
+    """
+    _check_common(rate, count)
+    if period <= 0:
+        raise ExperimentError(f"period must be positive, got {period}")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ExperimentError(f"amplitude must be in [0, 1], got {amplitude}")
+    peak = rate * (1.0 + amplitude)
+    nodes = list(dual.nodes)
+    arrivals = []
+    t = 0.0
+    i = 0
+    while i < count:
+        t += _exp_gap(rng, 1.0 / peak)
+        current = rate * (1.0 + amplitude * math.sin(2.0 * math.pi * t / period))
+        if rng.random() * peak <= current:
+            node = rng.choice(nodes)
+            arrivals.append(Arrival(t, node, Message(f"{prefix}{i}", node)))
+            i += 1
+    return OpenArrivalSchedule(tuple(arrivals), warmup_fraction=warmup_fraction)
+
+
+@register_workload("open_arrivals")
+def _build_open_arrivals(
+    dual, rng, process: str = "poisson", **params
+) -> OpenArrivalSchedule:
+    """The workload bridge: a named arrival process as a spec workload.
+
+    ``WorkloadSpec("open_arrivals", {"process": "...", "rate": ...,
+    "count": ...})`` resolves the process from :data:`ARRIVALS` and draws
+    it from the reserved ``arrivals`` child stream.
+    """
+    build = ARRIVALS.get(process)
+    try:
+        return build(dual, rng.child(ARRIVAL_STREAM), **params)
+    except TypeError as exc:
+        raise ExperimentError(
+            f"arrival process {process!r} rejected params "
+            f"{sorted(params)}: {exc}"
+        ) from exc

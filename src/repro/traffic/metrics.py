@@ -1,0 +1,111 @@
+"""Warmup-trimmed steady-state service metrics.
+
+One-shot MMB runs report a single completion time.  A service under an
+open arrival stream is summarized differently: discard a warmup prefix
+of the horizon, then report throughput, delivery-latency percentiles,
+and queue/in-flight occupancy over the measured remainder.  The output
+is a flat ``str -> float`` dict so the gauges drop straight into
+``ExperimentResult.metrics`` and every existing sweep/campaign/figure
+consumer works unchanged (``metric:latency_p95`` as a series, etc.).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.analysis.stats import percentile
+from repro.errors import ExperimentError
+
+#: Latency percentiles reported by :func:`steady_state_metrics`.
+LATENCY_PERCENTILES = (50, 95, 99)
+
+
+def steady_state_metrics(
+    arrival_times: Mapping[str, float],
+    completion_times: Mapping[str, float],
+    warmup_fraction: float = 0.2,
+) -> dict[str, float]:
+    """Summarize a service run as steady-state gauges.
+
+    Args:
+        arrival_times: mid -> injection time for every injected message.
+        completion_times: mid -> time the message was fully delivered
+            (``inf`` or absent when it never completed).
+        warmup_fraction: Fraction of the *arrival horizon* (time of the
+            last injection) discarded before measuring; messages arriving
+            during warmup are excluded entirely.  Keying warmup to the
+            injection timeline (not the completion horizon) keeps the
+            measured set non-empty even when a saturated service drags
+            completions far past the last arrival.
+
+    Returns:
+        Gauges: ``throughput`` (completions per unit time after warmup),
+        ``latency_p50``/``latency_p95``/``latency_p99`` (``inf`` when no
+        measured message completed), ``inflight_peak`` / ``inflight_mean``
+        (messages concurrently in service, time-weighted mean), and the
+        bookkeeping gauges ``backlog_final``, ``warmup_time``,
+        ``arrivals_measured``, ``delivered_measured``.
+    """
+    if not arrival_times:
+        raise ExperimentError("steady_state_metrics needs at least one arrival")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ExperimentError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+
+    finite_completions = [
+        t for t in completion_times.values() if math.isfinite(t)
+    ]
+    arrival_horizon = max(arrival_times.values())
+    horizon = arrival_horizon
+    if finite_completions:
+        horizon = max(horizon, max(finite_completions))
+    warmup = warmup_fraction * arrival_horizon
+
+    measured = [mid for mid, t in arrival_times.items() if t >= warmup]
+    latencies = []
+    delivered = 0
+    for mid in measured:
+        done = completion_times.get(mid, math.inf)
+        if math.isfinite(done):
+            delivered += 1
+            latencies.append(done - arrival_times[mid])
+
+    span = horizon - warmup
+    throughput = delivered / span if span > 0 else 0.0
+
+    gauges: dict[str, float] = {
+        "throughput": throughput,
+        "warmup_time": warmup,
+        "arrivals_measured": float(len(measured)),
+        "delivered_measured": float(delivered),
+        "backlog_final": float(len(measured) - delivered),
+    }
+    for p in LATENCY_PERCENTILES:
+        gauges[f"latency_p{p}"] = (
+            percentile(latencies, p) if latencies else math.inf
+        )
+
+    # In-flight occupancy over the measured window: +1 at each measured
+    # arrival, -1 at its (finite) completion, time-weighted between events.
+    events: list[tuple[float, int]] = []
+    for mid in measured:
+        events.append((arrival_times[mid], +1))
+        done = completion_times.get(mid, math.inf)
+        if math.isfinite(done):
+            events.append((done, -1))
+    events.sort()
+    depth = 0
+    peak = 0
+    weighted = 0.0
+    prev = warmup
+    for time, delta in events:
+        if time > prev:
+            weighted += depth * (time - prev)
+            prev = time
+        depth += delta
+        peak = max(peak, depth)
+    gauges["inflight_peak"] = float(peak)
+    gauges["inflight_mean"] = weighted / span if span > 0 else 0.0
+    return gauges

@@ -1,0 +1,94 @@
+"""Traffic smoke check: open arrivals + bounded-memory probes, end to end.
+
+Mirrors ``repro.experiments.substrate_smoke``: a fast, assertion-backed
+pass the CI workflow runs as its own step.  Two legs:
+
+1. Short open-arrival runs on two substrates (standard, radio) asserting
+   the steady-state gauges are present and sane.
+2. A longer-horizon windowed run asserting the observation buffer peak
+   stayed under the window bound while more events than that were folded
+   through it — the O(window) memory claim, checked not claimed.
+"""
+
+from __future__ import annotations
+
+STEADY_GAUGES = (
+    "throughput",
+    "latency_p50",
+    "latency_p95",
+    "latency_p99",
+    "inflight_peak",
+    "inflight_mean",
+    "backlog_final",
+)
+
+
+def _open_spec(substrate: str, *, rate: float, count: int, seed: int, **model):
+    from repro.experiments import (
+        AlgorithmSpec,
+        ExperimentSpec,
+        ModelSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    return ExperimentSpec(
+        name=f"traffic-smoke-{substrate}",
+        topology=TopologySpec(
+            "random_geometric",
+            {"n": 12, "side": 2.0, "c": 1.6, "grey_edge_probability": 0.4},
+        ),
+        algorithm=AlgorithmSpec("bmmb"),
+        workload=WorkloadSpec(
+            "open_arrivals", {"process": "poisson", "rate": rate, "count": count}
+        ),
+        model=ModelSpec(params=dict(model)) if model else ModelSpec(),
+        substrate=substrate,
+        seed=seed,
+    )
+
+
+def traffic_smoke(verbose: bool = False) -> None:
+    """Run the traffic smoke legs; raise AssertionError on any failure."""
+    from repro.experiments.runner import run
+
+    # Leg 1: steady-state gauges exist on two arrival-capable substrates.
+    for substrate, model in (
+        ("standard", {}),
+        ("radio", {"max_slots": 500_000}),
+    ):
+        spec = _open_spec(substrate, rate=0.01, count=8, seed=11, **model)
+        result = run(spec, keep_raw=False)
+        missing = [g for g in STEADY_GAUGES if g not in result.metrics]
+        assert not missing, f"{substrate}: missing steady gauges {missing}"
+        assert result.solved, f"{substrate}: open-arrival smoke did not solve"
+        assert result.metrics["throughput"] > 0.0
+        assert result.metrics["latency_p50"] <= result.metrics["latency_p99"]
+        if verbose:
+            print(
+                f"traffic-smoke {substrate}: throughput="
+                f"{result.metrics['throughput']:.4f} "
+                f"p95={result.metrics['latency_p95']:.1f}"
+            )
+
+    # Leg 2: long-horizon windowed run — observation memory is O(window).
+    max_windows = 8
+    spec = _open_spec("standard", rate=0.02, count=40, seed=13)
+    result = run(spec, window=50.0, max_windows=max_windows)
+    assert result.raw is None
+    assert result.observations == ()
+    metrics = result.metrics
+    assert metrics["obs_retained_peak"] <= max_windows, (
+        f"window bound violated: peak {metrics['obs_retained_peak']} > "
+        f"{max_windows}"
+    )
+    assert metrics["obs_events_folded"] > max_windows
+    assert metrics["obs_window_evictions"] > 0
+    if verbose:
+        print(
+            "traffic-smoke windowed: folded="
+            f"{int(metrics['obs_events_folded'])} peak_windows="
+            f"{int(metrics['obs_retained_peak'])} evictions="
+            f"{int(metrics['obs_window_evictions'])}"
+        )
+        print("traffic smoke OK")

@@ -34,8 +34,10 @@ from repro.campaigns import (
     verify_campaign,
     write_artifacts,
 )
+from repro.campaigns.checks import CHECKS, Point
 from repro.errors import ExperimentError
 from repro.experiments import (
+    ExperimentResult,
     ExperimentSpec,
     ModelSpec,
     SchedulerSpec,
@@ -51,6 +53,7 @@ BUILTINS = (
     "crossover",
     "fault_resilience",
     "radio_footnote2",
+    "saturation",
 )
 
 
@@ -382,6 +385,58 @@ def test_failing_check_fails_verification(tmp_path):
     assert not report.ok
     failed = [check for check in report.checks if not check.ok]
     assert failed and any("solved rate" in f for f in failed[0].failures)
+
+
+def _knee_points(latencies: dict[float, float]) -> dict[str, list[Point]]:
+    """Synthetic single-sweep points with a given rate -> p95 curve."""
+    points = []
+    for i, (rate, p95) in enumerate(sorted(latencies.items())):
+        spec = ExperimentSpec(
+            name=f"knee-{i}",
+            topology=TopologySpec("line", {"n": 4}),
+            workload=WorkloadSpec(
+                "open_arrivals",
+                {"process": "poisson", "rate": rate, "count": 2},
+            ),
+            seed=i,
+        )
+        result = ExperimentResult(
+            spec=spec,
+            solved=True,
+            completion_time=1.0,
+            broadcast_count=0,
+            delivered_count=0,
+            metrics={"latency_p95": p95},
+        )
+        points.append(Point("load", i, spec, result))
+    return {"load": points}
+
+
+def test_saturation_knee_check_passes_on_a_bent_curve():
+    check = CHECKS.get("saturation_knee")
+    curve = {0.01: 10.0, 0.02: 14.0, 0.08: 90.0, 0.32: 200.0}
+    assert check(_knee_points(curve)) == []
+
+
+def test_saturation_knee_check_fails_on_a_flat_curve():
+    check = CHECKS.get("saturation_knee")
+    flat = {0.01: 10.0, 0.02: 11.0, 0.08: 12.0, 0.32: 13.0}
+    failures = check(_knee_points(flat))
+    assert failures and "saturat" in failures[0]
+
+
+def test_saturation_knee_check_accepts_knee_at_the_lowest_rate():
+    """A curve that bends right after its first rate still has a knee —
+    the lowest rate itself (the slotted radio substrates sit here)."""
+    check = CHECKS.get("saturation_knee")
+    bent_at_origin = {0.01: 100.0, 0.02: 400.0, 0.08: 900.0}
+    assert check(_knee_points(bent_at_origin), knee_ratio=3.0) == []
+
+
+def test_saturation_knee_check_needs_enough_points():
+    check = CHECKS.get("saturation_knee")
+    failures = check(_knee_points({0.01: 10.0, 0.32: 200.0}))
+    assert failures and "need >=" in failures[0]
 
 
 # ----------------------------------------------------------------------

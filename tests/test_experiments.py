@@ -294,6 +294,24 @@ def test_grid_fault_axis_lands_in_fault_params():
     assert spec.fault == FaultSpec("crash_random", {"latest": 0.3})
 
 
+def test_grid_kind_swap_resets_stale_params():
+    """Params are kind-specific: a workload.kind axis must not carry the
+    base kind's params (one_each's ``k``) into the new kind's builder,
+    while sibling param axes still land on the new kind."""
+    specs = Sweep.grid(
+        base_spec(),
+        axes={
+            "workload.kind": ["open_arrivals"],
+            "workload.rate": [0.01, 0.02],
+        },
+    )
+    assert len(specs) == 2
+    for spec in specs:
+        assert spec.workload.kind == "open_arrivals"
+        assert "k" not in spec.workload.params
+    assert {s.workload.params["rate"] for s in specs} == {0.01, 0.02}
+
+
 def test_grid_unknown_dotted_path_error_names_the_path():
     with pytest.raises(
         ExperimentError,

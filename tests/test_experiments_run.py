@@ -265,6 +265,28 @@ def test_parallel_sweep_equals_serial_sweep():
     assert serial.results == parallel.results
 
 
+def test_arrival_rate_sweep_parallel_equals_serial():
+    """Arrival-rate axes (open_arrivals workloads) shard across worker
+    processes like any other: registration survives pickling into the
+    workers and every steady gauge comes back bit-identical."""
+    base = ExperimentSpec(
+        name="open",
+        topology=TopologySpec("line", {"n": 8}),
+        workload=WorkloadSpec(
+            "open_arrivals", {"process": "poisson", "rate": 0.02, "count": 4}
+        ),
+        scheduler=SchedulerSpec("uniform"),
+        model=ModelSpec(fack=FACK, fprog=FPROG),
+        seed=7,
+    )
+    specs = Sweep.grid(base, axes={"workload.rate": [0.01, 0.05]}, repeats=2)
+    serial = run_sweep(specs, workers=1)
+    parallel = run_sweep(specs, workers=2)
+    assert len(serial) == len(parallel) == 4
+    assert serial.results == parallel.results
+    assert all("latency_p95" in r.metrics for r in serial)
+
+
 def test_sweep_aggregation():
     sweep = run_sweep(sweep_specs())
     assert sweep.solved_rate == 1.0

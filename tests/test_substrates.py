@@ -219,6 +219,19 @@ def test_observations_dropped_on_summary_runs():
     assert result.raw is None
 
 
+@pytest.mark.parametrize("name", BUILTINS)
+def test_summary_runs_keep_metrics_identical(name: str):
+    """keep_raw=False drops the stream and raw handles on every builtin
+    substrate without changing a single scalar metric."""
+    full = run(smoke_spec(name, seed=5))
+    summary = run(smoke_spec(name, seed=5), keep_raw=False)
+    assert full.observations
+    assert summary.observations == ()
+    assert summary.raw is None
+    assert summary.solved == full.solved
+    assert summary.metrics == full.metrics
+
+
 def test_fault_timeline_appears_in_observations():
     spec = dataclasses.replace(
         smoke_spec("standard", seed=9),
@@ -265,8 +278,14 @@ def test_arrival_workloads_rejected_on_time_zero_substrates(name: str):
         workload=WorkloadSpec("staggered", {"count": 2, "spacing": 5.0}),
         substrate=name,
     )
-    with pytest.raises(ExperimentError, match="time-0"):
+    with pytest.raises(ExperimentError, match="time-0") as excinfo:
         run(spec)
+    # The diagnostic names the offender, the workload kind, and which
+    # registered substrates do take arrival schedules.
+    message = str(excinfo.value)
+    assert name in message
+    assert "'staggered'" in message
+    assert "arrival-capable substrates" in message
 
 
 # ----------------------------------------------------------------------
