@@ -49,6 +49,7 @@ from repro.campaigns.executor import (
     VerifyReport,
     collect_results,
     evaluate_checks,
+    evaluate_trace_checks,
     expand_points,
     parse_shard,
     results_by_sweep,
@@ -66,6 +67,11 @@ from repro.campaigns.spec import (
     scaled_values,
 )
 from repro.campaigns.store import ResultStore, StoreStats, spec_key
+from repro.campaigns.trace_checks import (
+    TRACE_CHECKS,
+    register_trace_check,
+    run_trace_check,
+)
 
 __all__ = [
     "BOUNDS",
@@ -83,20 +89,24 @@ __all__ = [
     "SeriesSpec",
     "StoreStats",
     "SweepDirective",
+    "TRACE_CHECKS",
     "VerifyReport",
     "bound_value",
     "build_campaign",
     "campaign_summary_rows",
     "collect_results",
     "evaluate_checks",
+    "evaluate_trace_checks",
     "expand_points",
     "list_campaigns",
     "parse_shard",
     "register_bound",
     "register_campaign",
     "register_check",
+    "register_trace_check",
     "results_by_sweep",
     "run_campaign",
+    "run_trace_check",
     "scaled_values",
     "shard_points",
     "spec_key",

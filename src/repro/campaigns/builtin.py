@@ -17,7 +17,9 @@ wrappers over these definitions):
   emergent ``Fack`` grows with contention while ``Fprog`` stays small.
 * ``saturation`` — steady-state service mode: arrival-rate sweeps per
   substrate under the ``open_arrivals`` workload, load-latency curves,
-  and the saturation-knee check (see :mod:`repro.traffic`).
+  per-window latency series from the journaled standard sweep, and the
+  saturation-knee plus trace-level checks (see :mod:`repro.traffic` and
+  :mod:`repro.campaigns.trace_checks`).
 
 Builders accept an optional ``n_max`` that reduces the campaign.  For the
 ladder campaigns (``figure1``, ``figure2_lowerbound``, ``radio_footnote2``)
@@ -601,6 +603,7 @@ def _saturation(n_max: int | None = None, seeds: int = 3) -> CampaignSpec:
         ),
         axes={"workload.rate": [0.005, 0.02, 0.08, 0.32]},
         repeats=seeds,
+        journal=True,
     )
     radio = SweepDirective(
         name="radio",
@@ -702,6 +705,21 @@ def _saturation(n_max: int | None = None, seeds: int = 3) -> CampaignSpec:
                 xlabel="arrival rate (messages per time unit)",
                 ylabel="completions per time unit",
             ),
+            FigureSpec(
+                name="latency_windows",
+                title="Per-window delivery latency, standard sweep (n=%d)" % n,
+                x="window",
+                series=(
+                    SeriesSpec(
+                        sweep="standard",
+                        y="series:window_latency_mean",
+                        agg="mean",
+                        label="standard (all rates pooled)",
+                    ),
+                ),
+                xlabel="steady-state window index",
+                ylabel="mean delivery latency (time units)",
+            ),
         ),
         checks=(
             CheckSpec(kind="solved", sweeps=("standard",)),
@@ -719,6 +737,11 @@ def _saturation(n_max: int | None = None, seeds: int = 3) -> CampaignSpec:
                     "min_points": 3,
                 },
             ),
+        ),
+        trace_checks=(
+            CheckSpec(kind="ack_latency", sweeps=("standard",)),
+            CheckSpec(kind="abort_accounting", sweeps=("standard",)),
+            CheckSpec(kind="delivery_order", sweeps=("standard",)),
         ),
     )
 

@@ -17,11 +17,13 @@ directives to a complete result set.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.campaigns.checks import CHECKS, Point, PointsBySweep
 from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import ResultStore
+from repro.campaigns.trace_checks import run_trace_check
 from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.specs import ExperimentSpec
@@ -157,24 +159,46 @@ def run_campaign(
         raise ExperimentError(
             f"checkpoint_batch must be >= 1, got {checkpoint_batch}"
         )
+    # Journals only exist in a store; without one there is nowhere to
+    # persist streams, so journal directives degrade to plain sweeps.
+    journal_sweeps = (
+        {d.name for d in campaign.sweeps if d.journal}
+        if store is not None
+        else set()
+    )
     results: list[ExperimentResult | None] = [None] * len(points)
     misses: list[int] = []
     corrupt_before = store.stats.corrupt if store is not None else 0
     for position, point in enumerate(points):
         cached = store.get(point.spec) if store is not None else None
-        if cached is not None:
+        if cached is not None and (
+            point.sweep not in journal_sweeps or store.has_journal(point.spec)
+        ):
             results[position] = cached
         else:
+            # A summary hit without its journal still re-runs: the
+            # journal directive promises the stream is on disk.
             misses.append(position)
-    for start in range(0, len(misses), checkpoint_batch):
-        batch = misses[start : start + checkpoint_batch]
-        sweep = run_sweep(
-            [points[position].spec for position in batch], workers=workers
-        )
-        for position, result in zip(batch, sweep):
-            results[position] = result
-            if store is not None:
-                store.put(result)
+    for journaled in (False, True):
+        group = [
+            position
+            for position in misses
+            if (points[position].sweep in journal_sweeps) == journaled
+        ]
+        for start in range(0, len(group), checkpoint_batch):
+            batch = group[start : start + checkpoint_batch]
+            sweep = run_sweep(
+                [points[position].spec for position in batch],
+                workers=workers,
+                keep_observations=journaled,
+            )
+            for position, result in zip(batch, sweep):
+                if journaled:
+                    store.put_journal(result.spec, result.observations)
+                    result = dataclasses.replace(result, observations=())
+                results[position] = result
+                if store is not None:
+                    store.put(result)
     return CampaignRun(
         campaign=campaign,
         shard=shard,
@@ -263,6 +287,47 @@ def evaluate_checks(
     return outcomes
 
 
+def evaluate_trace_checks(
+    campaign: CampaignSpec, store: ResultStore
+) -> list[CheckOutcome]:
+    """Apply every trace-check directive to its journaled points.
+
+    Each directive runs once per point of the journaling sweeps it
+    scopes, against the observation journal persisted in the store.  A
+    point without a readable journal is itself a failure — the journal
+    directive promised the stream, so silence must not pass.  Outcome
+    kinds are prefixed ``trace:`` to keep the two check families apart
+    in reports.
+    """
+    journal_sweeps = {d.name for d in campaign.sweeps if d.journal}
+    points = [
+        point
+        for point in expand_points(campaign)
+        if point.sweep in journal_sweeps
+    ]
+    outcomes = []
+    for check in campaign.trace_checks:
+        failures: list[str] = []
+        for point in points:
+            if not check.matches(point.sweep):
+                continue
+            label = f"{point.sweep}[{point.index}] {point.spec.name!r}"
+            journal = store.get_journal(point.spec)
+            if journal is None:
+                failures.append(f"{label}: no readable journal in store")
+                continue
+            failures.extend(
+                f"{label}: {failure}"
+                for failure in run_trace_check(
+                    check.kind, point.spec, journal.observations, **check.params
+                )
+            )
+        outcomes.append(
+            CheckOutcome(f"trace:{check.kind}", check.sweeps, tuple(failures))
+        )
+    return outcomes
+
+
 @dataclass
 class VerifyReport:
     """Completeness + validation verdict for a campaign's store.
@@ -304,4 +369,5 @@ def verify_campaign(campaign: CampaignSpec, store: ResultStore) -> VerifyReport:
     )
     if report.complete:
         report.checks = evaluate_checks(campaign, points_by_sweep)
+        report.checks += evaluate_trace_checks(campaign, store)
     return report

@@ -59,7 +59,14 @@ def _aggregate(values: list[float]) -> dict[str, float]:
 
 
 def series_data(figure: FigureSpec, points_by_sweep: PointsBySweep) -> list[SeriesData]:
-    """Aggregate every series of a figure from the executed points."""
+    """Aggregate every series of a figure from the executed points.
+
+    Scalar series (``completion_time``, ``metric:<key>``, ...) bucket one
+    y value per point by the figure's spec-path x.  ``series:<name>``
+    series pool the named per-run curve of every matching point instead:
+    the curve's own x values (e.g. window index) are the buckets, and the
+    figure's ``x`` is only a label.
+    """
     out = []
     for series in figure.series:
         matching: list[Point] = []
@@ -72,9 +79,28 @@ def series_data(figure: FigureSpec, points_by_sweep: PointsBySweep) -> list[Seri
                 f"no executed points (sweep {series.sweep!r})"
             )
         buckets: dict[float, list[float]] = {}
-        for point in matching:
-            x = float(path_value(point.spec, figure.x))
-            buckets.setdefault(x, []).append(y_value(point, series.y))
+        if series.y.startswith("series:"):
+            key = series.y[len("series:") :]
+            for point in matching:
+                curve = point.result.series.get(key)
+                if curve is None:
+                    raise ExperimentError(
+                        f"figure {figure.name!r}: point "
+                        f"{point.spec.name!r} recorded no result series "
+                        f"{key!r}; recorded: "
+                        f"{', '.join(sorted(point.result.series)) or 'none'}"
+                    )
+                for x, y in curve:
+                    buckets.setdefault(float(x), []).append(float(y))
+            if not buckets:
+                raise ExperimentError(
+                    f"figure {figure.name!r}: result series {key!r} is "
+                    f"empty on every matching point"
+                )
+        else:
+            for point in matching:
+                x = float(path_value(point.spec, figure.x))
+                buckets.setdefault(x, []).append(y_value(point, series.y))
         rows = tuple(
             (x, _aggregate(values)) for x, values in sorted(buckets.items())
         )
@@ -285,7 +311,12 @@ def campaign_summary_rows(
 
 
 def points_csv(points_by_sweep: PointsBySweep) -> str:
-    """Every executed point as one CSV row (the raw data behind figures)."""
+    """Every executed point as one CSV row (the raw data behind figures).
+
+    Scalar gauges land in the ``metrics`` column; non-scalar gauges —
+    the named per-run curves — land in ``series`` as compact JSON, so a
+    point's windowed data is never silently dropped from the table.
+    """
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
     writer.writerow(
@@ -299,6 +330,7 @@ def points_csv(points_by_sweep: PointsBySweep) -> str:
             "broadcast_count",
             "delivered_count",
             "metrics",
+            "series",
         ]
     )
     for sweep_name in points_by_sweep:
@@ -318,6 +350,17 @@ def points_csv(points_by_sweep: PointsBySweep) -> str:
                         {
                             key: encode_float(value)
                             for key, value in sorted(result.metrics.items())
+                        },
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    ),
+                    json.dumps(
+                        {
+                            name: [
+                                [encode_float(x), encode_float(y)]
+                                for x, y in curve
+                            ]
+                            for name, curve in sorted(result.series.items())
                         },
                         sort_keys=True,
                         separators=(",", ":"),

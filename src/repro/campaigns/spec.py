@@ -53,6 +53,10 @@ class SweepDirective:
             stay paired.
         repeats: Independent replications per grid point.
         derive_seeds: Per-point seed derivation, as in :meth:`Sweep.grid`.
+        journal: Persist each point's observation journal into the result
+            store alongside its summary (see :mod:`repro.runtime.journal`)
+            so trace-level checks can read the streams post-hoc.  Cached
+            points missing their journal re-run.
     """
 
     name: str
@@ -61,6 +65,7 @@ class SweepDirective:
     zip_axes: dict[str, list[Any]] = field(default_factory=dict)
     repeats: int = 1
     derive_seeds: bool = True
+    journal: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -127,6 +132,7 @@ class SweepDirective:
             "zip_axes": {k: list(v) for k, v in self.zip_axes.items()},
             "repeats": self.repeats,
             "derive_seeds": self.derive_seeds,
+            "journal": self.journal,
         }
 
     @classmethod
@@ -138,6 +144,7 @@ class SweepDirective:
             zip_axes=dict(data.get("zip_axes", {})),
             repeats=data.get("repeats", 1),
             derive_seeds=data.get("derive_seeds", True),
+            journal=data.get("journal", False),
         )
 
 
@@ -147,8 +154,11 @@ class SeriesSpec:
 
     Attributes:
         sweep: Sweep name (or glob) the series draws points from.
-        y: What to plot — a result field from :data:`SERIES_FIELDS` or
-            ``metric:<key>`` for a scalar metric.
+        y: What to plot — a result field from :data:`SERIES_FIELDS`,
+            ``metric:<key>`` for a scalar metric, or ``series:<name>``
+            for a per-run curve (every matching point's named result
+            series is pooled; the curve's own x values replace the
+            figure's spec-path x).
         label: Legend label; defaults to ``sweep/y``.
         agg: Aggregation across repeats at one x value (``solved`` series
             usually want ``mean``, i.e. the solved rate).
@@ -160,10 +170,14 @@ class SeriesSpec:
     agg: str = "median"
 
     def __post_init__(self) -> None:
-        if self.y not in SERIES_FIELDS and not self.y.startswith("metric:"):
+        if (
+            self.y not in SERIES_FIELDS
+            and not self.y.startswith("metric:")
+            and not self.y.startswith("series:")
+        ):
             raise ExperimentError(
-                f"series y {self.y!r} must be one of {SERIES_FIELDS} or "
-                f"'metric:<key>'"
+                f"series y {self.y!r} must be one of {SERIES_FIELDS}, "
+                f"'metric:<key>', or 'series:<name>'"
             )
         if self.agg not in SERIES_AGGS:
             raise ExperimentError(
@@ -305,6 +319,10 @@ class CampaignSpec:
         figures: Figures regenerated from the results.
         checks: Validation directives; a campaign *verifies* when all of
             them pass over a complete result set.
+        trace_checks: Trace-level validation directives — entries in
+            :data:`repro.campaigns.trace_checks.TRACE_CHECKS`, evaluated
+            per point against the persisted observation journals of the
+            sweeps they scope (those sweeps must set ``journal=True``).
     """
 
     name: str
@@ -312,6 +330,7 @@ class CampaignSpec:
     sweeps: tuple[SweepDirective, ...]
     figures: tuple[FigureSpec, ...] = ()
     checks: tuple[CheckSpec, ...] = ()
+    trace_checks: tuple[CheckSpec, ...] = ()
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -322,6 +341,19 @@ class CampaignSpec:
         object.__setattr__(self, "sweeps", tuple(self.sweeps))
         object.__setattr__(self, "figures", tuple(self.figures))
         object.__setattr__(self, "checks", tuple(self.checks))
+        object.__setattr__(self, "trace_checks", tuple(self.trace_checks))
+        journaled = {d.name for d in self.sweeps if d.journal}
+        for check in self.trace_checks:
+            if not any(
+                any(fnmatchcase(name, pattern) for name in journaled)
+                for pattern in check.sweeps
+            ):
+                raise ExperimentError(
+                    f"campaign {self.name!r}: trace check {check.kind!r} "
+                    f"scopes {check.sweeps} but no journaling sweep "
+                    f"matches (journal=True sweeps: "
+                    f"{sorted(journaled) or 'none'})"
+                )
         names = [directive.name for directive in self.sweeps]
         if len(set(names)) != len(names):
             raise ExperimentError(
@@ -360,6 +392,7 @@ class CampaignSpec:
             "sweeps": [directive.to_dict() for directive in self.sweeps],
             "figures": [figure.to_dict() for figure in self.figures],
             "checks": [check.to_dict() for check in self.checks],
+            "trace_checks": [check.to_dict() for check in self.trace_checks],
         }
 
     @classmethod
@@ -376,6 +409,9 @@ class CampaignSpec:
             ),
             checks=tuple(
                 CheckSpec.from_dict(c) for c in data.get("checks", [])
+            ),
+            trace_checks=tuple(
+                CheckSpec.from_dict(c) for c in data.get("trace_checks", [])
             ),
         )
 

@@ -19,6 +19,7 @@ key covers it).  Properties the campaign executor relies on:
 
 from __future__ import annotations
 
+import gzip
 import hashlib
 import json
 import os
@@ -26,11 +27,15 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.specs import ExperimentSpec
+from repro.runtime.journal import Journal, dump_journal, loads_journal
+from repro.runtime.observations import Observation
 
 #: Bumped when the entry layout changes; older entries read as misses.
-STORE_FORMAT = 1
+#: 2: result payloads carry the ``series`` dict (per-window curves).
+STORE_FORMAT = 2
 
 
 def spec_key(spec: ExperimentSpec) -> str:
@@ -75,6 +80,10 @@ class ResultStore:
     def path_for(self, key: str) -> str:
         """Where the entry for ``key`` lives (two-level fan-out)."""
         return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def journal_path_for(self, key: str) -> str:
+        """Where the observation journal for ``key`` lives (same fan-out)."""
+        return os.path.join(self.root, key[:2], f"{key}.obs.jsonl.gz")
 
     # ------------------------------------------------------------------
     # Read side
@@ -159,6 +168,77 @@ class ResultStore:
             with os.fdopen(handle, "w", encoding="utf-8") as fh:
                 json.dump(document, fh, sort_keys=True, indent=1)
                 fh.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Observation journals (sweeps with ``journal=True``)
+    # ------------------------------------------------------------------
+    def has_journal(self, spec: ExperimentSpec) -> bool:
+        """Whether a journal file exists for ``spec`` (no validation)."""
+        return os.path.exists(self.journal_path_for(spec_key(spec)))
+
+    def get_journal(self, spec: ExperimentSpec) -> Journal | None:
+        """The stored journal for ``spec``, or ``None`` (miss/corrupt).
+
+        Same contract as :meth:`get`: an unreadable or malformed journal
+        counts as corrupt and as a miss, so the caller re-runs the point
+        and the rewrite heals the store.
+        """
+        key = spec_key(spec)
+        path = self.journal_path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.stats.corrupt += 1
+            return None
+        try:
+            if raw[:2] == b"\x1f\x8b":
+                raw = gzip.decompress(raw)
+            journal = loads_journal(raw.decode("utf-8"), where=path)
+        except (ExperimentError, OSError, EOFError, UnicodeDecodeError):
+            self.stats.corrupt += 1
+            return None
+        if journal.meta.get("spec_key") != key:
+            self.stats.corrupt += 1
+            return None
+        return journal
+
+    def put_journal(
+        self,
+        spec: ExperimentSpec,
+        observations: tuple[Observation, ...],
+    ) -> str:
+        """Persist a point's observation journal atomically.
+
+        The journal's bytes depend only on the spec and its deterministic
+        stream (``profile`` records are excluded by the journal writer),
+        so shards and machines produce byte-identical files.
+        """
+        key = spec_key(spec)
+        data = dump_journal(
+            observations,
+            meta={"spec": spec.to_dict(), "spec_key": key},
+        )
+        path = self.journal_path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle, tmp_path = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(handle, "wb") as fh:
+                fh.write(data)
             os.replace(tmp_path, path)
         except BaseException:
             try:

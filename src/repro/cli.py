@@ -20,6 +20,11 @@ Subcommands:
   ``saturation``): sharded, checkpointed sweeps that regenerate the
   paper's figures into ``artifacts/`` and validate them with machine
   checks.
+* ``trace`` — inspect persisted observation journals (see
+  :mod:`repro.runtime.journal`): ``dump`` prints decoded events, ``summary``
+  aggregates per journal, ``check`` re-runs trace-level checks against a
+  journal's embedded spec, ``diff`` compares two journals event by event,
+  and ``grep`` scans rendered events with a regex.
 * ``lowerbound`` — run the Figure 2 adversary (or the Lemma 3.18 choke)
   and print the measured floor plus the axiom certificate.
 * ``radio`` — run BMMB over the decay-backed radio MAC on a star and print
@@ -295,11 +300,24 @@ def _json_safe(value: Any) -> Any:
 
 
 def _sweep_json_payload(base, sweep) -> dict:
-    """The ``--json`` document: base spec + per-run rows with spec/metrics."""
+    """The ``--json`` document: base spec + per-run rows with spec/metrics.
+
+    Non-scalar gauges ride along in each row's ``series`` object (name →
+    ``[[x, y], ...]``) so windowed steady-state data is never dropped
+    from the export.
+    """
     runs = []
     for row, result in zip(sweep.table_rows(), sweep):
         runs.append(
-            {**row, "metrics": result.metrics, "spec": result.spec.to_dict()}
+            {
+                **row,
+                "metrics": result.metrics,
+                "series": {
+                    name: [list(point) for point in points]
+                    for name, points in sorted(result.series.items())
+                },
+                "spec": result.spec.to_dict(),
+            }
         )
     return _json_safe(
         {
@@ -325,10 +343,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"--param needs path=v1,v2,... syntax, got {item!r}"
             )
         axes[path] = [_parse_scalar(token) for token in raw_values.split(",")]
+    journal_dir = getattr(args, "journal_dir", None)
     try:
         specs = Sweep.grid(base, axes=axes, repeats=args.seeds)
         sweep = run_sweep(
-            specs, workers=args.workers, chunksize=args.chunksize
+            specs,
+            workers=args.workers,
+            chunksize=args.chunksize,
+            keep_observations=journal_dir is not None,
         )
     except (ExperimentError, TypeError) as exc:
         # TypeError: a --param axis fed a builder a kwarg it doesn't take.
@@ -339,6 +361,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # not read "ran nothing" as "every point validated".
         print("sweep error: no points to run", file=sys.stderr)
         return 2
+    if journal_dir is not None:
+        # Journals are named by store key so they line up with (and are
+        # byte-identical to) what a journaling campaign would persist.
+        from repro.campaigns.store import spec_key
+        from repro.runtime.journal import write_journal
+
+        os.makedirs(journal_dir, exist_ok=True)
+        for result in sweep:
+            key = spec_key(result.spec)
+            write_journal(
+                os.path.join(journal_dir, f"{key}.obs.jsonl.gz"),
+                result.observations,
+                meta={"spec": result.spec.to_dict(), "spec_key": key},
+            )
+        print(
+            f"wrote {len(sweep)} journals under {journal_dir}/",
+            file=sys.stderr,
+        )
     json_dest = args.json
     if json_dest is not None:
         payload = json.dumps(_sweep_json_payload(base, sweep), sort_keys=True)
@@ -477,6 +517,180 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.action == "report":
         return _verify_and_report(campaigns, campaign, store, args.artifacts)
     raise SystemExit(f"unknown campaign action {args.action!r}")
+
+
+# Trace checks a plain `repro trace check` runs.  ``mac_axioms`` is
+# opt-in (--check mac_axioms): journals of faulted or budget-capped runs
+# truncate legitimately, and full re-certification is the slowest check.
+DEFAULT_TRACE_CHECKS = ("ack_latency", "abort_accounting", "delivery_order")
+
+
+def _observation_dict(obs) -> dict[str, Any]:
+    return {
+        "time": obs.time,
+        "kind": obs.kind,
+        "node": obs.node,
+        "key": obs.key,
+        "ref": obs.ref,
+        "value": obs.value,
+    }
+
+
+def _journal_spec(journal, path: str) -> ExperimentSpec:
+    """The spec a campaign/sweep journal embeds in its header meta."""
+    spec_dict = journal.meta.get("spec")
+    if not isinstance(spec_dict, dict):
+        raise ExperimentError(
+            f"{path}: journal meta carries no embedded spec (hand-written "
+            f"journals need a meta {{'spec': <spec dict>}} to be checkable)"
+        )
+    return ExperimentSpec.from_dict(spec_dict)
+
+
+def _parse_trace_check(text: str) -> tuple[str, dict[str, Any]]:
+    """Parse ``name`` or ``name:key=value,key=value`` into (name, params)."""
+    name, sep, rest = text.partition(":")
+    params: dict[str, Any] = {}
+    if sep:
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            if not eq or not key:
+                raise SystemExit(
+                    f"--check params need key=value syntax, got {item!r}"
+                )
+            params[key] = _parse_scalar(value)
+    return name, params
+
+
+def cmd_trace_dump(args: argparse.Namespace) -> int:
+    from repro.runtime.journal import read_journal
+
+    journal = read_journal(args.journal)
+    if args.meta:
+        print(json.dumps(journal.meta, sort_keys=True, indent=1))
+        return 0
+    kinds = set(args.kind or [])
+    emitted = 0
+    for obs in journal.observations:
+        if kinds and obs.kind not in kinds:
+            continue
+        if args.limit is not None and emitted >= args.limit:
+            break
+        print(json.dumps(_observation_dict(obs), sort_keys=True))
+        emitted += 1
+    return 0
+
+
+def cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.runtime.journal import read_journal
+    from repro.runtime.trace import from_observations, summarize_trace
+
+    rows = []
+    for path in args.journals:
+        journal = read_journal(path)
+        kind_counts: dict[str, int] = {}
+        for obs in journal.observations:
+            kind_counts[obs.kind] = kind_counts.get(obs.kind, 0) + 1
+        row: dict[str, object] = {
+            "journal": os.path.basename(path),
+            "events": len(journal.observations),
+            "kinds": " ".join(
+                f"{kind}:{count}" for kind, count in sorted(kind_counts.items())
+            ),
+        }
+        mac_events = from_observations(journal.observations)
+        if mac_events:
+            summary = summarize_trace(mac_events)
+            row.update(
+                {
+                    "instances": summary.instances,
+                    "aborted": summary.aborted,
+                    "span": summary.last_time - summary.first_time,
+                    "mean ack latency": summary.mean_ack_latency,
+                }
+            )
+        rows.append(row)
+    print(render_table(rows, title=f"{len(rows)} observation journals"))
+    return 0
+
+
+def cmd_trace_check(args: argparse.Namespace) -> int:
+    from repro.campaigns.trace_checks import run_trace_check
+    from repro.runtime.journal import read_journal
+
+    checks = [
+        _parse_trace_check(text)
+        for text in (args.check or list(DEFAULT_TRACE_CHECKS))
+    ]
+    failures = 0
+    for path in args.journals:
+        journal = read_journal(path)
+        spec = _journal_spec(journal, path)
+        for kind, params in checks:
+            found = run_trace_check(kind, spec, journal.observations, **params)
+            for failure in found:
+                print(f"CHECK FAIL [{kind}] {path}: {failure}", file=sys.stderr)
+            failures += len(found)
+    checked = len(args.journals) * len(checks)
+    verdict = "ok" if not failures else f"{failures} failures"
+    print(
+        f"trace check: {checked} check runs over "
+        f"{len(args.journals)} journals: {verdict}"
+    )
+    return 0 if not failures else 1
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.runtime.journal import read_journal
+
+    left = read_journal(args.a)
+    right = read_journal(args.b)
+    if left.meta != right.meta:
+        print("meta differs", file=sys.stderr)
+    differences = 0
+    shown = 0
+    for index in range(max(len(left), len(right))):
+        lhs = left.observations[index] if index < len(left) else None
+        rhs = right.observations[index] if index < len(right) else None
+        if lhs == rhs:
+            continue
+        differences += 1
+        if shown < args.limit:
+            lhs_text = "-" if lhs is None else json.dumps(_observation_dict(lhs))
+            rhs_text = "-" if rhs is None else json.dumps(_observation_dict(rhs))
+            print(f"@{index}  a: {lhs_text}")
+            print(f"@{index}  b: {rhs_text}")
+            shown += 1
+    if differences:
+        print(
+            f"journals differ: {differences} event positions "
+            f"({len(left)} vs {len(right)} events)"
+        )
+        return 1
+    identical = left.meta == right.meta
+    print("journals identical" if identical else "events identical, meta differs")
+    return 0 if identical else 1
+
+
+def cmd_trace_grep(args: argparse.Namespace) -> int:
+    import re
+
+    from repro.runtime.journal import read_journal
+
+    try:
+        pattern = re.compile(args.pattern)
+    except re.error as exc:
+        raise SystemExit(f"bad pattern {args.pattern!r}: {exc}")
+    matched = 0
+    for path in args.journals:
+        journal = read_journal(path)
+        for index, obs in enumerate(journal.observations):
+            line = json.dumps(_observation_dict(obs), sort_keys=True)
+            if pattern.search(line):
+                print(f"{path}:@{index}: {line}")
+                matched += 1
+    # grep semantics: success means something matched.
+    return 0 if matched else 1
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -760,6 +974,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump per-run rows + specs as JSON to FILE ('-' or no value: "
         "stdout only, suppressing the tables)",
     )
+    p_sweep.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        help="persist every run's observation journal under DIR, one "
+        "<store-key>.obs.jsonl.gz per run (inspect with `repro trace`)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_campaign = sub.add_parser(
@@ -819,6 +1039,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute + checkpoint only; skip verification and artifacts",
     )
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect persisted observation journals (dump/summary/check/"
+        "diff/grep)",
+    )
+    tsub = p_trace.add_subparsers(dest="action", required=True)
+
+    p_dump = tsub.add_parser("dump", help="print a journal's decoded events")
+    p_dump.add_argument("journal", help="journal file (.obs.jsonl.gz or .jsonl)")
+    p_dump.add_argument(
+        "--kind", action="append", metavar="KIND", help="keep only these kinds"
+    )
+    p_dump.add_argument(
+        "--limit", type=int, default=None, help="print at most N events"
+    )
+    p_dump.add_argument(
+        "--meta",
+        action="store_true",
+        help="print only the header meta (embedded spec + store key)",
+    )
+    p_dump.set_defaults(func=cmd_trace_dump)
+
+    p_summary = tsub.add_parser(
+        "summary", help="aggregate event/instance counts per journal"
+    )
+    p_summary.add_argument("journals", nargs="+", help="journal files")
+    p_summary.set_defaults(func=cmd_trace_summary)
+
+    p_check = tsub.add_parser(
+        "check",
+        help="run trace-level checks against each journal's embedded spec",
+    )
+    p_check.add_argument("journals", nargs="+", help="journal files")
+    p_check.add_argument(
+        "--check",
+        action="append",
+        metavar="NAME[:K=V,...]",
+        help="trace check to run, e.g. ack_latency or ack_latency:fack=40 "
+        "(repeatable; default: %s; mac_axioms is opt-in)"
+        % ", ".join(DEFAULT_TRACE_CHECKS),
+    )
+    p_check.set_defaults(func=cmd_trace_check)
+
+    p_diff = tsub.add_parser(
+        "diff", help="compare two journals event by event"
+    )
+    p_diff.add_argument("a", help="left journal")
+    p_diff.add_argument("b", help="right journal")
+    p_diff.add_argument(
+        "--limit", type=int, default=10, help="differing positions to print"
+    )
+    p_diff.set_defaults(func=cmd_trace_diff)
+
+    p_grep = tsub.add_parser(
+        "grep", help="regex-search rendered events across journals"
+    )
+    p_grep.add_argument("pattern", help="regular expression")
+    p_grep.add_argument("journals", nargs="+", help="journal files")
+    p_grep.set_defaults(func=cmd_trace_grep)
 
     p_perf = sub.add_parser(
         "perf", help="run the performance suite and emit BENCH_PERF.json"

@@ -27,10 +27,13 @@ This module keeps the substrate-independent result type
 from __future__ import annotations
 
 import math
+import sys
 import time as _time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping
 
+from repro.errors import ExperimentError
 from repro.experiments.specs import ExperimentSpec
 from repro.experiments.substrates import (
     FAULT_STREAM,
@@ -46,6 +49,7 @@ from repro.experiments.substrates import (
     materialize_workload,
     root_stream,
 )
+from repro.runtime.journal import write_journal
 from repro.runtime.observations import Observation
 
 #: Names in ``__all__`` are re-exported on purpose: the pre-substrate
@@ -93,13 +97,19 @@ class ExperimentResult:
         metrics: Substrate-specific scalar metrics (round counts,
             empirical bounds, event totals, ...) — exactly the gauges the
             substrate registered on its execution probe.
+        series: Named non-scalar curves — ``(x, y)`` point tuples the
+            probe registered (per-window latency/throughput on
+            open-arrival runs).  Deterministic, serialized, and part of
+            equality like ``metrics``.
         wall_time: Host seconds the run took (excluded from equality).
         raw: The substrate's native result object (``RunResult``,
             ``ProtocolRun``, ``FMMBResult``, or ``RadioRun``); ``None``
             when summarized for a sweep.  Excluded from equality.
         observations: The typed observation stream (see
-            :mod:`repro.runtime.observations`); empty on ``keep_raw=False``
-            runs.  Excluded from equality and serialization.
+            :mod:`repro.runtime.observations`), with run-level
+            ``profile`` markers appended by ``run``; empty on
+            ``keep_raw=False`` runs.  Excluded from equality and
+            serialization (persist it with ``run(spec, journal=...)``).
     """
 
     spec: ExperimentSpec
@@ -108,6 +118,9 @@ class ExperimentResult:
     broadcast_count: int
     delivered_count: int
     metrics: dict[str, float] = field(default_factory=dict)
+    series: dict[str, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict
+    )
     wall_time: float = field(default=0.0, compare=False)
     raw: Any = field(default=None, compare=False, repr=False)
     observations: tuple[Observation, ...] = field(
@@ -133,6 +146,12 @@ class ExperimentResult:
                 key: encode_float(value)
                 for key, value in sorted(self.metrics.items())
             },
+            "series": {
+                name: [
+                    [encode_float(x), encode_float(y)] for x, y in points
+                ]
+                for name, points in sorted(self.series.items())
+            },
         }
 
     @classmethod
@@ -148,6 +167,12 @@ class ExperimentResult:
                 key: decode_float(value)
                 for key, value in data.get("metrics", {}).items()
             },
+            series={
+                name: tuple(
+                    (decode_float(x), decode_float(y)) for x, y in points
+                )
+                for name, points in data.get("series", {}).items()
+            },
         )
 
 
@@ -162,11 +187,50 @@ def decode_float(value: Any) -> float:
     return float(value)
 
 
+def _profile_observations(
+    ctx: ExecutionContext,
+    outcome,
+    setup_seconds: float,
+    execute_seconds: float,
+    heap_blocks_delta: int,
+) -> tuple[Observation, ...]:
+    """Run-level profiling as ``profile`` observations.
+
+    One record per gauge, stamped at the stream's last event time (with
+    ``profile`` ordered last among kinds, appending keeps the stream
+    chronological).  These carry wall-clock and allocator numbers, so
+    they are machine-dependent by design — journal writers exclude them
+    by default and they never enter ``metrics`` or result equality.
+    """
+    end = max((o.time for o in outcome.observations), default=0.0)
+    events = 0.0
+    for key in ("sim_events", "slots"):
+        if key in outcome.metrics:
+            events = outcome.metrics[key]
+            break
+    else:
+        events = float(len(outcome.observations))
+    gauges = {
+        "wall_setup_s": setup_seconds,
+        "wall_execute_s": execute_seconds,
+        "events_per_s": (
+            events / execute_seconds if execute_seconds > 0 else 0.0
+        ),
+        "heap_blocks_delta": float(heap_blocks_delta),
+        "rng_draws": float(ctx.root.draws),
+    }
+    return tuple(
+        Observation(time=end, kind="profile", key=key, value=value)
+        for key, value in sorted(gauges.items())
+    )
+
+
 def run(
     spec: ExperimentSpec,
     keep_raw: bool = True,
     window: float | None = None,
     max_windows: int | None = None,
+    journal: str | Path | None = None,
 ) -> ExperimentResult:
     """Execute one spec on its substrate and summarize the outcome.
 
@@ -183,6 +247,11 @@ def run(
             ``result.metrics``.
         max_windows: Bound on retained window aggregates (oldest evicted
             first); requires ``window``.
+        journal: Write the observation stream to this path as a
+            deterministic journal (see :mod:`repro.runtime.journal`).
+            The stream is captured for the journal even when
+            ``keep_raw=False`` (the returned summary stays stripped);
+            incompatible with ``window``, which discards the stream.
 
     Returns:
         The :class:`ExperimentResult`.
@@ -196,12 +265,33 @@ def run(
     check_capabilities(spec, substrate)
     started = _time.perf_counter()
     if window is not None:
+        if journal is not None:
+            raise ExperimentError(
+                "journal capture needs the raw observation stream and "
+                "cannot be combined with windowed folding (window=...)"
+            )
         keep_raw = False
+    record_stream = keep_raw or journal is not None
     ctx = ExecutionContext(
-        spec, keep_raw=keep_raw, window=window, max_windows=max_windows
+        spec, keep_raw=record_stream, window=window, max_windows=max_windows
     )
     check_workload_capability(ctx, substrate)
+    count_blocks = getattr(sys, "getallocatedblocks", lambda: 0)
+    setup_seconds = _time.perf_counter() - started
+    blocks_before = count_blocks()
     outcome = substrate.execute(ctx)
+    execute_seconds = _time.perf_counter() - started - setup_seconds
+    observations = outcome.observations
+    if observations:
+        observations += _profile_observations(
+            ctx,
+            outcome,
+            setup_seconds,
+            execute_seconds,
+            count_blocks() - blocks_before,
+        )
+    if journal is not None:
+        write_journal(journal, observations, meta={"spec": spec.to_dict()})
     return ExperimentResult(
         spec=spec,
         solved=outcome.solved,
@@ -209,7 +299,8 @@ def run(
         broadcast_count=outcome.broadcast_count,
         delivered_count=outcome.delivered_count,
         metrics=outcome.metrics,
+        series=outcome.series,
         wall_time=_time.perf_counter() - started,
-        raw=outcome.raw,
-        observations=outcome.observations,
+        raw=outcome.raw if keep_raw else None,
+        observations=observations if keep_raw else (),
     )

@@ -398,6 +398,9 @@ class Outcome:
     metrics: dict[str, float] = field(default_factory=dict)
     raw: Any = None
     observations: tuple[Observation, ...] = ()
+    series: dict[str, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict
+    )
 
 
 class Execution:
@@ -483,9 +486,9 @@ class SubstrateBase:
     ) -> Outcome:
         """Assemble the :class:`Outcome` from the context's probe.
 
-        Metrics are exactly the probe's gauges; the observation stream is
-        attached only on ``keep_raw`` runs (sweep summaries stay small and
-        picklable).
+        Metrics are exactly the probe's gauges; named series travel on
+        every run; the observation stream is attached only on
+        ``keep_raw`` runs (sweep summaries stay small and picklable).
         """
         return Outcome(
             solved=solved,
@@ -495,6 +498,7 @@ class SubstrateBase:
             metrics=ctx.probe.metrics(),
             raw=raw if ctx.keep_raw else None,
             observations=ctx.probe.events() if ctx.keep_raw else (),
+            series=ctx.probe.series(),
         )
 
 
@@ -576,24 +580,34 @@ def check_workload_capability(
 # ----------------------------------------------------------------------
 # Shared steady-state service gauges (open-arrival workloads only)
 # ----------------------------------------------------------------------
-def _steady_gauges(
+def _observe_steady(
+    probe,
     arrival_times: dict[str, float],
     completion_times: dict[str, float],
     warmup_fraction: float,
-) -> dict[str, float]:
-    """Warmup-trimmed service gauges for an open-arrival execution.
+) -> None:
+    """Warmup-trimmed service gauges + per-window series onto the probe.
 
     Only reached when the workload is an
     :class:`~repro.traffic.OpenArrivalSchedule` (it carries
     ``warmup_fraction``), so every pre-existing workload kind keeps its
-    exact metric set.  Imported lazily: ``repro.traffic`` registers
-    workloads and must be importable after this module.
+    exact metric set.  Gauges become metrics; the per-window
+    latency/throughput curves become named probe series
+    (``window_latency_mean`` / ``window_throughput``).  Imported lazily:
+    ``repro.traffic`` registers workloads and must be importable after
+    this module.
     """
-    from repro.traffic.metrics import steady_state_metrics
+    from repro.traffic.metrics import steady_state_metrics, window_series
 
-    return steady_state_metrics(
-        arrival_times, completion_times, warmup_fraction=warmup_fraction
+    probe.gauges(
+        steady_state_metrics(
+            arrival_times, completion_times, warmup_fraction=warmup_fraction
+        )
     )
+    for name, points in window_series(
+        arrival_times, completion_times, warmup_fraction=warmup_fraction
+    ).items():
+        probe.set_series(name, points)
 
 
 # ----------------------------------------------------------------------
@@ -671,12 +685,11 @@ class StandardSubstrate(SubstrateBase):
             )
             warmup = getattr(workload, "warmup_fraction", None)
             if warmup is not None:
-                probe.gauges(
-                    _steady_gauges(
-                        workload.arrival_times(),
-                        result.per_message_completion,
-                        warmup,
-                    )
+                _observe_steady(
+                    probe,
+                    workload.arrival_times(),
+                    result.per_message_completion,
+                    warmup,
                 )
             if engine is not None:
                 solved, completion, fault_metrics = _fault_mmb_result(
@@ -923,10 +936,8 @@ class RadioSubstrate(SubstrateBase):
                 completion = max(per_message.values(), default=0.0)
                 warmup = getattr(workload, "warmup_fraction", None)
                 if warmup is not None:
-                    probe.gauges(
-                        _steady_gauges(
-                            workload.arrival_times(), per_message, warmup
-                        )
+                    _observe_steady(
+                        probe, workload.arrival_times(), per_message, warmup
                     )
             bounds = layer.empirical_bounds()
             probe.gauges(

@@ -200,6 +200,17 @@ def _run_summary(spec: ExperimentSpec) -> ExperimentResult:
     return run(spec, keep_raw=False)
 
 
+def _run_observed(spec: ExperimentSpec) -> ExperimentResult:
+    """Summary worker that keeps the observation stream.
+
+    The substrate's ``raw`` handle is dropped (engine objects are neither
+    picklable nor comparable) but the typed :class:`Observation` tuple —
+    plain frozen records — travels back to the parent, which is what
+    journaling campaign sweeps persist.
+    """
+    return dataclasses.replace(run(spec, keep_raw=True), raw=None)
+
+
 def _run_indexed(job: tuple[int, ExperimentSpec]) -> tuple[int, ExperimentResult]:
     """Chunk-friendly worker: tags each summary with its submission index.
 
@@ -209,6 +220,14 @@ def _run_indexed(job: tuple[int, ExperimentSpec]) -> tuple[int, ExperimentResult
     """
     index, spec = job
     return index, run(spec, keep_raw=False)
+
+
+def _run_indexed_observed(
+    job: tuple[int, ExperimentSpec],
+) -> tuple[int, ExperimentResult]:
+    """Indexed variant of :func:`_run_observed` (parallel journaling)."""
+    index, spec = job
+    return index, _run_observed(spec)
 
 
 def default_chunksize(jobs: int, workers: int) -> int:
@@ -287,6 +306,7 @@ def run_sweep(
     specs: Iterable[ExperimentSpec],
     workers: int | None = None,
     chunksize: int | None = None,
+    keep_observations: bool = False,
 ) -> SweepResult:
     """Run every spec and aggregate the summaries.
 
@@ -302,11 +322,18 @@ def run_sweep(
             warm interpreter (imported registries, topology caches) across
             the chunk instead of paying per-point setup.  Defaults to
             :func:`default_chunksize`.
+        keep_observations: Carry each run's typed observation stream back
+            in ``result.observations`` (``raw`` stays dropped).  Summary
+            equality is unaffected — the field is excluded from
+            comparison — but memory grows with the event count, so this
+            is for journaling sweeps, not routine aggregation.
 
     Returns:
         The :class:`SweepResult`.
     """
     spec_list = list(specs)
+    worker = _run_observed if keep_observations else _run_summary
+    indexed = _run_indexed_observed if keep_observations else _run_indexed
     if workers is not None and workers > 1 and len(spec_list) > 1:
         if chunksize is None:
             chunksize = default_chunksize(len(spec_list), workers)
@@ -316,12 +343,12 @@ def run_sweep(
         ordered: list[ExperimentResult | None] = [None] * len(jobs)
         with multiprocessing.Pool(processes=workers) as pool:
             for index, result in pool.imap_unordered(
-                _run_indexed, jobs, chunksize=chunksize
+                indexed, jobs, chunksize=chunksize
             ):
                 ordered[index] = result
         results = [r for r in ordered if r is not None]
         if len(results) != len(jobs):  # pragma: no cover - defensive
             raise ExperimentError("parallel sweep lost results")
     else:
-        results = [_run_summary(spec) for spec in spec_list]
+        results = [worker(spec) for spec in spec_list]
     return SweepResult(tuple(results))

@@ -307,6 +307,54 @@ def bench_arrival_stream(repeats: int = 3) -> BenchRecord:
 
 
 # ----------------------------------------------------------------------
+# Observation journals
+# ----------------------------------------------------------------------
+@_micro("journal_roundtrip")
+def bench_journal_roundtrip(repeats: int = 3) -> BenchRecord:
+    """Serialize + parse a 60k-event observation journal.
+
+    Exercises the persistence path campaigns pay per journaled point:
+    canonical ordering, strict-JSON row encoding, deterministic gzip
+    framing, and the full parse back to :class:`Observation` tuples.
+    """
+    from repro.runtime.journal import dump_journal, loads_journal
+    from repro.runtime.observations import Observation
+
+    count = 60_000
+    rng = random.Random(2024)
+    kinds = ("bcast", "rcv", "ack", "deliver", "arrival")
+    observations = tuple(
+        Observation(
+            time=rng.random() * 1000.0,
+            kind=kinds[i % len(kinds)],
+            node=i % 64,
+            key=f"m{i % 40}",
+            ref=i % 12_000,
+            value=1.0,
+        )
+        for i in range(count)
+    )
+
+    def once():
+        import gzip
+
+        t_dump, data = timed(
+            lambda: dump_journal(observations, meta={"bench": True})
+        )
+        t_load, journal = timed(
+            lambda: loads_journal(gzip.decompress(data).decode("utf-8"))
+        )
+        assert len(journal) == count
+        return (
+            float(count),
+            {"dump": t_dump, "load": t_load},
+            {"bytes": float(len(data)), "events": float(count)},
+        )
+
+    return measure("journal_roundtrip", "micro", once, repeats)
+
+
+# ----------------------------------------------------------------------
 # Topology queries
 # ----------------------------------------------------------------------
 @_micro("dualgraph_queries")

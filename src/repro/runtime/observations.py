@@ -5,7 +5,9 @@ An execution, whatever engine ran it, is observable as one flat stream of
 ``abort``), MMB outputs (``deliver``), environment inputs (``arrival``),
 substrate clock markers (``round`` / ``slot``), and fault transitions
 (``crash`` / ``recover`` / ``join`` / ``leave`` / ``link_up`` /
-``link_down``).  The :class:`Probe` collects the stream plus the scalar
+``link_down``), and run-level profiling markers (``profile``, emitted by
+the runner with wall-time / throughput / heap gauges as ``key``/``value``
+pairs).  The :class:`Probe` collects the stream plus the scalar
 gauges that become :attr:`ExperimentResult.metrics
 <repro.experiments.ExperimentResult.metrics>`, replacing the per-substrate
 ad-hoc metrics assembly with one documented surface.
@@ -68,6 +70,7 @@ OBSERVATION_KINDS: tuple[str, ...] = (
     "leave",
     "link_up",
     "link_down",
+    "profile",
 )
 
 _KIND_ORDER = {kind: index for index, kind in enumerate(OBSERVATION_KINDS)}
@@ -192,6 +195,7 @@ class Probe:
         self.max_windows = int(max_windows) if max_windows is not None else None
         self._events: list[Observation] = []
         self._gauges: dict[str, float] = {}
+        self._series: dict[str, tuple[tuple[float, float], ...]] = {}
         self._buckets: dict[int, _WindowBucket] = {}
         self._kind_totals: dict[str, float] = {}
         self._folded = 0.0
@@ -254,6 +258,25 @@ class Probe:
         """Register several scalar metrics at once."""
         for name, value in values.items():
             self.gauge(name, value)
+
+    def set_series(
+        self, name: str, points: Iterable[tuple[float, float]]
+    ) -> None:
+        """Register one named (x, y) series (last write wins).
+
+        Series are the non-scalar companion to gauges — per-window
+        latency/throughput curves and similar shapes that a single float
+        cannot carry.  They surface as ``ExperimentResult.series`` and as
+        ``series:<name>`` figure inputs in campaigns; they are *not*
+        merged into :meth:`metrics`.
+        """
+        self._series[name] = tuple(
+            (float(x), float(y)) for x, y in points
+        )
+
+    def series(self) -> dict[str, tuple[tuple[float, float], ...]]:
+        """Every registered series, keyed by name."""
+        return dict(self._series)
 
     # ------------------------------------------------------------------
     # Derivation helpers (post-run, never during execution)

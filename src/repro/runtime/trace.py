@@ -24,7 +24,7 @@ from typing import Iterable, Iterator
 from repro.errors import ExperimentError
 from repro.ids import InstanceId, NodeId, Time
 from repro.mac.messages import InstanceLog, MessageInstance
-from repro.runtime.observations import Observation
+from repro.runtime.observations import Observation, _payload_tag
 
 
 @dataclass(frozen=True)
@@ -36,7 +36,10 @@ class TraceEvent:
         kind: One of ``bcast``, ``rcv``, ``ack``, ``abort``.
         node: The acting node (receiver for ``rcv``, sender otherwise).
         iid: The message instance the event belongs to.
-        payload: String form of the payload (for human inspection only).
+        payload: The payload's stable tag (message id when it has one) —
+            the same label the observation stream carries as ``key``, so
+            :func:`flatten` and :func:`from_observations` agree field for
+            field on the same execution.
     """
 
     time: Time
@@ -57,7 +60,7 @@ def flatten(instances: Iterable[MessageInstance]) -> list[TraceEvent]:
     """
     events: list[TraceEvent] = []
     for inst in instances:
-        payload = str(inst.payload)
+        payload = _payload_tag(inst.payload)
         events.append(
             TraceEvent(inst.bcast_time, "bcast", inst.sender, inst.iid, payload)
         )
@@ -170,24 +173,89 @@ class TraceSummary:
     mean_ack_latency: Time
 
 
-def summarize_trace(instances: Iterable[MessageInstance]) -> TraceSummary:
-    """Compute a :class:`TraceSummary` (raises on an empty trace)."""
-    insts = list(instances)
-    if not insts:
-        raise ExperimentError("cannot summarize an empty trace")
-    events = flatten(insts)
-    ack_latencies = [
-        inst.ack_time - inst.bcast_time
-        for inst in insts
-        if inst.ack_time is not None
-    ]
+def to_instance_log(events: Iterable[TraceEvent]) -> InstanceLog:
+    """Rebuild an :class:`InstanceLog` from flattened trace events.
+
+    The inverse of :func:`flatten` / :func:`from_observations` (payloads
+    come back as their string tags, which the axiom checker treats
+    opaquely).  Instance ids must be contiguous from 0 and every instance
+    needs exactly one ``bcast`` — both properties hold for any stream a
+    substrate emitted, so a violation means the trace was synthesized or
+    truncated.
+    """
+    by_iid: dict[InstanceId, list[TraceEvent]] = {}
+    for event in events:
+        by_iid.setdefault(event.iid, []).append(event)
+    log = InstanceLog()
+    for expected_iid, iid in enumerate(sorted(by_iid)):
+        if iid != expected_iid:
+            raise ExperimentError(
+                f"trace has non-contiguous instance ids (expected "
+                f"{expected_iid}, found {iid})"
+            )
+        bcasts = [e for e in by_iid[iid] if e.kind == "bcast"]
+        if len(bcasts) != 1:
+            raise ExperimentError(
+                f"instance {iid} has {len(bcasts)} bcast events (need 1)"
+            )
+        bcast = bcasts[0]
+        inst = log.new_instance(bcast.node, bcast.payload, bcast.time)
+        for event in by_iid[iid]:
+            if event.kind == "rcv":
+                inst.rcv_times[event.node] = event.time
+            elif event.kind == "ack":
+                inst.ack_time = event.time
+            elif event.kind == "abort":
+                inst.abort_time = event.time
+    return log
+
+
+def _summarize_events(events: list[TraceEvent]) -> TraceSummary:
+    events = sorted(
+        events, key=lambda e: (e.time, _KIND_ORDER[e.kind], e.iid, e.node)
+    )
+    bcast_times: dict[InstanceId, Time] = {}
+    ack_latencies: list[Time] = []
+    iids: set[InstanceId] = set()
+    rcv_events = 0
+    aborted = 0
+    for event in events:
+        iids.add(event.iid)
+        if event.kind == "bcast":
+            bcast_times[event.iid] = event.time
+        elif event.kind == "rcv":
+            rcv_events += 1
+        elif event.kind == "abort":
+            aborted += 1
+    for event in events:
+        if event.kind == "ack" and event.iid in bcast_times:
+            ack_latencies.append(event.time - bcast_times[event.iid])
     return TraceSummary(
-        instances=len(insts),
-        rcv_events=sum(len(i.rcv_times) for i in insts),
-        aborted=sum(1 for i in insts if i.abort_time is not None),
+        instances=len(iids),
+        rcv_events=rcv_events,
+        aborted=aborted,
         first_time=events[0].time,
         last_time=events[-1].time,
         mean_ack_latency=(
             sum(ack_latencies) / len(ack_latencies) if ack_latencies else 0.0
         ),
     )
+
+
+def summarize_trace(
+    trace: Iterable[MessageInstance] | Iterable[TraceEvent],
+) -> TraceSummary:
+    """Compute a :class:`TraceSummary` (raises on an empty trace).
+
+    Accepts either form of a trace — an instance log (or any iterable of
+    :class:`MessageInstance`) or the already-flattened
+    :class:`TraceEvent` list from :func:`flatten` /
+    :func:`from_observations` — and produces the identical summary for
+    the same execution.
+    """
+    items = list(trace)
+    if not items:
+        raise ExperimentError("cannot summarize an empty trace")
+    if isinstance(items[0], TraceEvent):
+        return _summarize_events(items)
+    return _summarize_events(flatten(items))

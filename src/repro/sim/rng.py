@@ -39,10 +39,27 @@ class RandomSource:
         self.seed = int(seed)
         self.name = name
         self._rng = random.Random(self.seed)
+        # Tree-wide wrapper-draw tally, shared by reference with every
+        # derived child stream (a one-element list so children mutate the
+        # root's cell).  Draws taken through ``raw`` bindings bypass it.
+        self._draws = [0]
 
     def child(self, name: str) -> "RandomSource":
         """An independent stream addressed by ``name`` under this stream."""
-        return RandomSource(derive_seed(self.seed, name), f"{self.name}/{name}")
+        node = RandomSource(derive_seed(self.seed, name), f"{self.name}/{name}")
+        node._draws = self._draws
+        return node
+
+    @property
+    def draws(self) -> int:
+        """Wrapper-level draws taken across this stream's whole tree.
+
+        A profiling gauge, not an exact entropy count: hot loops that
+        bind ``raw`` methods directly are invisible here, and
+        :meth:`bitstring` counts as one draw.  The value is deterministic
+        for a given spec, so it doubles as a cheap divergence sentinel.
+        """
+        return self._draws[0]
 
     @property
     def raw(self) -> random.Random:
@@ -74,30 +91,37 @@ class RandomSource:
     # ------------------------------------------------------------------
     def random(self) -> float:
         """Uniform float in [0, 1)."""
+        self._draws[0] += 1
         return self._rng.random()
 
     def uniform(self, lo: float, hi: float) -> float:
         """Uniform float in [lo, hi]."""
+        self._draws[0] += 1
         return self._rng.uniform(lo, hi)
 
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in [lo, hi], inclusive."""
+        self._draws[0] += 1
         return self._rng.randint(lo, hi)
 
     def choice(self, seq: Sequence[T]) -> T:
         """Uniform choice from a non-empty sequence."""
+        self._draws[0] += 1
         return self._rng.choice(seq)
 
     def sample(self, seq: Sequence[T], count: int) -> list[T]:
         """Sample ``count`` distinct elements without replacement."""
+        self._draws[0] += 1
         return self._rng.sample(seq, count)
 
     def shuffle(self, items: list[T]) -> None:
         """In-place Fisher–Yates shuffle."""
+        self._draws[0] += 1
         self._rng.shuffle(items)
 
     def bernoulli(self, p: float) -> bool:
         """True with probability ``p``."""
+        self._draws[0] += 1
         return self._rng.random() < p
 
     def bitstring(self, length: int) -> tuple[int, ...]:
@@ -106,6 +130,7 @@ class RandomSource:
         Used by the FMMB election subroutine, where each active node draws a
         ``4·log n``-bit string (paper §4.2).
         """
+        self._draws[0] += 1
         return tuple(self._rng.getrandbits(1) for _ in range(length))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

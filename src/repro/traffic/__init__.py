@@ -25,7 +25,12 @@ from repro.traffic.arrivals import (
     list_arrivals,
     register_arrival,
 )
-from repro.traffic.metrics import LATENCY_PERCENTILES, steady_state_metrics
+from repro.traffic.metrics import (
+    LATENCY_PERCENTILES,
+    SERIES_WINDOWS,
+    steady_state_metrics,
+    window_series,
+)
 from repro.traffic.smoke import STEADY_GAUGES, traffic_smoke
 
 __all__ = [
@@ -33,10 +38,12 @@ __all__ = [
     "ARRIVALS",
     "DeliveredRing",
     "LATENCY_PERCENTILES",
+    "SERIES_WINDOWS",
     "OpenArrivalSchedule",
     "STEADY_GAUGES",
     "list_arrivals",
     "register_arrival",
     "steady_state_metrics",
     "traffic_smoke",
+    "window_series",
 ]

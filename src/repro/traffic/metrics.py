@@ -20,6 +20,74 @@ from repro.errors import ExperimentError
 #: Latency percentiles reported by :func:`steady_state_metrics`.
 LATENCY_PERCENTILES = (50, 95, 99)
 
+#: Fixed window count for :func:`window_series` — per-window curves from
+#: different sweep points share an x axis (window index) regardless of
+#: how long each run's horizon stretched.
+SERIES_WINDOWS = 12
+
+
+def window_series(
+    arrival_times: Mapping[str, float],
+    completion_times: Mapping[str, float],
+    warmup_fraction: float = 0.2,
+    windows: int = SERIES_WINDOWS,
+) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Per-window latency/throughput curves over the measured span.
+
+    The measured span (post-warmup, same convention as
+    :func:`steady_state_metrics`) is cut into ``windows`` equal-width
+    windows; each finite completion of a measured message falls into the
+    window containing its completion time.
+
+    Returns two named series of ``(window_index, value)`` points:
+    ``window_latency_mean`` (mean delivery latency of that window's
+    completions; windows with no completion are omitted) and
+    ``window_throughput`` (completions per unit time; zero-completion
+    windows report 0.0).  A run with no finite measured completion, or a
+    degenerate span, returns empty series.
+    """
+    if not arrival_times:
+        raise ExperimentError("window_series needs at least one arrival")
+    if windows < 1:
+        raise ExperimentError(f"windows must be >= 1, got {windows}")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ExperimentError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    arrival_horizon = max(arrival_times.values())
+    warmup = warmup_fraction * arrival_horizon
+    horizon = arrival_horizon
+    done_latency: list[tuple[float, float]] = []
+    for mid, arrived in arrival_times.items():
+        if arrived < warmup:
+            continue
+        done = completion_times.get(mid, math.inf)
+        if math.isfinite(done):
+            horizon = max(horizon, done)
+            done_latency.append((done, done - arrived))
+    span = horizon - warmup
+    if not done_latency or span <= 0:
+        return {"window_latency_mean": (), "window_throughput": ()}
+    width = span / windows
+    sums = [0.0] * windows
+    counts = [0] * windows
+    for done, latency in done_latency:
+        index = min(windows - 1, int((done - warmup) / width))
+        sums[index] += latency
+        counts[index] += 1
+    latency_points = tuple(
+        (float(i), sums[i] / counts[i])
+        for i in range(windows)
+        if counts[i]
+    )
+    throughput_points = tuple(
+        (float(i), counts[i] / width) for i in range(windows)
+    )
+    return {
+        "window_latency_mean": latency_points,
+        "window_throughput": throughput_points,
+    }
+
 
 def steady_state_metrics(
     arrival_times: Mapping[str, float],

@@ -238,7 +238,9 @@ def test_store_entry_is_strict_json(tmp_path):
     path = store.put(_one_result())
     with open(path, "r", encoding="utf-8") as fh:
         document = json.loads(fh.read())  # strict parse (no NaN/Infinity)
-    assert document["format"] == 1
+    from repro.campaigns.store import STORE_FORMAT
+
+    assert document["format"] == STORE_FORMAT
 
 
 @pytest.mark.parametrize(
@@ -258,7 +260,7 @@ def test_store_detects_corruption_and_reruns(tmp_path, corruption):
     elif corruption == "not_json":
         damaged = "definitely not json{{{"
     elif corruption == "bad_format":
-        damaged = text.replace('"format": 1', '"format": 99')
+        damaged = text.replace('"format": 2', '"format": 99')
     else:
         damaged = text.replace('"sha256": "', '"sha256": "0000')
     with open(path, "w", encoding="utf-8") as fh:
@@ -477,3 +479,270 @@ def test_artifacts_survive_unsolved_points(tmp_path):
     write_artifacts(campaign, points, checks, str(tmp_path / "art"))
     ascii_text = (tmp_path / "art" / "tiny" / "t_vs_n.txt").read_text()
     assert "inf" in ascii_text
+
+
+# ----------------------------------------------------------------------
+# Observation journals + trace-level checks
+# ----------------------------------------------------------------------
+def journaled_campaign(seeds: int = 1) -> CampaignSpec:
+    """The tiny campaign with journaling + trace checks on its sweep."""
+    tiny = tiny_campaign(seeds=seeds)
+    return CampaignSpec(
+        name=tiny.name,
+        title=tiny.title,
+        sweeps=tuple(
+            SweepDirective(
+                name=d.name,
+                base=d.base,
+                axes=d.axes,
+                repeats=d.repeats,
+                journal=True,
+            )
+            for d in tiny.sweeps
+        ),
+        figures=tiny.figures,
+        checks=tiny.checks,
+        trace_checks=(
+            CheckSpec(kind="ack_latency", sweeps=("lines",)),
+            CheckSpec(kind="abort_accounting", sweeps=("lines",)),
+            CheckSpec(kind="delivery_order", sweeps=("lines",)),
+            CheckSpec(kind="mac_axioms", sweeps=("lines",)),
+        ),
+    )
+
+
+def test_journaling_campaign_persists_readable_journals(tmp_path):
+    campaign = journaled_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    run_campaign(campaign, store)
+    for point in expand_points(campaign):
+        assert store.has_journal(point.spec)
+        journal = store.get_journal(point.spec)
+        assert journal is not None and len(journal) > 0
+        assert journal.meta["spec_key"] == spec_key(point.spec)
+        assert ExperimentSpec.from_dict(journal.meta["spec"]) == point.spec
+
+
+def test_trace_checks_pass_on_real_journals(tmp_path):
+    campaign = journaled_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    run_campaign(campaign, store)
+    report = verify_campaign(campaign, store)
+    assert report.ok
+    kinds = {outcome.kind for outcome in report.checks}
+    assert {
+        "trace:ack_latency",
+        "trace:abort_accounting",
+        "trace:delivery_order",
+        "trace:mac_axioms",
+    } <= kinds
+
+
+def test_summary_hit_without_journal_reruns_the_point(tmp_path):
+    campaign = journaled_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    first = run_campaign(campaign, store)
+    victim = expand_points(campaign)[0].spec
+    os.unlink(store.journal_path_for(spec_key(victim)))
+    second = run_campaign(campaign, store)
+    assert second.ran == 1
+    assert second.cached == first.total - 1
+    assert store.has_journal(victim)  # the re-run healed the store
+
+
+def test_violated_journal_fails_verification(tmp_path):
+    campaign = journaled_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    run_campaign(campaign, store)
+    spec = expand_points(campaign)[0].spec
+    key = spec_key(spec)
+    rows = [
+        [0.0, "bcast", 0, "m0", 0, 1.0],
+        [100.0, "ack", 0, "m0", 0, 1.0],  # latency 100 >> fack 20
+        [0.5, "deliver", 1, "m0", -1, 1.0],
+        [0.5, "deliver", 1, "m0", -1, 1.0],  # duplicate delivery
+    ]
+    header = {
+        "format": 1,
+        "kind": "observation-journal",
+        "count": len(rows),
+        "meta": {"spec": spec.to_dict(), "spec_key": key},
+    }
+    lines = [json.dumps(header)] + [json.dumps(r) for r in rows]
+    with open(store.journal_path_for(key), "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+    report = verify_campaign(campaign, store)
+    assert not report.ok
+    failed = {o.kind for o in report.checks if not o.ok}
+    assert "trace:ack_latency" in failed
+    assert "trace:delivery_order" in failed
+
+
+def test_missing_journal_is_a_trace_check_failure(tmp_path):
+    from repro.campaigns import evaluate_trace_checks
+
+    campaign = journaled_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    outcome = run_campaign(campaign, store)
+    assert outcome.total > 0
+    for point in expand_points(campaign):
+        os.unlink(store.journal_path_for(spec_key(point.spec)))
+    outcomes = evaluate_trace_checks(campaign, store)
+    assert outcomes and all(not o.ok for o in outcomes)
+    assert any("no readable journal" in f for o in outcomes for f in o.failures)
+
+
+def test_corrupt_journal_reads_as_missing(tmp_path):
+    campaign = journaled_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    run_campaign(campaign, store)
+    spec = expand_points(campaign)[0].spec
+    path = store.journal_path_for(spec_key(spec))
+    with open(path, "r+b") as fh:
+        fh.truncate(12)
+    fresh = ResultStore(store.root)
+    assert fresh.get_journal(spec) is None
+    assert fresh.stats.corrupt == 1
+
+
+def test_journals_are_byte_identical_across_shards(tmp_path):
+    campaign = journaled_campaign(seeds=2)
+    whole = ResultStore(str(tmp_path / "whole"))
+    run_campaign(campaign, whole)
+    shard_a = ResultStore(str(tmp_path / "a"))
+    shard_b = ResultStore(str(tmp_path / "b"))
+    run_campaign(campaign, shard_a, shard=(0, 2))
+    run_campaign(campaign, shard_b, shard=(1, 2))
+    merged = {**_store_bytes(shard_a.root), **_store_bytes(shard_b.root)}
+    whole_bytes = _store_bytes(whole.root)
+    journal_names = [n for n in whole_bytes if n.endswith(".obs.jsonl.gz")]
+    assert journal_names
+    for name in journal_names:
+        assert merged[name] == whole_bytes[name], name
+
+
+def test_trace_checks_require_a_journaling_sweep():
+    tiny = tiny_campaign()
+    with pytest.raises(ExperimentError, match="journal"):
+        CampaignSpec(
+            name=tiny.name,
+            title=tiny.title,
+            sweeps=tiny.sweeps,  # journal=False everywhere
+            trace_checks=(CheckSpec(kind="ack_latency"),),
+        )
+
+
+def test_journal_directive_degrades_without_a_store():
+    campaign = journaled_campaign()
+    outcome = run_campaign(campaign, store=None)
+    assert outcome.ran == outcome.total
+    assert all(r.observations == () for r in outcome.results)
+
+
+def test_unknown_trace_check_kind_is_rejected(tmp_path):
+    from repro.campaigns import run_trace_check
+
+    spec = expand_points(tiny_campaign())[0].spec
+    with pytest.raises(ExperimentError, match="trace check"):
+        run_trace_check("nope", spec, ())
+    with pytest.raises(ExperimentError, match="rejected params"):
+        run_trace_check("ack_latency", spec, (), bogus=1)
+
+
+# ----------------------------------------------------------------------
+# Per-window series figures + points.csv series column
+# ----------------------------------------------------------------------
+def series_campaign() -> CampaignSpec:
+    base = ExperimentSpec(
+        name="series-tiny",
+        topology=TopologySpec(
+            "random_geometric",
+            {"n": 10, "side": 2.0, "c": 1.6, "grey_edge_probability": 0.4},
+        ),
+        scheduler=SchedulerSpec("uniform"),
+        workload=WorkloadSpec(
+            "open_arrivals", {"process": "poisson", "rate": 0.02, "count": 6}
+        ),
+        model=ModelSpec(fack=20.0, fprog=1.0),
+        seed=5,
+    )
+    return CampaignSpec(
+        name="series-tiny",
+        title="windowed latency series",
+        sweeps=(
+            SweepDirective(
+                name="open",
+                base=base,
+                axes={"workload.rate": [0.02, 0.05]},
+            ),
+        ),
+        figures=(
+            FigureSpec(
+                name="win_latency",
+                title="per-window latency",
+                x="window",
+                series=(
+                    SeriesSpec(
+                        sweep="open",
+                        y="series:window_latency_mean",
+                        agg="mean",
+                        label="open",
+                    ),
+                ),
+            ),
+        ),
+        checks=(CheckSpec(kind="solved"),),
+    )
+
+
+def test_series_figure_pools_per_run_curves(tmp_path):
+    campaign = series_campaign()
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    checks = evaluate_checks(campaign, points)
+    written = write_artifacts(campaign, points, checks, str(tmp_path / "art"))
+    assert "series-tiny/win_latency.csv" in written
+    csv_path = tmp_path / "art" / "series-tiny" / "win_latency.csv"
+    rows = csv_path.read_text().splitlines()
+    assert rows[0] == "series,window,median,mean,min,max,count"
+    assert len(rows) > 1  # at least one pooled window bucket
+
+
+def test_points_csv_carries_the_series_column(tmp_path):
+    campaign = series_campaign()
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    checks = evaluate_checks(campaign, points)
+    write_artifacts(campaign, points, checks, str(tmp_path / "art"))
+    csv_path = tmp_path / "art" / "series-tiny" / "points.csv"
+    rows = csv_path.read_text().splitlines()
+    assert rows[0].endswith(",metrics,series")
+    assert "window_latency_mean" in rows[1]
+
+
+def test_series_figure_names_missing_series_loudly():
+    from repro.campaigns.report import series_data
+
+    campaign = tiny_campaign()  # one_each workload records no series
+    outcome = run_campaign(campaign, store=None)
+    points = results_by_sweep(outcome)
+    figure = FigureSpec(
+        name="bad",
+        title="bad",
+        x="window",
+        series=(
+            SeriesSpec(sweep="lines", y="series:nope", agg="mean", label="x"),
+        ),
+    )
+    with pytest.raises(ExperimentError, match="nope"):
+        series_data(figure, points)
+
+
+def test_result_series_round_trips_through_the_store(tmp_path):
+    campaign = series_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    run_campaign(campaign, store)
+    points, missing = collect_results(campaign, store)
+    assert not missing
+    for point in points["open"]:
+        assert point.result.series["window_throughput"]

@@ -329,3 +329,152 @@ def test_registry_survives_protocol_only_substrate(capsys):
     assert status == 0
     assert "bare_proto" in out
     assert "Bare protocol-only substrate." in out
+
+
+# ----------------------------------------------------------------------
+# Observation journals: sweep --journal-dir and the trace subcommands
+# ----------------------------------------------------------------------
+def _journaled_sweep(tmp_path, capsys):
+    journal_dir = str(tmp_path / "journals")
+    status = main(
+        [
+            "sweep", "--n", "10", "--side", "2.0", "--k", "2",
+            "--seeds", "2", "--journal-dir", journal_dir,
+        ]
+    )
+    capsys.readouterr()
+    assert status == 0
+    import glob
+
+    paths = sorted(glob.glob(journal_dir + "/*.obs.jsonl.gz"))
+    assert len(paths) == 2
+    return paths
+
+
+def test_sweep_journal_dir_persists_loadable_journals(tmp_path, capsys):
+    from repro.runtime.journal import read_journal
+
+    paths = _journaled_sweep(tmp_path, capsys)
+    for path in paths:
+        journal = read_journal(path)
+        assert len(journal) > 0
+        assert "spec" in journal.meta and "spec_key" in journal.meta
+
+
+def test_sweep_json_rows_carry_series(capsys):
+    status = main(
+        [
+            "sweep", "--n", "10", "--side", "2.0", "--k", "2",
+            "--seeds", "1", "--json",
+            "--param", "workload.kind=open_arrivals",
+            "--param", "workload.process=poisson",
+            "--param", "workload.rate=0.02",
+            "--param", "workload.count=5",
+        ]
+    )
+    import json as json_mod
+
+    payload = json_mod.loads(capsys.readouterr().out)
+    assert status == 0
+    for row in payload["runs"]:
+        assert "window_latency_mean" in row["series"]
+        assert "window_throughput" in row["series"]
+
+
+def test_trace_summary_and_dump(tmp_path, capsys):
+    paths = _journaled_sweep(tmp_path, capsys)
+    assert main(["trace", "summary"] + paths) == 0
+    out = capsys.readouterr().out
+    assert "observation journals" in out
+    assert "instances" in out
+    assert main(["trace", "dump", paths[0], "--limit", "2"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    import json as json_mod
+
+    row = json_mod.loads(lines[0])
+    assert {"time", "kind", "node", "key", "ref", "value"} <= set(row)
+    assert main(["trace", "dump", paths[0], "--meta"]) == 0
+    meta = json_mod.loads(capsys.readouterr().out)
+    assert "spec" in meta
+
+
+def test_trace_check_passes_on_real_journals(tmp_path, capsys):
+    paths = _journaled_sweep(tmp_path, capsys)
+    status = main(["trace", "check"] + paths)
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "ok" in out
+
+
+def test_trace_check_fails_on_a_violated_journal(tmp_path, capsys):
+    import json as json_mod
+
+    from repro.experiments import (
+        AlgorithmSpec,
+        ExperimentSpec as Spec,
+        ModelSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    spec = Spec(
+        name="synthetic",
+        topology=TopologySpec("line", {"n": 5}),
+        algorithm=AlgorithmSpec("bmmb"),
+        workload=WorkloadSpec("one_each", {"k": 1}),
+        model=ModelSpec(fack=5.0, fprog=1.0),
+        seed=0,
+    )
+    rows = [
+        [0.0, "bcast", 0, "m0", 0, 1.0],
+        [50.0, "ack", 0, "m0", 0, 1.0],  # latency 50 >> fack 5
+    ]
+    header = {
+        "format": 1,
+        "kind": "observation-journal",
+        "count": len(rows),
+        "meta": {"spec": spec.to_dict()},
+    }
+    path = tmp_path / "violated.jsonl"
+    path.write_text(
+        "\n".join([json_mod.dumps(header)] + [json_mod.dumps(r) for r in rows])
+        + "\n"
+    )
+    status = main(["trace", "check", str(path)])
+    captured = capsys.readouterr()
+    assert status == 1
+    assert "ack latency" in captured.err
+    # Narrowing to a passing check flips the verdict.
+    assert main(["trace", "check", str(path), "--check", "delivery_order"]) == 0
+    capsys.readouterr()
+
+
+def test_trace_diff_and_grep(tmp_path, capsys):
+    paths = _journaled_sweep(tmp_path, capsys)
+    assert main(["trace", "diff", paths[0], paths[0]]) == 0
+    assert "identical" in capsys.readouterr().out
+    assert main(["trace", "diff", paths[0], paths[1]]) == 1
+    assert "differ" in capsys.readouterr().out
+    assert main(["trace", "grep", '"kind": "bcast"', paths[0]]) == 0
+    out = capsys.readouterr().out
+    assert "@0" in out or "bcast" in out
+    assert main(["trace", "grep", "no-such-kind-anywhere", paths[0]]) == 1
+    capsys.readouterr()
+
+
+def test_trace_check_rejects_journal_without_spec(tmp_path, capsys):
+    import json as json_mod
+
+    header = {
+        "format": 1,
+        "kind": "observation-journal",
+        "count": 0,
+        "meta": {},
+    }
+    path = tmp_path / "bare.jsonl"
+    path.write_text(json_mod.dumps(header) + "\n")
+    status = main(["trace", "check", str(path)])
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "no embedded spec" in err

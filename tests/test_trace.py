@@ -99,3 +99,52 @@ def test_summarize_trace():
 def test_summarize_empty_trace_rejected():
     with pytest.raises(ExperimentError):
         summarize_trace(InstanceLog())
+
+
+# ----------------------------------------------------------------------
+# Equivalence: flatten == from_observations, and both summarize the same
+# ----------------------------------------------------------------------
+def test_flatten_matches_from_observations_field_for_field():
+    from repro.experiments import run, smoke_spec
+    from repro.runtime.trace import from_observations
+
+    result = run(smoke_spec("standard"))
+    from_stream = from_observations(result.observations)
+    from_instances = flatten(result.raw.instances)
+    assert from_stream == from_instances  # full TraceEvents, payload included
+
+
+def test_summarize_trace_accepts_instances_and_events():
+    log = sample_log()
+    assert summarize_trace(log) == summarize_trace(flatten(log))
+
+
+def test_summarize_trace_equivalence_on_a_real_run():
+    from repro.experiments import run, smoke_spec
+    from repro.runtime.trace import from_observations
+
+    result = run(smoke_spec("standard"))
+    assert summarize_trace(result.raw.instances) == summarize_trace(
+        from_observations(result.observations)
+    )
+
+
+def test_to_instance_log_inverts_flatten():
+    from repro.runtime.trace import to_instance_log
+
+    events = flatten(sample_log())
+    rebuilt = to_instance_log(events)
+    assert flatten(rebuilt) == events
+    assert rebuilt[0].rcv_times == {0: 0.4, 2: 0.6}
+    assert rebuilt[1].abort_time == 1.0
+
+
+def test_to_instance_log_rejects_synthesized_traces():
+    from repro.runtime.trace import TraceEvent, to_instance_log
+
+    gap = [TraceEvent(time=0.0, kind="bcast", node=0, iid=1, payload="m")]
+    with pytest.raises(ExperimentError, match="contiguous"):
+        to_instance_log(gap)
+    orphan = [TraceEvent(time=0.0, kind="rcv", node=1, iid=0, payload="m")]
+    with pytest.raises(ExperimentError, match="bcast"):
+        to_instance_log(orphan)

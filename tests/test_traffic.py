@@ -30,6 +30,7 @@ from repro.traffic import (
     OpenArrivalSchedule,
     list_arrivals,
     steady_state_metrics,
+    window_series,
 )
 
 from tests.conftest import run_bmmb
@@ -376,3 +377,106 @@ def test_arrival_rejection_names_capable_substrates():
     assert "time-0" in message
     for capable in ("standard", "radio", "sinr"):
         assert capable in message
+
+
+# ----------------------------------------------------------------------
+# Windowed probe eviction edges
+# ----------------------------------------------------------------------
+def test_windowed_probe_single_window_keeps_only_newest():
+    probe = Probe(window=2.0, max_windows=1)
+    for i in range(6):
+        probe.emit("rcv", float(i), node=0)
+    windows = probe.windows()
+    assert [w.index for w in windows] == [2]
+    metrics = probe.metrics()
+    assert metrics["obs_retained_peak"] == 1.0
+    assert metrics["obs_window_evictions"] == 2.0
+    assert probe.count("rcv") == 6.0
+
+
+def test_windowed_probe_boundary_event_opens_next_window():
+    probe = Probe(window=10.0)
+    probe.emit("rcv", 9.999, node=0)
+    probe.emit("rcv", 10.0, node=0)  # exactly on the boundary
+    windows = probe.windows()
+    assert [w.index for w in windows] == [0, 1]
+    assert windows[1].start == 10.0
+    assert [w.events for w in windows] == [1.0, 1.0]
+
+
+def test_windowed_probe_counters_after_fold_without_eviction():
+    probe = Probe(window=5.0, max_windows=2)
+    for i in range(10):  # two full buckets, exactly at capacity
+        probe.emit("deliver", float(i), node=0, key=f"m{i}")
+    metrics = probe.metrics()
+    assert metrics["obs_events_folded"] == 10.0
+    assert metrics["obs_window_evictions"] == 0.0
+    assert metrics["obs_windows_retained"] == 2.0
+    probe.emit("deliver", 10.0, node=0, key="late")  # third bucket evicts
+    metrics = probe.metrics()
+    assert metrics["obs_window_evictions"] == 1.0
+    assert metrics["obs_retained_peak"] == 2.0
+    assert probe.count("deliver") == 11.0
+
+
+# ----------------------------------------------------------------------
+# Per-window latency/throughput series
+# ----------------------------------------------------------------------
+def test_window_series_buckets_by_completion_time():
+    arrivals = {"a": 0.0, "b": 4.0, "c": 8.0}
+    completions = {"a": 2.0, "b": 6.0, "c": 10.0}
+    series = window_series(
+        arrivals, completions, warmup_fraction=0.0, windows=2
+    )
+    # Span [0, 10] in two windows of width 5: a completes in w0; b in
+    # w1; c completes exactly at the horizon and clamps into w1.
+    assert series["window_latency_mean"] == ((0.0, 2.0), (1.0, 2.0))
+    assert series["window_throughput"] == ((0.0, 1 / 5.0), (1.0, 2 / 5.0))
+
+
+def test_window_series_omits_empty_latency_windows():
+    arrivals = {"a": 0.0, "b": 10.0}
+    completions = {"a": 1.0, "b": 11.0}
+    series = window_series(
+        arrivals, completions, warmup_fraction=0.0, windows=4
+    )
+    latency_indexes = [x for x, _ in series["window_latency_mean"]]
+    throughput_indexes = [x for x, _ in series["window_throughput"]]
+    assert latency_indexes == [0.0, 3.0]  # middle windows saw nothing
+    assert throughput_indexes == [0.0, 1.0, 2.0, 3.0]  # zeros kept
+    assert dict(series["window_throughput"])[1.0] == 0.0
+
+
+def test_window_series_empty_on_no_finite_completion():
+    series = window_series({"a": 0.0, "b": 1.0}, {}, warmup_fraction=0.0)
+    assert series == {"window_latency_mean": (), "window_throughput": ()}
+
+
+def test_window_series_validation():
+    with pytest.raises(ExperimentError, match="arrival"):
+        window_series({}, {})
+    with pytest.raises(ExperimentError, match="windows"):
+        window_series({"a": 0.0}, {}, windows=0)
+    with pytest.raises(ExperimentError, match="warmup_fraction"):
+        window_series({"a": 0.0}, {}, warmup_fraction=1.0)
+
+
+def test_open_arrival_runs_surface_window_series():
+    result = run(_open_spec(), keep_raw=False)
+    assert set(result.series) == {"window_latency_mean", "window_throughput"}
+    assert result.series["window_throughput"], "throughput series empty"
+    again = run(_open_spec(), keep_raw=False)
+    assert again.series == result.series  # deterministic
+
+def test_one_shot_runs_have_no_series():
+    spec = _open_spec()
+    classic = ExperimentSpec(
+        name=spec.name,
+        topology=spec.topology,
+        algorithm=spec.algorithm,
+        scheduler=spec.scheduler,
+        workload=WorkloadSpec("one_each", {"k": 3}),
+        substrate="standard",
+        seed=spec.seed,
+    )
+    assert run(classic, keep_raw=False).series == {}
