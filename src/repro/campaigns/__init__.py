@@ -25,6 +25,16 @@ Quickstart::
     assert report.ok
 """
 
+from repro.campaigns.chaos import ChaosSpec, parse_chaos
+from repro.campaigns.supervision import (
+    INTERRUPT_EXIT,
+    RESUMABLE_EXIT,
+    FabricConfig,
+    FabricEvent,
+    FabricHealth,
+    backoff_delay,
+    run_supervised,
+)
 from repro.campaigns.builtin import (
     CAMPAIGNS,
     CampaignEntry,
@@ -81,16 +91,23 @@ __all__ = [
     "CampaignPoint",
     "CampaignRun",
     "CampaignSpec",
+    "ChaosSpec",
     "CheckOutcome",
     "CheckSpec",
+    "FabricConfig",
+    "FabricEvent",
+    "FabricHealth",
     "FigureSpec",
+    "INTERRUPT_EXIT",
     "Point",
+    "RESUMABLE_EXIT",
     "ResultStore",
     "SeriesSpec",
     "StoreStats",
     "SweepDirective",
     "TRACE_CHECKS",
     "VerifyReport",
+    "backoff_delay",
     "bound_value",
     "build_campaign",
     "campaign_summary_rows",
@@ -99,6 +116,7 @@ __all__ = [
     "evaluate_trace_checks",
     "expand_points",
     "list_campaigns",
+    "parse_chaos",
     "parse_shard",
     "register_bound",
     "register_campaign",
@@ -106,6 +124,7 @@ __all__ = [
     "register_trace_check",
     "results_by_sweep",
     "run_campaign",
+    "run_supervised",
     "run_trace_check",
     "scaled_values",
     "shard_points",

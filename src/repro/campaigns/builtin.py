@@ -818,3 +818,61 @@ def _sinr_contention(n_max: int | None = None, seeds: int = 3) -> CampaignSpec:
             ),
         ),
     )
+
+
+@register_campaign(
+    "smoke",
+    "Seconds-fast line ladder for fabric drills (chaos/CI smoke)",
+)
+def _smoke(points: int = 6, k: int = 1, n_max: int | None = None) -> CampaignSpec:
+    """A deliberately tiny campaign for exercising the fabric itself.
+
+    Every point is a short reliable-line BMMB run (milliseconds each), so
+    chaos drills, budget tests, and CI smoke lanes can kill, hang, and
+    corrupt their way through a full campaign in seconds.  The checks are
+    real (Theorem 3.16's t1 bound), so a converged chaos run still proves
+    something about the simulator, not just the supervisor.
+    """
+    if points < 1:
+        raise ExperimentError(f"smoke needs points >= 1, got {points}")
+    sizes = scaled_values(tuple(4 + 2 * i for i in range(points)), n_max)
+    base = ExperimentSpec(
+        name="smoke",
+        topology=TopologySpec("line", {"n": 4}),
+        algorithm=AlgorithmSpec("bmmb"),
+        scheduler=SchedulerSpec("worstcase"),
+        workload=WorkloadSpec("single_source", {"node": 0, "count": k}),
+        model=ModelSpec(fack=FACK, fprog=FPROG),
+        seed=0,
+    )
+    ladder = SweepDirective(
+        name="lines",
+        base=base,
+        axes={"topology.n": sizes},
+        derive_seeds=False,
+    )
+    return CampaignSpec(
+        name="smoke",
+        title="Fabric smoke: BMMB on short reliable lines",
+        description=(
+            "A seconds-fast line ladder used to drill the supervised "
+            "campaign fabric (chaos injection, budgets, resume) and as "
+            "the CI chaos-smoke workload; bounds are checked for real."
+        ),
+        sweeps=(ladder,),
+        figures=(
+            FigureSpec(
+                name="smoke_time_vs_D",
+                title="BMMB completion vs line length (smoke ladder)",
+                x="topology.n",
+                series=(SeriesSpec(sweep="lines", label="measured"),),
+                bound="bmmb_gg",
+                xlabel="line nodes n (D = n-1)",
+                ylabel="completion time",
+            ),
+        ),
+        checks=(
+            CheckSpec(kind="solved"),
+            CheckSpec(kind="upper_bound", params={"bound": "bmmb_gg"}),
+        ),
+    )

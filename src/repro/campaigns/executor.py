@@ -1,13 +1,18 @@
-"""Campaign execution: deterministic sharding + checkpointed sweeps.
+"""Campaign execution: deterministic sharding + supervised checkpoints.
 
 The executor turns a :class:`~repro.campaigns.spec.CampaignSpec` into its
 flat point list (sweeps in listed order, grid order within each), assigns
-points to shards round-robin by global index, and runs each shard's
-missing points through the existing parallel sweep runner in checkpoint
-batches — every completed batch lands in the
-:class:`~repro.campaigns.store.ResultStore` before the next one starts, so
-an interrupted campaign loses at most one batch of work and ``run`` twice
-is a 100%-cache-hit no-op.
+points to shards round-robin by global index, and hands each shard's
+missing points to the supervised fabric
+(:mod:`repro.campaigns.supervision`): a work-queue supervisor dispatches
+points to a pool of worker processes with per-point timeouts, bounded
+deterministic-backoff retries, straggler work-stealing, and wall-clock /
+point budgets — every completed point lands in the
+:class:`~repro.campaigns.store.ResultStore` before the next is handed
+out, so an interrupted campaign loses at most the in-flight points and
+``run`` twice is a 100%-cache-hit no-op.  ``direct=True`` keeps the old
+unsupervised ``run_sweep`` batch path for benchmarking the fabric's
+overhead against.
 
 Execution and verdicts are decoupled: :func:`run_campaign` computes and
 checkpoints, :func:`collect_results` reads a (possibly multi-shard) store
@@ -23,6 +28,12 @@ from dataclasses import dataclass, field
 from repro.campaigns.checks import CHECKS, Point, PointsBySweep
 from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import ResultStore
+from repro.campaigns.supervision import (
+    FabricConfig,
+    FabricHealth,
+    FabricJob,
+    run_supervised,
+)
 from repro.campaigns.trace_checks import run_trace_check
 from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentResult
@@ -59,9 +70,14 @@ def parse_shard(text: str) -> tuple[int, int]:
         raise ExperimentError(
             f"shard must look like i/N (e.g. 0/2), got {text!r}"
         ) from None
-    if count < 1 or not 0 <= index < count:
+    if count < 1:
         raise ExperimentError(
-            f"shard index must satisfy 0 <= i < N, got {text!r}"
+            f"shard count must be a positive integer, got {text!r} (need N >= 1)"
+        )
+    if not 0 <= index < count:
+        raise ExperimentError(
+            f"shard index out of range in {text!r}: valid shards are "
+            f"0/{count} through {count - 1}/{count}"
         )
     return index, count
 
@@ -88,10 +104,15 @@ class CampaignRun:
         campaign: The campaign that ran.
         shard: ``(index, count)`` this invocation covered.
         points: The shard's points, in order.
-        results: One result per shard point, aligned with ``points``.
-        ran: Points actually executed this invocation.
+        results: One result per completed shard point (aligned with
+            ``points`` only when the run is complete — see ``complete``).
+        ran: Points actually executed (completed) this invocation.
         cached: Points served from the store.
         corrupt: Store entries that failed verification and were re-run.
+        failed: Points whose retries were exhausted, with the last error.
+        exhausted: ``"wall_budget"``/``"point_budget"`` when a budget
+            stopped the run early, else ``None``.
+        health: Supervisor health (``None`` for ``direct=True`` runs).
     """
 
     campaign: CampaignSpec
@@ -101,10 +122,18 @@ class CampaignRun:
     ran: int = 0
     cached: int = 0
     corrupt: int = 0
+    failed: list[tuple[CampaignPoint, str]] = field(default_factory=list)
+    exhausted: str | None = None
+    health: FabricHealth | None = None
 
     @property
     def total(self) -> int:
         return len(self.points)
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard point has a result."""
+        return self.ran + self.cached == self.total
 
     @property
     def cache_hit_rate(self) -> float:
@@ -125,6 +154,13 @@ class CampaignRun:
         )
         if self.corrupt:
             line += f"; {self.corrupt} corrupt entries re-run"
+        if self.failed:
+            line += f"; {len(self.failed)} points failed (retries exhausted)"
+        if self.exhausted:
+            open_points = self.total - self.ran - self.cached - len(self.failed)
+            line += f"; {self.exhausted} exhausted with {open_points} points open"
+        if self.health is not None and self.health.anomalies():
+            line += f"; fabric: {self.health.describe()}"
         return line
 
 
@@ -134,31 +170,36 @@ def run_campaign(
     workers: int | None = None,
     shard: tuple[int, int] = (0, 1),
     checkpoint_batch: int | None = None,
+    fabric: FabricConfig | None = None,
+    direct: bool = False,
 ) -> CampaignRun:
-    """Run (the shard of) a campaign, checkpointing completed batches.
+    """Run (the shard of) a campaign under the supervised fabric.
 
     Args:
-        campaign: What to run.
+        campaign: What to run.  Its ``chaos`` directives (if any) are
+            injected by the fabric — ignored under ``direct=True``.
         store: Checkpoint store; ``None`` disables caching entirely (every
             point runs, nothing is written — benchmark/test mode).
-        workers: Worker processes for the sweep runner (``None``/1 serial).
+        workers: Worker processes (``None``/1 serial-width pool).  Ignored
+            when ``fabric`` is given (its ``workers`` wins).
         shard: ``(index, count)`` — this invocation runs only the points
             of its shard, enabling one campaign to span CI jobs/machines
             over a shared (or later-merged) store.
-        checkpoint_batch: Points per checkpoint batch.  Defaults to 1 when
-            serial (checkpoint every point) and ``4 * workers`` when
-            parallel (amortizes pool dispatch without risking much work).
+        checkpoint_batch: Points per checkpoint batch on the ``direct``
+            path.  The fabric checkpoints every point individually, so
+            this only applies with ``direct=True``.
+        fabric: Supervision policy (timeouts, retries, backoff, stealing,
+            budgets).  Defaults to ``FabricConfig(workers=workers or 1)``.
+        direct: Bypass supervision and run the legacy unsupervised
+            ``run_sweep`` batches (no retries, timeouts, budgets, or
+            chaos) — the fabric's overhead baseline.
 
     Returns:
         The :class:`CampaignRun` for this shard.
     """
     points = shard_points(expand_points(campaign), *shard)
-    if checkpoint_batch is None:
-        checkpoint_batch = 1 if not workers or workers <= 1 else 4 * workers
-    if checkpoint_batch < 1:
-        raise ExperimentError(
-            f"checkpoint_batch must be >= 1, got {checkpoint_batch}"
-        )
+    if store is not None:
+        store.sweep_stale_tmp()
     # Journals only exist in a store; without one there is nowhere to
     # persist streams, so journal directives degrade to plain sweeps.
     journal_sweeps = (
@@ -179,6 +220,65 @@ def run_campaign(
             # A summary hit without its journal still re-runs: the
             # journal directive promises the stream is on disk.
             misses.append(position)
+    if direct:
+        _run_direct(
+            points, misses, results, store, workers, checkpoint_batch, journal_sweeps
+        )
+        failed: list[tuple[CampaignPoint, str]] = []
+        exhausted = None
+        health = None
+        ran = len(misses)
+    else:
+        jobs = [
+            FabricJob(
+                position=position,
+                label=f"{points[position].sweep}[{points[position].index}]",
+                spec=points[position].spec,
+                journaled=points[position].sweep in journal_sweeps,
+            )
+            for position in misses
+        ]
+        config = fabric or FabricConfig(workers=workers or 1)
+        outcome = run_supervised(jobs, store, config, chaos=campaign.chaos)
+        for position, result in outcome.results.items():
+            results[position] = result
+        failed = [
+            (points[position], error)
+            for position, error in sorted(outcome.failed.items())
+        ]
+        exhausted = outcome.exhausted
+        health = outcome.health
+        ran = len(outcome.results)
+    return CampaignRun(
+        campaign=campaign,
+        shard=shard,
+        points=points,
+        results=[r for r in results if r is not None],
+        ran=ran,
+        cached=len(points) - len(misses),
+        corrupt=(store.stats.corrupt - corrupt_before) if store is not None else 0,
+        failed=failed,
+        exhausted=exhausted,
+        health=health,
+    )
+
+
+def _run_direct(
+    points: list[CampaignPoint],
+    misses: list[int],
+    results: list[ExperimentResult | None],
+    store: ResultStore | None,
+    workers: int | None,
+    checkpoint_batch: int | None,
+    journal_sweeps: set[str],
+) -> None:
+    """Legacy unsupervised path: ``run_sweep`` in checkpoint batches."""
+    if checkpoint_batch is None:
+        checkpoint_batch = 1 if not workers or workers <= 1 else 4 * workers
+    if checkpoint_batch < 1:
+        raise ExperimentError(
+            f"checkpoint_batch must be >= 1, got {checkpoint_batch}"
+        )
     for journaled in (False, True):
         group = [
             position
@@ -199,15 +299,6 @@ def run_campaign(
                 results[position] = result
                 if store is not None:
                     store.put(result)
-    return CampaignRun(
-        campaign=campaign,
-        shard=shard,
-        points=points,
-        results=[r for r in results if r is not None],
-        ran=len(misses),
-        cached=len(points) - len(misses),
-        corrupt=(store.stats.corrupt - corrupt_before) if store is not None else 0,
-    )
 
 
 def collect_results(
@@ -239,8 +330,15 @@ def results_by_sweep(run: CampaignRun) -> PointsBySweep:
     """A :func:`run_campaign` outcome as the check-ready mapping.
 
     Only meaningful for full-coverage runs (``shard == (0, 1)``); sharded
-    runs verify via :func:`collect_results` over the merged store.
+    runs verify via :func:`collect_results` over the merged store, and so
+    do partial runs (budget-exhausted or failed points), whose ``results``
+    list no longer aligns with ``points``.
     """
+    if not run.complete:
+        raise ExperimentError(
+            f"campaign run is incomplete ({run.ran + run.cached} of "
+            f"{run.total} points); read the store via collect_results()"
+        )
     points_by_sweep: PointsBySweep = {
         directive.name: [] for directive in run.campaign.sweeps
     }

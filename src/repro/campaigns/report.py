@@ -18,6 +18,7 @@ import json
 import math
 import os
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.analysis.stats import percentile, summarize
 from repro.analysis.tables import render_table
@@ -370,12 +371,30 @@ def points_csv(points_by_sweep: PointsBySweep) -> str:
     return buffer.getvalue()
 
 
+def _point_label(point) -> str:
+    """Stable display name for a campaign point: ``sweep[index]``."""
+    return f"{point.sweep}[{point.index}]"
+
+
 def report_markdown(
     campaign: CampaignSpec,
     points_by_sweep: PointsBySweep,
     checks: list[CheckOutcome],
+    missing: Sequence = (),
+    health=None,
 ) -> str:
-    """The campaign's human-readable summary (deterministic content only)."""
+    """The campaign's human-readable summary (deterministic content only).
+
+    ``missing`` (unexecuted :class:`CampaignPoint`\\ s) marks the report
+    partial: the missing points are enumerated, figures whose series
+    cannot be assembled are skipped with a note, and the checks section
+    says why it is empty.  ``health`` is supervisor health from the run
+    that produced the results; only its anomaly *counters* are rendered
+    (event timings are wall-clock and would break determinism), and a
+    clean run renders identically to ``health=None`` so regenerating a
+    report from the store alone reproduces it byte-for-byte.
+    """
+    partial = bool(missing)
     lines = [
         f"# {campaign.title}",
         "",
@@ -399,9 +418,39 @@ def report_markdown(
     lines.append("```")
     lines.append(render_table(rows))
     lines.append("```")
+    if partial:
+        lines.extend(
+            [
+                "",
+                "## Missing points",
+                "",
+                f"**Partial report:** {len(missing)} campaign points have "
+                "no verified store entry (budget exhausted, retries "
+                "exhausted, or shards not yet run).  `repro campaign "
+                "resume` continues from the checkpointed state.",
+                "",
+            ]
+        )
+        lines.extend(
+            f"- `{_point_label(point)}` ({point.spec.name!r})"
+            for point in missing
+        )
     for figure in campaign.figures:
-        data = series_data(figure, points_by_sweep)
-        bound = bound_overlay(figure, points_by_sweep)
+        try:
+            data = series_data(figure, points_by_sweep)
+            bound = bound_overlay(figure, points_by_sweep)
+        except ExperimentError as exc:
+            if not partial:
+                raise
+            lines.extend(
+                [
+                    "",
+                    f"## {figure.title}",
+                    "",
+                    f"(figure skipped — incomplete result set: {exc})",
+                ]
+            )
+            continue
         lines.extend(
             [
                 "",
@@ -433,8 +482,38 @@ def report_markdown(
         for outcome in checks:
             for failure in outcome.failures:
                 lines.append(f"- **{outcome.kind}**: {failure}")
+    elif partial:
+        lines.append(
+            "(checks skipped: the result set is incomplete — a missing "
+            "shard must not masquerade as a pass)"
+        )
     else:
         lines.append("(campaign declares no checks)")
+    lines.extend(["", "## Campaign robustness", ""])
+    anomalies = dict(health.anomalies()) if health is not None else {}
+    if anomalies:
+        lines.append(
+            "The supervised fabric recovered from faults while producing "
+            "these results (full event log in `health.json`, which is "
+            "outside the byte-identity contract):"
+        )
+        lines.append("")
+        lines.append("```")
+        lines.append(
+            render_table(
+                [
+                    {"anomaly": name, "count": count}
+                    for name, count in anomalies.items()
+                ]
+            )
+        )
+        lines.append("```")
+    else:
+        lines.append(
+            "No faults observed: every point ran (or was served from the "
+            "store) without retries, timeouts, worker deaths, steals, or "
+            "corruption re-runs."
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -443,15 +522,26 @@ def write_artifacts(
     points_by_sweep: PointsBySweep,
     checks: list[CheckOutcome],
     artifacts_dir: str,
+    missing: Sequence = (),
+    health=None,
 ) -> list[str]:
     """Write every campaign artifact under ``artifacts_dir/<name>/``.
 
     Returns the written paths (relative to ``artifacts_dir``).  Output is
     a pure function of campaign + results; see the module docstring.
+
+    ``missing`` points mark the artifact set partial: figures that cannot
+    be assembled are skipped, the manifest lists the missing labels, and
+    ``report.md`` enumerates them.  ``health`` (supervisor health from
+    the producing run) feeds the report's robustness section and, when it
+    recorded anomalies, a full ``health.json`` event log — written beside
+    the artifacts but deliberately *excluded* from the manifest and the
+    byte-identity contract (its timings are wall-clock).
     """
     target = os.path.join(artifacts_dir, campaign.name)
     os.makedirs(target, exist_ok=True)
     written: list[str] = []
+    partial = bool(missing)
 
     def emit(filename: str, text: str) -> None:
         path = os.path.join(target, filename)
@@ -461,16 +551,28 @@ def write_artifacts(
 
     emit("points.csv", points_csv(points_by_sweep))
     for figure in campaign.figures:
-        data = series_data(figure, points_by_sweep)
-        bound = bound_overlay(figure, points_by_sweep)
+        try:
+            data = series_data(figure, points_by_sweep)
+            bound = bound_overlay(figure, points_by_sweep)
+        except ExperimentError:
+            if not partial:
+                raise
+            continue
         emit(f"{figure.name}.csv", figure_csv(figure, data, bound))
         emit(f"{figure.name}.txt", figure_ascii(figure, data, bound))
         emit(f"{figure.name}.svg", figure_svg(figure, data, bound))
         _maybe_png(figure, data, bound, target, written, campaign.name)
-    emit("report.md", report_markdown(campaign, points_by_sweep, checks))
+    emit(
+        "report.md",
+        report_markdown(
+            campaign, points_by_sweep, checks, missing=missing, health=health
+        ),
+    )
     manifest = {
         "campaign": campaign.to_dict(),
         "points": sum(len(points) for points in points_by_sweep.values()),
+        "partial": partial,
+        "missing": [_point_label(point) for point in missing],
         "checks": [
             {
                 "kind": outcome.kind,
@@ -483,6 +585,16 @@ def write_artifacts(
         "artifacts": sorted(written),
     }
     emit("manifest.json", json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    health_path = os.path.join(target, "health.json")
+    if health is not None and (health.anomalies() or health.dropped_events):
+        with open(health_path, "w", encoding="utf-8", newline="") as fh:
+            json.dump(health.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(os.path.join(campaign.name, "health.json"))
+    elif os.path.exists(health_path):
+        # A clean write supersedes any stale event log from an earlier
+        # faulted run — the directory converges to the fault-free state.
+        os.unlink(health_path)
     return written
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from typing import Any, Mapping, Sequence
 
+from repro.campaigns.chaos import ChaosSpec
 from repro.errors import ExperimentError
 from repro.experiments.specs import ExperimentSpec
 from repro.experiments.sweep import Sweep, with_path
@@ -323,6 +324,11 @@ class CampaignSpec:
             :data:`repro.campaigns.trace_checks.TRACE_CHECKS`, evaluated
             per point against the persisted observation journals of the
             sweeps they scope (those sweeps must set ``journal=True``).
+        chaos: Deterministic fault-injection directives for the
+            supervised fabric.  Chaos is an *execution* policy, not
+            provenance: the field is excluded from equality and from
+            ``to_dict``/``to_json`` so store keys, manifests, and reports
+            are byte-identical with and without it.
     """
 
     name: str
@@ -332,6 +338,7 @@ class CampaignSpec:
     checks: tuple[CheckSpec, ...] = ()
     trace_checks: tuple[CheckSpec, ...] = ()
     description: str = ""
+    chaos: tuple[ChaosSpec, ...] = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -342,6 +349,7 @@ class CampaignSpec:
         object.__setattr__(self, "figures", tuple(self.figures))
         object.__setattr__(self, "checks", tuple(self.checks))
         object.__setattr__(self, "trace_checks", tuple(self.trace_checks))
+        object.__setattr__(self, "chaos", tuple(self.chaos))
         journaled = {d.name for d in self.sweeps if d.journal}
         for check in self.trace_checks:
             if not any(

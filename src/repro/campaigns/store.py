@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -177,6 +178,32 @@ class ResultStore:
             raise
         self.stats.writes += 1
         return path
+
+    def sweep_stale_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Remove orphaned atomic-write temp files; returns the count.
+
+        A worker killed mid-``put`` leaves its ``.*.tmp`` file behind
+        (``os.replace`` never ran).  Such orphans are garbage — the entry
+        either landed under its final name or it didn't — but only files
+        older than ``max_age_seconds`` are swept so a concurrent writer's
+        in-flight temp file is never touched.
+        """
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        cutoff = time.time() - max_age_seconds
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not (name.startswith(".") and name.endswith(".tmp")):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if os.path.getmtime(path) < cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    continue
+        return removed
 
     # ------------------------------------------------------------------
     # Observation journals (sweeps with ``journal=True``)

@@ -43,6 +43,7 @@ solved/validated.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import math
 import os
@@ -472,16 +473,25 @@ def _print_verify(report) -> int:
     return 0 if report.ok else 1
 
 
-def _verify_and_report(campaigns_mod, campaign, store, artifacts_dir) -> int:
+def _verify_and_report(
+    campaigns_mod, campaign, store, artifacts_dir, health=None
+) -> int:
     """Shared tail of `campaign run` and `campaign report`: one store
-    read drives the verdict, the checks, and the artifact write."""
+    read drives the verdict, the checks, and the artifact write.  An
+    incomplete store still writes (partial) artifacts — report.md then
+    enumerates the missing points — but keeps the failing status."""
     report = campaigns_mod.verify_campaign(campaign, store)
     status = _print_verify(report)
-    if report.complete:
-        written = campaigns_mod.write_artifacts(
-            campaign, report.points_by_sweep, report.checks, artifacts_dir
-        )
-        print(f"wrote {len(written)} artifacts under {artifacts_dir}/")
+    written = campaigns_mod.write_artifacts(
+        campaign,
+        report.points_by_sweep,
+        report.checks,
+        artifacts_dir,
+        missing=report.missing,
+        health=health,
+    )
+    label = "partial artifacts" if report.missing else "artifacts"
+    print(f"wrote {len(written)} {label} under {artifacts_dir}/")
     return status
 
 
@@ -502,16 +512,65 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 f"resume; use `campaign run` to start one)"
             )
         shard = campaigns.parse_shard(args.shard)
+        chaos = tuple(campaigns.parse_chaos(text) for text in (args.chaos or []))
+        supervised_flags = (
+            chaos
+            or args.timeout is not None
+            or args.wall_budget is not None
+            or args.point_budget is not None
+        )
+        if args.direct and supervised_flags:
+            raise SystemExit(
+                "--direct bypasses the supervised fabric; drop --chaos/"
+                "--timeout/--wall-budget/--point-budget"
+            )
+        if chaos:
+            campaign = dataclasses.replace(campaign, chaos=chaos)
+        fabric = campaigns.FabricConfig(
+            workers=args.workers or 1,
+            point_timeout=args.timeout,
+            max_retries=args.retries,
+            backoff_base=args.backoff,
+            straggler_factor=args.straggler_factor,
+            wall_budget=args.wall_budget,
+            point_budget=args.point_budget,
+        )
         outcome = campaigns.run_campaign(
-            campaign, store, workers=args.workers, shard=shard
+            campaign,
+            store,
+            workers=args.workers,
+            shard=shard,
+            fabric=None if args.direct else fabric,
+            direct=args.direct,
         )
         print(outcome.describe())
+        status = 0
+        if outcome.failed:
+            for point, error in outcome.failed:
+                print(
+                    f"FAILED {point.sweep}[{point.index}]: {error}",
+                    file=sys.stderr,
+                )
+            status = 1
+        if outcome.exhausted:
+            # Distinct resumable status: everything completed is already
+            # checkpointed, so automation can retry with `resume`.
+            print(
+                f"{outcome.exhausted} exhausted: completed points are "
+                f"checkpointed; `repro campaign resume {args.name}` "
+                f"continues",
+                file=sys.stderr,
+            )
+            status = campaigns.RESUMABLE_EXIT
         if shard[1] > 1 or args.no_report:
             # A partial shard computes and checkpoints; verdicts belong
             # to the merge step (`campaign verify`/`report`), which sees
             # every shard's results.
-            return 0
-        return _verify_and_report(campaigns, campaign, store, args.artifacts)
+            return status
+        report_status = _verify_and_report(
+            campaigns, campaign, store, args.artifacts, health=outcome.health
+        )
+        return status or report_status
     if args.action == "verify":
         return _print_verify(campaigns.verify_campaign(campaign, store))
     if args.action == "report":
@@ -1038,6 +1097,68 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compute + checkpoint only; skip verification and artifacts",
     )
+    p_campaign.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock timeout: an over-budget point's worker "
+        "is killed and the point retried",
+    )
+    p_campaign.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="max retries per point before it is marked failed",
+    )
+    p_campaign.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="retry backoff base; the exponential schedule is hashed from "
+        "the spec key (not wall clock) so reruns retry identically",
+    )
+    p_campaign.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=4.0,
+        metavar="X",
+        help="work-steal an in-flight point onto an idle worker once it "
+        "runs X times the median point runtime",
+    )
+    p_campaign.add_argument(
+        "--wall-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="campaign wall-clock budget; on exhaustion completed points "
+        "stay checkpointed, the report marks missing points, exit is 75 "
+        "(resumable)",
+    )
+    p_campaign.add_argument(
+        "--point-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max points executed this invocation; exit 75 when work "
+        "remains (resumable)",
+    )
+    p_campaign.add_argument(
+        "--chaos",
+        action="append",
+        metavar="KIND[:P=V,...]",
+        help="inject deterministic faults into the fabric (repeatable): "
+        "worker_kill, point_hang, transient_error, store_corrupt; e.g. "
+        "--chaos worker_kill:fraction=0.5,times=1,seed=0",
+    )
+    p_campaign.add_argument(
+        "--direct",
+        action="store_true",
+        help="bypass the supervised fabric (legacy batch path: no "
+        "retries, timeouts, budgets, or chaos)",
+    )
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_trace = sub.add_parser(
@@ -1177,6 +1298,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         # bug and should keep its stack trace.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C mid-campaign/sweep: everything already checkpointed is
+        # safe on disk (the fabric checkpoints per point), so exit with
+        # the conventional SIGINT status instead of a traceback and point
+        # at the resume path.
+        print(
+            "interrupted: checkpointed results are kept; "
+            "`repro campaign resume` continues a campaign",
+            file=sys.stderr,
+        )
+        return 130
     except BrokenPipeError:
         # A downstream consumer (head, jq, ...) closed the pipe early;
         # that truncates our output but is not an error on our side.

@@ -355,6 +355,44 @@ def bench_journal_roundtrip(repeats: int = 3) -> BenchRecord:
 
 
 # ----------------------------------------------------------------------
+# Campaign fabric
+# ----------------------------------------------------------------------
+@_micro("supervisor_overhead")
+def bench_supervisor_overhead(repeats: int = 3) -> BenchRecord:
+    """Supervised fabric vs direct execution on the smoke ladder.
+
+    Runs the same storeless smoke campaign twice — once through the
+    legacy direct path and once through the supervised worker pool — so
+    the fabric's fixed costs (worker spawn, pipe dispatch, per-point
+    checkpoint bookkeeping) are regression-guarded against the work they
+    wrap.
+    """
+    from repro.campaigns import FabricConfig, build_campaign, run_campaign
+
+    campaign = build_campaign("smoke", points=4)
+    fabric = FabricConfig(workers=1, poll_interval=0.005)
+
+    def once():
+        t_direct, direct_run = timed(
+            lambda: run_campaign(campaign, store=None, direct=True)
+        )
+        t_supervised, supervised_run = timed(
+            lambda: run_campaign(campaign, store=None, fabric=fabric)
+        )
+        assert direct_run.complete and supervised_run.complete
+        return (
+            float(supervised_run.ran),
+            {"direct": t_direct, "supervised": t_supervised},
+            {
+                "points": float(supervised_run.ran),
+                "overhead_ratio": t_supervised / max(t_direct, 1e-9),
+            },
+        )
+
+    return measure("supervisor_overhead", "micro", once, repeats)
+
+
+# ----------------------------------------------------------------------
 # Topology queries
 # ----------------------------------------------------------------------
 @_micro("dualgraph_queries")

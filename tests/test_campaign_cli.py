@@ -156,3 +156,183 @@ def test_sweep_exits_nonzero_when_a_point_fails_validation(capsys):
     )
     capsys.readouterr()
     assert status == 1
+
+
+# ----------------------------------------------------------------------
+# Supervised fabric / chaos / budgets (campaign run flags)
+# ----------------------------------------------------------------------
+def _smoke_args(tmp_path, sub: str, *extra: str) -> list[str]:
+    return [
+        "campaign", "run", "smoke",
+        "--store", str(tmp_path / sub / "store"),
+        "--artifacts", str(tmp_path / sub / "artifacts"),
+        *extra,
+    ]
+
+
+def test_campaign_chaos_run_converges_byte_identically(tmp_path, capsys):
+    assert main(_smoke_args(tmp_path, "ref")) == 0
+    capsys.readouterr()
+    status = main(
+        _smoke_args(
+            tmp_path,
+            "chaos",
+            "--chaos", "worker_kill:fraction=0.5",
+            "--chaos", "store_corrupt:fraction=0.5",
+        )
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "fabric:" in out  # health surfaced in the run summary
+    ref = (tmp_path / "ref" / "artifacts" / "smoke" / "points.csv").read_bytes()
+    got = (tmp_path / "chaos" / "artifacts" / "smoke" / "points.csv").read_bytes()
+    assert ref == got
+    ref = (tmp_path / "ref" / "artifacts" / "smoke" / "manifest.json").read_bytes()
+    got = (
+        tmp_path / "chaos" / "artifacts" / "smoke" / "manifest.json"
+    ).read_bytes()
+    assert ref == got
+    # The chaos run's anomalies are logged outside the manifest.
+    assert (tmp_path / "chaos" / "artifacts" / "smoke" / "health.json").exists()
+    assert not (tmp_path / "ref" / "artifacts" / "smoke" / "health.json").exists()
+
+
+def test_campaign_point_budget_exits_resumable_with_partial_report(
+    tmp_path, capsys
+):
+    status = main(_smoke_args(tmp_path, "b", "--point-budget", "2"))
+    captured = capsys.readouterr()
+    assert status == 75  # EX_TEMPFAIL: distinct, resumable
+    assert "point_budget exhausted" in captured.err
+    assert "resume" in captured.err
+    report = (tmp_path / "b" / "artifacts" / "smoke" / "report.md").read_text()
+    assert "## Missing points" in report
+    assert "partial artifacts" in captured.out
+    resume = [
+        "campaign", "resume", "smoke",
+        "--store", str(tmp_path / "b" / "store"),
+        "--artifacts", str(tmp_path / "b" / "artifacts"),
+    ]
+    assert main(resume) == 0
+    out = capsys.readouterr().out
+    assert "cached 2" in out
+    report = (tmp_path / "b" / "artifacts" / "smoke" / "report.md").read_text()
+    assert "## Missing points" not in report
+
+
+def test_campaign_direct_conflicts_with_fabric_flags(tmp_path):
+    with pytest.raises(SystemExit, match="--direct"):
+        main(
+            _smoke_args(
+                tmp_path, "d", "--direct", "--chaos", "worker_kill"
+            )
+        )
+
+
+def test_campaign_direct_path_still_works(tmp_path, capsys):
+    assert main(_smoke_args(tmp_path, "direct", "--direct")) == 0
+    out = capsys.readouterr().out
+    assert "cache hit 0.0%" in out
+
+
+def test_campaign_bad_chaos_is_a_clean_error(tmp_path, capsys):
+    status = main(_smoke_args(tmp_path, "c", "--chaos", "meteor_strike"))
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "chaos" in err
+
+
+def test_campaign_chaos_needing_too_many_retries_is_a_clean_error(
+    tmp_path, capsys
+):
+    status = main(
+        _smoke_args(
+            tmp_path, "c",
+            "--chaos", "transient_error:times=9", "--retries", "2",
+        )
+    )
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "retries" in err
+
+
+def test_campaign_shard_error_names_the_valid_range(tmp_path, capsys):
+    status = main(
+        [
+            "campaign", "run", "smoke", "--shard", "4/4",
+            "--store", str(tmp_path / "store"),
+        ]
+    )
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "0/4 through 3/4" in err
+
+
+# ----------------------------------------------------------------------
+# Graceful Ctrl-C (SIGINT-injecting subprocess)
+# ----------------------------------------------------------------------
+def test_campaign_run_sigint_checkpoints_then_resumes(tmp_path):
+    """Ctrl-C mid-campaign exits 130, keeps checkpointed points, and a
+    plain resume finishes the job from what landed in the store."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = {**os.environ, "PYTHONPATH": src}
+    store = tmp_path / "store"
+    # seed=6 deterministically hangs exactly one later point (never the
+    # first), so the run checkpoints some entries and then wedges until
+    # the signal arrives — no timing race on "was it still running?".
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "campaign", "run", "smoke",
+            "--chaos", "point_hang:fraction=0.4,seconds=300,seed=6",
+            "--store", str(store),
+            "--artifacts", str(tmp_path / "artifacts"),
+            "--no-report",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            entries = (
+                [p for p in store.rglob("*.json")] if store.exists() else []
+            )
+            if entries:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        assert proc.poll() is None, (proc.stdout.read(), proc.stderr.read())
+        assert entries, "no checkpoint landed before the signal"
+        proc.send_signal(signal.SIGINT)
+        status = proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    _, err = proc.communicate()
+    assert status == 130
+    assert "resume" in err  # points the user at the recovery path
+    assert "Traceback" not in err
+    # The interrupted store resumes cleanly — and without chaos this
+    # time, the campaign completes with the interrupted work reused.
+    from repro.cli import main as cli_main
+
+    resume_status = cli_main(
+        [
+            "campaign", "resume", "smoke",
+            "--store", str(store),
+            "--artifacts", str(tmp_path / "artifacts"),
+        ]
+    )
+    assert resume_status == 0

@@ -54,6 +54,7 @@ BUILTINS = (
     "fault_resilience",
     "radio_footnote2",
     "saturation",
+    "smoke",
 )
 
 
@@ -200,9 +201,22 @@ def test_path_value_reads_what_with_path_wrote():
 def test_parse_shard():
     assert parse_shard("0/1") == (0, 1)
     assert parse_shard("1/2") == (1, 2)
-    for bad in ("2/2", "-1/2", "x/2", "1", "1/0", "1/x"):
+    for bad in ("2/2", "-1/2", "x/2", "1", "1/0", "1/x", "0/-3", "5/4"):
         with pytest.raises(ExperimentError):
             parse_shard(bad)
+
+
+def test_parse_shard_messages_name_the_valid_range():
+    with pytest.raises(ExperimentError, match="0/4 through 3/4"):
+        parse_shard("4/4")
+    with pytest.raises(ExperimentError, match="0/4 through 3/4"):
+        parse_shard("-1/4")
+    with pytest.raises(ExperimentError, match="positive"):
+        parse_shard("0/0")
+    with pytest.raises(ExperimentError, match="positive"):
+        parse_shard("0/-2")
+    with pytest.raises(ExperimentError, match="i/N"):
+        parse_shard("nope")
 
 
 def test_shards_partition_the_points():
@@ -282,6 +296,62 @@ def test_store_rejects_entry_for_a_different_spec(tmp_path):
     os.replace(path, store.path_for(spec_key(other)))
     assert store.get(other) is None
     assert store.stats.corrupt == 1
+
+
+def _hammer_put(root: str, result, times: int) -> None:
+    """Subprocess worker: repeatedly checkpoint the same result."""
+    store = ResultStore(root)
+    for _ in range(times):
+        store.put(result)
+
+
+def test_concurrent_store_writers_leave_one_clean_entry(tmp_path):
+    """Two processes put() the same key at once: atomic tmp+rename must
+    leave exactly one self-verifying entry and no stray temp files."""
+    import multiprocessing
+
+    root = str(tmp_path / "store")
+    result = _one_result()
+    writers = [
+        multiprocessing.Process(target=_hammer_put, args=(root, result, 50))
+        for _ in range(2)
+    ]
+    for proc in writers:
+        proc.start()
+    for proc in writers:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    files = [
+        os.path.join(dirpath, name)
+        for dirpath, _, names in os.walk(root)
+        for name in names
+    ]
+    key = spec_key(result.spec)
+    assert [os.path.basename(p) for p in files] == [f"{key}.json"]
+    assert not any(name.endswith(".tmp") for name in files)
+    fresh = ResultStore(root)
+    assert fresh.get(result.spec) == result
+    assert fresh.stats.corrupt == 0
+
+
+def test_stale_tmp_files_are_swept_on_campaign_start(tmp_path):
+    """Orphaned atomic-write temps from a killed worker get cleaned up,
+    but a recent temp (a concurrent writer mid-put) is left alone."""
+    campaign = tiny_campaign()
+    store = ResultStore(str(tmp_path / "store"))
+    bucket = os.path.join(store.root, "ab")
+    os.makedirs(bucket)
+    stale = os.path.join(bucket, ".deadbeef-123.tmp")
+    fresh = os.path.join(bucket, ".cafef00d-456.tmp")
+    for path in (stale, fresh):
+        with open(path, "w") as fh:
+            fh.write("{")
+    old = os.path.getmtime(stale) - 7200
+    os.utime(stale, (old, old))
+    run_campaign(campaign, store)
+    assert not os.path.exists(stale)
+    assert os.path.exists(fresh)
+    assert store.sweep_stale_tmp(max_age_seconds=0.0) == 1  # now it is old
 
 
 # ----------------------------------------------------------------------
