@@ -1,11 +1,16 @@
-"""Least-squares scaling fits for benchmark series."""
+"""Least-squares scaling fits for benchmark series.
+
+Pure python on purpose: ``repro.analysis`` sits on the package import
+path, and numpy is an optional extra (the ``vectorized`` reception
+engine's) — a degree-1 least-squares fit needs nothing beyond
+``math.fsum``.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
-
-import numpy as np
 
 from repro.errors import ExperimentError
 
@@ -34,14 +39,21 @@ def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
         raise ExperimentError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
     if len(xs) < 2:
         raise ExperimentError("need at least two points to fit a line")
-    x = np.asarray(xs, dtype=float)
-    y = np.asarray(ys, dtype=float)
-    slope, intercept = np.polyfit(x, y, 1)
-    predictions = slope * x + intercept
-    ss_res = float(np.sum((y - predictions) ** 2))
-    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    n = len(xs)
+    x = [float(v) for v in xs]
+    y = [float(v) for v in ys]
+    mean_x = math.fsum(x) / n
+    mean_y = math.fsum(y) / n
+    ss_xx = math.fsum((xi - mean_x) ** 2 for xi in x)
+    if ss_xx == 0.0:
+        raise ExperimentError("need at least two distinct x values to fit a line")
+    ss_xy = math.fsum((xi - mean_x) * (yi - mean_y) for xi, yi in zip(x, y))
+    slope = ss_xy / ss_xx
+    intercept = mean_y - slope * mean_x
+    ss_res = math.fsum((yi - (slope * xi + intercept)) ** 2 for xi, yi in zip(x, y))
+    ss_tot = math.fsum((yi - mean_y) ** 2 for yi in y)
     r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
-    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
 
 
 def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:

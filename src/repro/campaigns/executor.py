@@ -36,7 +36,7 @@ from repro.campaigns.supervision import (
 )
 from repro.campaigns.trace_checks import run_trace_check
 from repro.errors import ExperimentError
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, RunOptions
 from repro.experiments.specs import ExperimentSpec
 from repro.experiments.sweep import run_sweep
 
@@ -207,6 +207,9 @@ def run_campaign(
         if store is not None
         else set()
     )
+    options_by_sweep = {
+        d.name: d.options for d in campaign.sweeps if d.options is not None
+    }
     results: list[ExperimentResult | None] = [None] * len(points)
     misses: list[int] = []
     corrupt_before = store.stats.corrupt if store is not None else 0
@@ -222,7 +225,14 @@ def run_campaign(
             misses.append(position)
     if direct:
         _run_direct(
-            points, misses, results, store, workers, checkpoint_batch, journal_sweeps
+            points,
+            misses,
+            results,
+            store,
+            workers,
+            checkpoint_batch,
+            journal_sweeps,
+            options_by_sweep,
         )
         failed: list[tuple[CampaignPoint, str]] = []
         exhausted = None
@@ -235,6 +245,7 @@ def run_campaign(
                 label=f"{points[position].sweep}[{points[position].index}]",
                 spec=points[position].spec,
                 journaled=points[position].sweep in journal_sweeps,
+                options=options_by_sweep.get(points[position].sweep),
             )
             for position in misses
         ]
@@ -271,6 +282,7 @@ def _run_direct(
     workers: int | None,
     checkpoint_batch: int | None,
     journal_sweeps: set[str],
+    options_by_sweep: dict[str, RunOptions],
 ) -> None:
     """Legacy unsupervised path: ``run_sweep`` in checkpoint batches."""
     if checkpoint_batch is None:
@@ -279,18 +291,31 @@ def _run_direct(
         raise ExperimentError(
             f"checkpoint_batch must be >= 1, got {checkpoint_batch}"
         )
-    for journaled in (False, True):
-        group = [
-            position
-            for position in misses
-            if (points[position].sweep in journal_sweeps) == journaled
-        ]
+
+    def _capture(position: int) -> tuple[bool, RunOptions]:
+        sweep_name = points[position].sweep
+        journaled = sweep_name in journal_sweeps
+        options = options_by_sweep.get(sweep_name)
+        if options is None:
+            options = (
+                RunOptions.observed() if journaled else RunOptions.summary()
+            )
+        return journaled, options
+
+    # Batch positions that share capture options (RunOptions is frozen
+    # and hashable); journaled groups still checkpoint their streams.
+    groups: dict[tuple[bool, RunOptions], list[int]] = {}
+    for position in misses:
+        groups.setdefault(_capture(position), []).append(position)
+    for (journaled, options), group in sorted(
+        groups.items(), key=lambda item: item[1][0] if item[1] else 0
+    ):
         for start in range(0, len(group), checkpoint_batch):
             batch = group[start : start + checkpoint_batch]
             sweep = run_sweep(
                 [points[position].spec for position in batch],
                 workers=workers,
-                keep_observations=journaled,
+                options=options,
             )
             for position, result in zip(batch, sweep):
                 if journaled:

@@ -21,6 +21,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.campaigns.chaos import ChaosSpec
 from repro.errors import ExperimentError
+from repro.experiments.runner import RunOptions
 from repro.experiments.specs import ExperimentSpec
 from repro.experiments.sweep import Sweep, with_path
 
@@ -58,6 +59,14 @@ class SweepDirective:
             store alongside its summary (see :mod:`repro.runtime.journal`)
             so trace-level checks can read the streams post-hoc.  Cached
             points missing their journal re-run.
+        options: Per-point :class:`~repro.experiments.runner.RunOptions`
+            override (e.g. windowed capture for long service sweeps).
+            Execution policy, not provenance — like ``CampaignSpec.chaos``
+            it is excluded from equality and serialization, so it never
+            perturbs store keys.  Defaults derive from ``journal``
+            (observation-keeping when journaling, summaries otherwise);
+            a per-run ``options.journal`` path is rejected — the store
+            owns journal placement.
     """
 
     name: str
@@ -67,10 +76,24 @@ class SweepDirective:
     repeats: int = 1
     derive_seeds: bool = True
     journal: bool = False
+    options: RunOptions | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ExperimentError("sweep directive needs a non-empty name")
+        if self.options is not None:
+            if self.options.journal is not None:
+                raise ExperimentError(
+                    f"sweep {self.name!r}: options.journal is per-run and "
+                    "cannot address a campaign store; set journal=True on "
+                    "the directive instead"
+                )
+            if self.journal and not self.options.keep_raw:
+                raise ExperimentError(
+                    f"sweep {self.name!r}: journal=True needs the "
+                    "observation stream, but options discard it "
+                    "(keep_raw=False/window)"
+                )
         object.__setattr__(self, "axes", {k: list(v) for k, v in self.axes.items()})
         object.__setattr__(
             self, "zip_axes", {k: list(v) for k, v in self.zip_axes.items()}
@@ -124,6 +147,12 @@ class SweepDirective:
                 ]
             specs.extend(produced)
         return specs
+
+    def run_options(self) -> RunOptions:
+        """The effective per-point capture options for this sweep."""
+        if self.options is not None:
+            return self.options
+        return RunOptions.observed() if self.journal else RunOptions.summary()
 
     def to_dict(self) -> dict[str, Any]:
         return {

@@ -54,9 +54,9 @@ from repro.campaigns.chaos import (
 )
 from repro.campaigns.store import ResultStore, spec_key
 from repro.errors import ExperimentError
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, RunOptions
 from repro.experiments.specs import ExperimentSpec
-from repro.experiments.sweep import _run_observed, _run_summary
+from repro.experiments.sweep import _run_with_options
 
 __all__ = [
     "INTERRUPT_EXIT",
@@ -218,13 +218,23 @@ class FabricJob:
     ``position`` is the point's index in the campaign's deterministic
     expansion order (the executor's ``points`` list); ``label`` names it
     for health events (``sweep[index]``).  ``journaled`` selects the
-    observation-keeping worker and a journal checkpoint.
+    observation-keeping worker and a journal checkpoint; ``options``
+    overrides the per-point capture entirely (a
+    :class:`~repro.experiments.runner.RunOptions` from the sweep
+    directive) — ``None`` derives it from ``journaled``.
     """
 
     position: int
     label: str
     spec: ExperimentSpec
     journaled: bool = False
+    options: RunOptions | None = None
+
+    def run_options(self) -> RunOptions:
+        """The effective capture options shipped to the worker."""
+        if self.options is not None:
+            return self.options
+        return RunOptions.observed() if self.journaled else RunOptions.summary()
 
 
 @dataclass
@@ -262,7 +272,7 @@ def _worker_chaos(chaos: tuple[ChaosSpec, ...], key: str, attempt: int):
 
 
 def _fabric_worker(conn, chaos: tuple[ChaosSpec, ...]) -> None:
-    """Worker main loop: receive (task_id, spec, attempt, journaled) jobs.
+    """Worker main loop: receive (task_id, spec, attempt, options) jobs.
 
     Replies ``("ok", task_id, result)`` or ``("error", task_id, text)``.
     Never raises out of a job: a failing point is reported, not fatal.
@@ -274,7 +284,7 @@ def _fabric_worker(conn, chaos: tuple[ChaosSpec, ...]) -> None:
             message = conn.recv()
             if message[0] == "exit":
                 return
-            _, task_id, spec, attempt, journaled = message
+            _, task_id, spec, attempt, options = message
             directive = _worker_chaos(chaos, spec_key(spec), attempt)
             if directive is not None:
                 if directive.kind == "worker_kill":
@@ -286,7 +296,7 @@ def _fabric_worker(conn, chaos: tuple[ChaosSpec, ...]) -> None:
                 if directive.kind == "point_hang":
                     time.sleep(directive.seconds)
             try:
-                result = _run_observed(spec) if journaled else _run_summary(spec)
+                result = _run_with_options(spec, options)
             except Exception as exc:
                 conn.send(("error", task_id, f"{type(exc).__name__}: {exc}"))
                 continue
@@ -312,7 +322,9 @@ class _Worker:
         self.inflight: _InFlight | None = None
 
     def dispatch(self, task: "_InFlight", job: FabricJob) -> None:
-        self.conn.send(("run", task.task_id, job.spec, task.attempt, job.journaled))
+        self.conn.send(
+            ("run", task.task_id, job.spec, task.attempt, job.run_options())
+        )
         self.inflight = task
 
     def shutdown(self, kill: bool = False) -> None:

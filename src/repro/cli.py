@@ -5,7 +5,8 @@ Subcommands:
 * ``info`` — generate a topology, print its summary, and list the
   experiment registries.
 * ``registry`` — list every registered topology, scheduler, algorithm,
-  MAC layer, workload, arrival process, fault scenario, and substrate.
+  MAC layer, workload, arrival process, fault scenario, substrate, and
+  reception engine.
 * ``bmmb`` — run BMMB on a generated topology with a chosen scheduler and
   print completion vs the paper's bound.
 * ``fmmb`` — run FMMB on a grey-zone network and print per-subroutine
@@ -71,6 +72,7 @@ from repro.experiments import (
     ExperimentSpec,
     FaultSpec,
     ModelSpec,
+    RunOptions,
     SchedulerSpec,
     Sweep,
     TopologySpec,
@@ -79,8 +81,15 @@ from repro.experiments import (
     run,
     run_sweep,
 )
+from repro.experiments.overrides import (
+    parse_assignment,
+    parse_assignments,
+    parse_axes,
+    parse_scalar,
+)
 from repro.mac.axioms import check_axioms
 from repro.mac.schedulers import ChokeAdversary, GreyZoneAdversary
+from repro.radio import RECEPTION_ENGINES
 from repro.runtime.runner import run_standard
 from repro.topology.adversarial import choke_star_network, parallel_lines_network
 from repro.topology.metrics import summarize
@@ -109,6 +118,7 @@ _REGISTRIES = (
     ("arrival", ARRIVALS),
     ("fault", FAULTS),
     ("substrate", SUBSTRATES),
+    ("engine", RECEPTION_ENGINES),
 )
 
 
@@ -119,8 +129,18 @@ def _substrate_capabilities(substrate) -> str:
         flags.append("faults")
     if substrate.supports_arrivals:
         flags.append("arrivals")
+    if getattr(substrate, "supports_reception_engines", False):
+        flags.append("engines")
     flags.append(f"scheduler={substrate.scheduler_role}")
     return ",".join(flags)
+
+
+def _engine_capabilities(engine) -> str:
+    """Compact availability summary for a reception engine row."""
+    if not engine.requires:
+        return "pure-python"
+    state = "available" if engine.available() else "unavailable"
+    return f"requires={engine.requires},{state}"
 
 
 def _substrate_doc(substrate) -> str:
@@ -137,18 +157,6 @@ def _substrate_doc(substrate) -> str:
     return doc.splitlines()[0] if doc else ""
 
 
-def _parse_scalar(token: str) -> Any:
-    """CLI value literal: int, then float, then bool, then bare string."""
-    for cast in (int, float):
-        try:
-            return cast(token)
-        except ValueError:
-            pass
-    if token.lower() in ("true", "false"):
-        return token.lower() == "true"
-    return token
-
-
 def _parse_fault(text: str | None) -> FaultSpec:
     """Parse ``--fault kind[:param=value,...]`` into a :class:`FaultSpec`."""
     if not text:
@@ -159,15 +167,9 @@ def _parse_fault(text: str | None) -> FaultSpec:
             f"--fault: unknown fault scenario {kind!r}; registered: "
             f"{', '.join(FAULTS.names())}"
         )
-    params: dict[str, Any] = {}
-    if rest:
-        for item in rest.split(","):
-            key, sep, value = item.partition("=")
-            if not sep or not key or not value:
-                raise SystemExit(
-                    f"--fault needs kind:param=value,... syntax, got {text!r}"
-                )
-            params[key] = _parse_scalar(value)
+    params = parse_assignments(
+        rest.split(",") if rest else None, flag="--fault", require_value=True
+    )
     return FaultSpec(kind, params)
 
 
@@ -215,6 +217,10 @@ def cmd_registry(args: argparse.Namespace) -> int:
                 substrate = registry.get(name)
                 row["capabilities"] = _substrate_capabilities(substrate)
                 row["description"] = _substrate_doc(substrate)
+            if label == "engine":
+                engine = registry.get(name)
+                row["capabilities"] = _engine_capabilities(engine)
+                row["description"] = engine.describe()
             rows.append(row)
     print(render_table(rows, title="registered experiment components"))
     return 0
@@ -237,7 +243,7 @@ def _bmmb_spec(args: argparse.Namespace) -> ExperimentSpec:
 def cmd_bmmb(args: argparse.Namespace) -> int:
     spec = _bmmb_spec(args)
     dual = materialize_topology(spec)
-    result = run(spec, keep_raw=False)
+    result = run(spec, RunOptions.summary())
     bound = bmmb_arbitrary_bound(dual.diameter(), args.k, args.fack)
     print(render_table(
         [
@@ -268,7 +274,7 @@ def cmd_fmmb(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     dual = materialize_topology(spec)
-    result = run(spec, keep_raw=False)
+    result = run(spec, RunOptions.summary())
     budget = fmmb_bound_rounds(dual.diameter(), args.k, dual.n, c=args.c)
     print(render_table(
         [
@@ -335,15 +341,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # ExperimentError lists the registered names and main() converts it
     # to exit status 2.
     base = _bmmb_spec(args)
-    axes: dict[str, list] = {}
-    for item in args.param or []:
-        try:
-            path, raw_values = item.split("=", 1)
-        except ValueError:
-            raise SystemExit(
-                f"--param needs path=v1,v2,... syntax, got {item!r}"
-            )
-        axes[path] = [_parse_scalar(token) for token in raw_values.split(",")]
+    axes = parse_axes(args.param, flag="--param")
     journal_dir = getattr(args, "journal_dir", None)
     try:
         specs = Sweep.grid(base, axes=axes, repeats=args.seeds)
@@ -438,11 +436,7 @@ def _campaign_params(args: argparse.Namespace) -> dict[str, Any]:
     params: dict[str, Any] = {}
     if getattr(args, "n_max", None) is not None:
         params["n_max"] = args.n_max
-    for item in getattr(args, "set", None) or []:
-        key, sep, value = item.partition("=")
-        if not sep or not key:
-            raise SystemExit(f"--set needs key=value syntax, got {item!r}")
-        params[key] = _parse_scalar(value)
+    params.update(parse_assignments(getattr(args, "set", None), flag="--set"))
     return params
 
 
@@ -612,12 +606,8 @@ def _parse_trace_check(text: str) -> tuple[str, dict[str, Any]]:
     params: dict[str, Any] = {}
     if sep:
         for item in rest.split(","):
-            key, eq, value = item.partition("=")
-            if not eq or not key:
-                raise SystemExit(
-                    f"--check params need key=value syntax, got {item!r}"
-                )
-            params[key] = _parse_scalar(value)
+            key, value = parse_assignment(item, flag="--check")
+            params[key] = value
     return name, params
 
 
@@ -792,12 +782,28 @@ def cmd_perf(args: argparse.Namespace) -> int:
     records = []
     print("calibrating host ...", file=sys.stderr)
     calibration = perf.calibrate()
+    from repro.perf.micro import micro_available
+
     if "micro" in suites:
         for name, bench in perf.MICRO_BENCHMARKS.items():
+            if not micro_available(name):
+                print(
+                    f"micro/{name} skipped (needs numpy; install the "
+                    f"'fast' extra)",
+                    file=sys.stderr,
+                )
+                continue
             print(f"micro/{name} ...", file=sys.stderr)
             records.append(bench(args.repeats))
     if "macro" in suites:
         for family in perf.SCENARIOS:
+            if not perf.scenario_available(family):
+                print(
+                    f"macro/{family} skipped (needs numpy; install the "
+                    f"'fast' extra)",
+                    file=sys.stderr,
+                )
+                continue
             for n in sizes.get(family, ()):
                 print(f"macro/{family}_n{n} ...", file=sys.stderr)
                 records.append(
@@ -895,7 +901,7 @@ def cmd_radio(args: argparse.Namespace) -> int:
         substrate="radio",
         seed=args.seed,
     )
-    result = run(spec, keep_raw=False)
+    result = run(spec, RunOptions.summary())
     fack = result.metrics["empirical_fack"]
     fprog = result.metrics["empirical_fprog"]
     print(render_table(

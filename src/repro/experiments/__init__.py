@@ -59,6 +59,7 @@ from repro.experiments.registries import (
 )
 from repro.experiments.runner import (
     ExperimentResult,
+    RunOptions,
     run,
 )
 from repro.experiments.specs import (
@@ -144,6 +145,7 @@ __all__ = [
     "materialize_workload",
     # runner
     "run",
+    "RunOptions",
     "ExperimentResult",
     "RadioRun",
     # observations

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 import sys
 import time as _time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
@@ -58,6 +59,7 @@ from repro.runtime.observations import Observation
 __all__ = [
     "ExperimentResult",
     "RadioRun",
+    "RunOptions",
     "run",
     "encode_float",
     "decode_float",
@@ -225,55 +227,158 @@ def _profile_observations(
     )
 
 
-def run(
-    spec: ExperimentSpec,
-    keep_raw: bool = True,
-    window: float | None = None,
-    max_windows: int | None = None,
-    journal: str | Path | None = None,
-) -> ExperimentResult:
-    """Execute one spec on its substrate and summarize the outcome.
+@dataclass(frozen=True)
+class RunOptions:
+    """How one execution is captured — orthogonal to *what* runs.
 
-    Args:
-        spec: The experiment description.
+    The spec describes the experiment; ``RunOptions`` describes what the
+    caller wants back from it (raw handles, windowed folding, a persisted
+    journal).  Options never influence the execution's random streams or
+    outcome, so two runs of the same spec under different options compare
+    equal as :class:`ExperimentResult` values.
+
+    Combination rules are validated at construction, not at ``run`` time,
+    so an invalid bundle fails where it is written:
+
+    * ``journal`` needs the raw stream and cannot be combined with
+      ``window`` (which folds the stream away);
+    * ``max_windows`` requires ``window``;
+    * ``window`` implies ``keep_raw=False`` — bounded memory is the point
+      of windowing, so the flag is normalized here rather than silently
+      at run time.
+
+    Attributes:
         keep_raw: Retain the substrate's native result object in
             ``result.raw`` and the typed observation stream in
             ``result.observations``.  Disable for sweeps — summaries stay
             small, picklable, and comparable across processes.
         window: Fold observations into time-window aggregates of this
             width instead of retaining the raw stream (long-horizon
-            service runs).  Implies ``keep_raw=False`` — bounded memory
-            is the point — and surfaces the ``obs_*`` window gauges in
+            service runs); surfaces the ``obs_*`` window gauges in
             ``result.metrics``.
         max_windows: Bound on retained window aggregates (oldest evicted
             first); requires ``window``.
         journal: Write the observation stream to this path as a
             deterministic journal (see :mod:`repro.runtime.journal`).
             The stream is captured for the journal even when
-            ``keep_raw=False`` (the returned summary stays stripped);
-            incompatible with ``window``, which discards the stream.
+            ``keep_raw=False`` (the returned summary stays stripped).
+    """
+
+    keep_raw: bool = True
+    window: float | None = None
+    max_windows: int | None = None
+    journal: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.window is not None:
+            if self.journal is not None:
+                raise ExperimentError(
+                    "journal capture needs the raw observation stream and "
+                    "cannot be combined with windowed folding (window=...)"
+                )
+            if self.keep_raw:
+                object.__setattr__(self, "keep_raw", False)
+        elif self.max_windows is not None:
+            raise ExperimentError(
+                "max_windows requires a window width (window=...)"
+            )
+
+    @classmethod
+    def summary(cls) -> "RunOptions":
+        """The sweep default: small, picklable summaries (no raw/stream)."""
+        return cls(keep_raw=False)
+
+    @classmethod
+    def observed(cls) -> "RunOptions":
+        """Keep the typed observation stream (journaling sweeps)."""
+        return cls(keep_raw=True)
+
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit value in
+#: the deprecated ``run(spec, keep_raw=..., ...)`` compatibility surface.
+_LEGACY_UNSET: Any = object()
+
+
+def _resolve_options(
+    options: RunOptions | bool | None,
+    keep_raw: Any,
+    window: Any,
+    max_windows: Any,
+    journal: Any,
+) -> RunOptions:
+    """Fold the deprecated per-kwarg surface into a :class:`RunOptions`."""
+    if isinstance(options, bool):
+        # Historical positional form ``run(spec, False)`` — the second
+        # argument used to be ``keep_raw``.
+        if keep_raw is not _LEGACY_UNSET:
+            raise ExperimentError(
+                "run() got keep_raw twice (positionally and by keyword)"
+            )
+        options, keep_raw = None, options
+    legacy = {
+        name: value
+        for name, value in (
+            ("keep_raw", keep_raw),
+            ("window", window),
+            ("max_windows", max_windows),
+            ("journal", journal),
+        )
+        if value is not _LEGACY_UNSET
+    }
+    if not legacy:
+        return options if options is not None else RunOptions()
+    if options is not None:
+        raise ExperimentError(
+            "pass run options either as RunOptions(...) or as the legacy "
+            f"keyword arguments, not both (got options and "
+            f"{', '.join(sorted(legacy))})"
+        )
+    warnings.warn(
+        "run(spec, keep_raw=..., window=..., max_windows=..., journal=...) "
+        "is deprecated; pass run(spec, RunOptions(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunOptions(**legacy)
+
+
+def run(
+    spec: ExperimentSpec,
+    options: RunOptions | bool | None = None,
+    *,
+    keep_raw: bool = _LEGACY_UNSET,
+    window: float | None = _LEGACY_UNSET,
+    max_windows: int | None = _LEGACY_UNSET,
+    journal: str | Path | None = _LEGACY_UNSET,
+) -> ExperimentResult:
+    """Execute one spec on its substrate and summarize the outcome.
+
+    Args:
+        spec: The experiment description.
+        options: Capture/persistence options (see :class:`RunOptions`);
+            ``None`` means the defaults.  The individual keyword
+            arguments are the deprecated pre-``RunOptions`` surface —
+            still honored (with a :class:`DeprecationWarning`), but they
+            cannot be combined with ``options``.
 
     Returns:
         The :class:`ExperimentResult`.
 
     Raises:
-        ExperimentError: Unknown substrate, or a capability mismatch
-            (e.g. a fault scenario on a substrate with
-            ``supports_faults=False``).
+        ExperimentError: Unknown substrate, a capability mismatch (e.g. a
+            fault scenario on a substrate with ``supports_faults=False``),
+            or an invalid option bundle.
     """
+    opts = _resolve_options(options, keep_raw, window, max_windows, journal)
     substrate = SUBSTRATES.get(spec.substrate)
     check_capabilities(spec, substrate)
     started = _time.perf_counter()
-    if window is not None:
-        if journal is not None:
-            raise ExperimentError(
-                "journal capture needs the raw observation stream and "
-                "cannot be combined with windowed folding (window=...)"
-            )
-        keep_raw = False
-    record_stream = keep_raw or journal is not None
+    record_stream = opts.keep_raw or opts.journal is not None
     ctx = ExecutionContext(
-        spec, keep_raw=record_stream, window=window, max_windows=max_windows
+        spec,
+        keep_raw=record_stream,
+        window=opts.window,
+        max_windows=opts.max_windows,
     )
     check_workload_capability(ctx, substrate)
     count_blocks = getattr(sys, "getallocatedblocks", lambda: 0)
@@ -290,8 +395,10 @@ def run(
             execute_seconds,
             count_blocks() - blocks_before,
         )
-    if journal is not None:
-        write_journal(journal, observations, meta={"spec": spec.to_dict()})
+    if opts.journal is not None:
+        write_journal(
+            opts.journal, observations, meta={"spec": spec.to_dict()}
+        )
     return ExperimentResult(
         spec=spec,
         solved=outcome.solved,
@@ -301,6 +408,6 @@ def run(
         metrics=outcome.metrics,
         series=outcome.series,
         wall_time=_time.perf_counter() - started,
-        raw=outcome.raw if keep_raw else None,
-        observations=observations if keep_raw else (),
+        raw=outcome.raw if opts.keep_raw else None,
+        observations=observations if opts.keep_raw else (),
     )

@@ -123,6 +123,13 @@ class ModelSpec:
         max_events: Simulator event budget.
         params: Substrate-specific extras (e.g. ``max_slots``,
             ``slot_duration``, ``adaptive`` for the radio substrate).
+        engine: Reception-engine key for radio-family substrates
+            (``reference``, ``vectorized``, or ``auto``; see
+            :data:`repro.radio.engines.RECEPTION_ENGINES`).  All engines
+            compute identical receptions from the same seed, so this field
+            selects an implementation, never an outcome.  Serialization
+            omits the default, keeping existing spec JSON (and every
+            store/journal keyed on it) byte-identical.
     """
 
     fack: Time = 20.0
@@ -131,6 +138,7 @@ class ModelSpec:
     max_time: Time | None = None
     max_events: int = 50_000_000
     params: dict[str, Any] = field(default_factory=dict)
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.fack <= 0 or self.fprog <= 0:
@@ -145,7 +153,7 @@ class ModelSpec:
         object.__setattr__(self, "params", _params_dict(self.params))
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "fack": self.fack,
             "fprog": self.fprog,
             "mac": self.mac,
@@ -153,6 +161,9 @@ class ModelSpec:
             "max_events": self.max_events,
             "params": dict(self.params),
         }
+        if self.engine != "reference":
+            data["engine"] = self.engine
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ModelSpec":
@@ -163,6 +174,7 @@ class ModelSpec:
             max_time=data.get("max_time"),
             max_events=data.get("max_events", 50_000_000),
             params=_params_dict(data.get("params")),
+            engine=data.get("engine", "reference"),
         )
 
 

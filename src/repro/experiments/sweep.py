@@ -23,7 +23,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.analysis.stats import Summary, percentile, summarize
 from repro.errors import ExperimentError
-from repro.experiments.runner import ExperimentResult, run
+from repro.experiments.runner import ExperimentResult, RunOptions, run
 from repro.experiments.specs import ExperimentSpec, ModelSpec, _KindSpec
 from repro.sim.rng import derive_seed
 
@@ -195,31 +195,44 @@ class Sweep:
         return Sweep.grid(base, axes=None, repeats=count)
 
 
+def _run_with_options(
+    spec: ExperimentSpec, options: RunOptions
+) -> ExperimentResult:
+    """One sweep point under ``options``, sweep-safe.
+
+    The substrate's ``raw`` handle is always dropped (engine objects are
+    neither picklable nor comparable across processes); the typed
+    :class:`Observation` tuple — plain frozen records — travels back to
+    the parent when ``options.keep_raw`` asks for it, which is what
+    journaling campaign sweeps persist.
+    """
+    result = run(spec, options)
+    if result.raw is not None:
+        result = dataclasses.replace(result, raw=None)
+    return result
+
+
 def _run_summary(spec: ExperimentSpec) -> ExperimentResult:
     """Top-level worker function (must be picklable for process pools)."""
-    return run(spec, keep_raw=False)
+    return _run_with_options(spec, RunOptions.summary())
 
 
 def _run_observed(spec: ExperimentSpec) -> ExperimentResult:
-    """Summary worker that keeps the observation stream.
-
-    The substrate's ``raw`` handle is dropped (engine objects are neither
-    picklable nor comparable) but the typed :class:`Observation` tuple —
-    plain frozen records — travels back to the parent, which is what
-    journaling campaign sweeps persist.
-    """
-    return dataclasses.replace(run(spec, keep_raw=True), raw=None)
+    """Summary worker that keeps the observation stream."""
+    return _run_with_options(spec, RunOptions.observed())
 
 
-def _run_indexed(job: tuple[int, ExperimentSpec]) -> tuple[int, ExperimentResult]:
+def _run_indexed(
+    job: tuple[int, ExperimentSpec, RunOptions],
+) -> tuple[int, ExperimentResult]:
     """Chunk-friendly worker: tags each summary with its submission index.
 
     ``imap_unordered`` returns results in completion order; the index lets
     the parent restore submission order exactly, so a parallel sweep stays
     byte-identical to a serial one.
     """
-    index, spec = job
-    return index, run(spec, keep_raw=False)
+    index, spec, options = job
+    return index, _run_with_options(spec, options)
 
 
 def _run_indexed_observed(
@@ -307,6 +320,7 @@ def run_sweep(
     workers: int | None = None,
     chunksize: int | None = None,
     keep_observations: bool = False,
+    options: RunOptions | None = None,
 ) -> SweepResult:
     """Run every spec and aggregate the summaries.
 
@@ -326,29 +340,52 @@ def run_sweep(
             in ``result.observations`` (``raw`` stays dropped).  Summary
             equality is unaffected — the field is excluded from
             comparison — but memory grows with the event count, so this
-            is for journaling sweeps, not routine aggregation.
+            is for journaling sweeps, not routine aggregation.  Shorthand
+            for ``options=RunOptions.observed()``.
+        options: Per-point capture options (see
+            :class:`~repro.experiments.runner.RunOptions`); mutually
+            exclusive with ``keep_observations``.  ``options.journal`` is
+            rejected — a single journal path cannot hold many points;
+            journaling sweeps capture streams (``keep_raw``) and persist
+            them per point (the campaign store does exactly that).
 
     Returns:
         The :class:`SweepResult`.
     """
+    if options is not None:
+        if keep_observations:
+            raise ExperimentError(
+                "pass either options=RunOptions(...) or "
+                "keep_observations=True, not both"
+            )
+        if options.journal is not None:
+            raise ExperimentError(
+                "options.journal is per-run and cannot journal a sweep; "
+                "capture streams with RunOptions(keep_raw=True) and "
+                "persist them per point instead"
+            )
+    else:
+        options = (
+            RunOptions.observed() if keep_observations else RunOptions.summary()
+        )
     spec_list = list(specs)
-    worker = _run_observed if keep_observations else _run_summary
-    indexed = _run_indexed_observed if keep_observations else _run_indexed
     if workers is not None and workers > 1 and len(spec_list) > 1:
         if chunksize is None:
             chunksize = default_chunksize(len(spec_list), workers)
         if chunksize < 1:
             raise ExperimentError(f"chunksize must be >= 1, got {chunksize}")
-        jobs = list(enumerate(spec_list))
+        jobs = [
+            (index, spec, options) for index, spec in enumerate(spec_list)
+        ]
         ordered: list[ExperimentResult | None] = [None] * len(jobs)
         with multiprocessing.Pool(processes=workers) as pool:
             for index, result in pool.imap_unordered(
-                indexed, jobs, chunksize=chunksize
+                _run_indexed, jobs, chunksize=chunksize
             ):
                 ordered[index] = result
         results = [r for r in ordered if r is not None]
         if len(results) != len(jobs):  # pragma: no cover - defensive
             raise ExperimentError("parallel sweep lost results")
     else:
-        results = [worker(spec) for spec in spec_list]
+        results = [_run_with_options(spec, options) for spec in spec_list]
     return SweepResult(tuple(results))

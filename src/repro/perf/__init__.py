@@ -16,9 +16,11 @@ Entry point: ``python -m repro perf`` (see :func:`repro.cli.cmd_perf`).
 from repro.perf.harness import BenchRecord, calibrate, peak_rss_mb
 from repro.perf.macro import (
     DEFAULT_SIZES,
+    LANE_SCENARIOS,
     SCENARIOS,
     run_macro_scenario,
     run_macro_suite,
+    scenario_available,
 )
 from repro.perf.micro import MICRO_BENCHMARKS, run_micro_suite
 from repro.perf.report import (
@@ -32,6 +34,7 @@ from repro.perf.report import (
 __all__ = [
     "BenchRecord",
     "DEFAULT_SIZES",
+    "LANE_SCENARIOS",
     "MICRO_BENCHMARKS",
     "Regression",
     "SCENARIOS",
@@ -42,6 +45,7 @@ __all__ = [
     "peak_rss_mb",
     "run_macro_scenario",
     "run_macro_suite",
+    "scenario_available",
     "run_micro_suite",
     "write_report",
 ]

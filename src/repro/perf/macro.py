@@ -12,7 +12,11 @@ from __future__ import annotations
 import math
 
 from repro.experiments import runner as _runner
-from repro.experiments.runner import materialize_topology, run as run_spec
+from repro.experiments.runner import (
+    RunOptions,
+    materialize_topology,
+    run as run_spec,
+)
 from repro.experiments.specs import (
     AlgorithmSpec,
     ExperimentSpec,
@@ -34,6 +38,11 @@ DEFAULT_SIZES: dict[str, tuple[int, ...]] = {
     "bmmb_crash": (512,),
     "fmmb": (64, 256, 512),
     "radio": (16, 32, 48),
+    # Slot-lane rungs (reception engines below run()): the reference
+    # loops stop at 10^4 — a single decay sweep already costs tens of
+    # seconds there — while the vectorized lane also takes the 10^5 rung.
+    "sinr_lane_reference": (10_000,),
+    "sinr_lane_vectorized": (10_000, 100_000),
 }
 
 
@@ -120,13 +129,41 @@ def spec_radio(n: int) -> ExperimentSpec:
     )
 
 
+#: Slot-lane rung families: reception-engine benchmarks *below* the
+#: experiment loop.  One SINR radio network is built per rung, then a
+#: deterministic decay-shaped slot sweep is timed through ``run_slot``
+#: — the exact surface the engine API vectorizes — so the reference and
+#: vectorized lanes are directly comparable at sizes where a full BMMB
+#: run is infeasible.
+LANE_SCENARIOS: dict[str, str] = {
+    "sinr_lane_reference": "reference",
+    "sinr_lane_vectorized": "vectorized",
+}
+
 SCENARIOS: dict[str, "object"] = {
     "bmmb_uniform": spec_bmmb_uniform,
     "bmmb_contention": spec_bmmb_contention,
     "bmmb_crash": spec_bmmb_crash,
     "fmmb": spec_fmmb,
     "radio": spec_radio,
+    # Lane families dispatch to run_lane_scenario (no spec factory).
+    **{family: engine for family, engine in LANE_SCENARIOS.items()},
 }
+
+
+def scenario_available(family: str) -> bool:
+    """Whether a scenario family can run in this interpreter.
+
+    Lane rungs need their engine importable (``vectorized`` → numpy);
+    spec-factory scenarios always run.  The CLI uses this to skip — not
+    fail — the vectorized rungs on pure-python hosts.
+    """
+    engine = LANE_SCENARIOS.get(family)
+    if engine is None:
+        return True
+    from repro.radio.engines import RECEPTION_ENGINES
+
+    return RECEPTION_ENGINES.get(engine).available()
 
 #: Metric key per substrate that best represents "work units processed".
 _EVENT_METRIC = {
@@ -134,6 +171,95 @@ _EVENT_METRIC = {
     "rounds": "rounds_total",
     "radio": "slots",
 }
+
+
+#: Seed and sweep shape for the slot-lane rungs.  The decay steps start
+#: deeper at 10^5 nodes (sparser transmitter sets): a p=1/2 slot there
+#: would cost ~10^9 interference cells, which no committed rung needs.
+_LANE_SEED = 29
+_LANE_STEP_COUNT = 6
+
+
+def _lane_steps(n: int) -> tuple[int, ...]:
+    start = 1 if n <= 20_000 else 4
+    return tuple(range(start, start + _LANE_STEP_COUNT))
+
+
+def _lane_transmitter_sets(
+    nodes, steps: tuple[int, ...]
+) -> list[dict]:
+    """Deterministic decay-shaped transmitter sets, one per step.
+
+    Membership hashes each node id through a Knuth multiplicative mix
+    against :func:`repro.radio.decay.phase_probability` — no RNG draws,
+    so both engines (and every repeat) see byte-identical slot traffic.
+    """
+    from repro.radio.decay import phase_probability
+
+    depth = max(steps)
+    fractions = {
+        v: ((v * 2654435761) & 0xFFFFFFFF) / 2.0**32 for v in nodes
+    }
+    return [
+        {
+            v: f"lane-m{step}"
+            for v in nodes
+            if fractions[v] < phase_probability(step, depth)
+        }
+        for step in steps
+    ]
+
+
+def run_lane_scenario(family: str, n: int, repeats: int = 1) -> BenchRecord:
+    """Run one slot-lane rung: a decay sweep through ``run_slot``.
+
+    The topology is built once (identical across engines and repeats —
+    same seed, no lane-side RNG), then each repeat times a fresh
+    :class:`~repro.radio.sinr.SINRRadioNetwork` over the same slot
+    trajectory.  ``events`` counts interference cells (listener × sender
+    pairs swept), the unit of reception work both engines share.
+    """
+    from repro.radio.sinr import SINRRadioNetwork
+    from repro.sim.rng import RandomSource
+    from repro.topology.geometric import random_geometric_network
+
+    engine = LANE_SCENARIOS[family]
+    rng = RandomSource(_LANE_SEED, "perf-lane")
+    t_topo, dual = timed(
+        lambda: random_geometric_network(
+            n, _geometric_side(n), 1.6, 0.4, rng.child("topology")
+        )
+    )
+    slots = _lane_transmitter_sets(dual.nodes_sorted, _lane_steps(n))
+    cells = float(sum(len(s) * (n - len(s)) for s in slots))
+
+    def once():
+        net = SINRRadioNetwork(dual, rng.child("fading"), engine=engine)
+
+        def sweep() -> int:
+            received = 0
+            for transmissions in slots:
+                received += len(net.run_slot(transmissions))
+            return received
+
+        t_run, received = timed(sweep)
+        extra = {
+            "n": float(n),
+            "slots": float(len(slots)),
+            "received": float(received),
+            "collisions": float(
+                sum(stat.collisions for stat in net.stats)
+            ),
+        }
+        return cells, {"run": t_run}, extra
+
+    record = measure(f"{family}_n{n}", "macro", once, repeats)
+    record.phases = {
+        "topology": t_topo,
+        "execute": record.phases.get("run", record.wall_seconds),
+        "total": record.wall_seconds,
+    }
+    return record
 
 
 def run_macro_scenario(
@@ -144,7 +270,10 @@ def run_macro_scenario(
     The recorded wall time is the end-to-end ``run(spec)`` call.  The
     topology-build phase is measured once separately (the build is
     deterministic) and subtracted to estimate the execution phase.
+    Lane families dispatch to :func:`run_lane_scenario`.
     """
+    if family in LANE_SCENARIOS:
+        return run_lane_scenario(family, n, repeats)
     spec = SCENARIOS[family](n)  # type: ignore[operator]
     # Every timed repeat (and the phase probe below) must pay the cold
     # topology build: the process-local memo in the runner would otherwise
@@ -156,7 +285,7 @@ def run_macro_scenario(
     def once():
         if _clear_topology_cache is not None:
             _clear_topology_cache()
-        t_total, result = timed(lambda: run_spec(spec, keep_raw=False))
+        t_total, result = timed(lambda: run_spec(spec, RunOptions.summary()))
         events = result.metrics.get(_EVENT_METRIC.get(spec.substrate, ""), None)
         extra = {
             "n": float(n),
@@ -184,6 +313,8 @@ def run_macro_suite(
     sizes = sizes or DEFAULT_SIZES
     records: list[BenchRecord] = []
     for family in SCENARIOS:
+        if not scenario_available(family):
+            continue
         for n in sizes.get(family, ()):
             records.append(run_macro_scenario(family, n, repeats))
     return records

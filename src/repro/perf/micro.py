@@ -168,7 +168,7 @@ def bench_bcast_fanout(repeats: int = 3) -> BenchRecord:
 @_micro("fault_epoch")
 def bench_fault_epoch(repeats: int = 3) -> BenchRecord:
     """Per-delivery fault poll under a flapping plan: BMMB, n=64."""
-    from repro.experiments.runner import run as run_spec
+    from repro.experiments.runner import RunOptions, run as run_spec
     from repro.experiments.specs import (
         AlgorithmSpec,
         ExperimentSpec,
@@ -194,7 +194,7 @@ def bench_fault_epoch(repeats: int = 3) -> BenchRecord:
     )
 
     def once():
-        t_run, result = timed(lambda: run_spec(spec, keep_raw=False))
+        t_run, result = timed(lambda: run_spec(spec, RunOptions.summary()))
         return (
             result.metrics.get("sim_events"),
             {"run": t_run},
@@ -216,7 +216,11 @@ def bench_sinr_slots(repeats: int = 3) -> BenchRecord:
     empirical-bound extraction — so the newest engine has a regression
     baseline alongside the collision-radio and event-kernel paths.
     """
-    from repro.experiments.runner import clear_topology_cache, run as run_spec
+    from repro.experiments.runner import (
+        RunOptions,
+        clear_topology_cache,
+        run as run_spec,
+    )
     from repro.experiments.specs import (
         AlgorithmSpec,
         ExperimentSpec,
@@ -240,7 +244,7 @@ def bench_sinr_slots(repeats: int = 3) -> BenchRecord:
 
     def once():
         clear_topology_cache()  # every repeat pays the cold build
-        t_run, result = timed(lambda: run_spec(spec, keep_raw=False))
+        t_run, result = timed(lambda: run_spec(spec, RunOptions.summary()))
         return (
             result.metrics.get("slots"),
             {"run": t_run},
@@ -253,6 +257,60 @@ def bench_sinr_slots(repeats: int = 3) -> BenchRecord:
     return measure("sinr_slots", "micro", once, repeats)
 
 
+@_micro("sinr_slots_vectorized")
+def bench_sinr_slots_vectorized(repeats: int = 3) -> BenchRecord:
+    """``sinr_slots`` with the numpy-batched reception engine.
+
+    The same spec, seed, and slot trajectory as ``sinr_slots`` (the
+    engines decode identically), differing only in
+    ``model.engine="vectorized"`` — committing both keeps the engine
+    pair's relative cost under regression gating.  Skipped by the CLI
+    when numpy is not importable.
+    """
+    from repro.experiments.runner import (
+        RunOptions,
+        clear_topology_cache,
+        run as run_spec,
+    )
+    from repro.experiments.specs import (
+        AlgorithmSpec,
+        ExperimentSpec,
+        ModelSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    spec = ExperimentSpec(
+        name="perf-sinr-slots-vectorized",
+        topology=TopologySpec(
+            "random_geometric",
+            {"n": 24, "side": 2.5, "c": 1.6, "grey_edge_probability": 0.4},
+        ),
+        algorithm=AlgorithmSpec("bmmb"),
+        workload=WorkloadSpec("one_each", {"k": 6}),
+        model=ModelSpec(params={"max_slots": 500_000}, engine="vectorized"),
+        substrate="sinr",
+        seed=13,
+    )
+
+    def once():
+        clear_topology_cache()  # every repeat pays the cold build
+        t_run, result = timed(lambda: run_spec(spec, RunOptions.summary()))
+        return (
+            result.metrics.get("slots"),
+            {"run": t_run},
+            {
+                "solved": float(result.solved),
+                "slots": result.metrics.get("slots", 0.0),
+            },
+        )
+
+    return measure("sinr_slots_vectorized", "micro", once, repeats)
+
+
+bench_sinr_slots_vectorized.requires_numpy = True
+
+
 @_micro("arrival_stream")
 def bench_arrival_stream(repeats: int = 3) -> BenchRecord:
     """Open Poisson arrivals under windowed aggregation: n=32, 120 messages.
@@ -263,7 +321,11 @@ def bench_arrival_stream(repeats: int = 3) -> BenchRecord:
     extraction — so the long-horizon service mode has a regression
     baseline alongside the one-shot paths.
     """
-    from repro.experiments.runner import clear_topology_cache, run as run_spec
+    from repro.experiments.runner import (
+        RunOptions,
+        clear_topology_cache,
+        run as run_spec,
+    )
     from repro.experiments.specs import (
         AlgorithmSpec,
         ExperimentSpec,
@@ -291,7 +353,7 @@ def bench_arrival_stream(repeats: int = 3) -> BenchRecord:
     def once():
         clear_topology_cache()  # every repeat pays the cold build
         t_run, result = timed(
-            lambda: run_spec(spec, window=100.0, max_windows=16)
+            lambda: run_spec(spec, RunOptions(window=100.0, max_windows=16))
         )
         return (
             result.metrics.get("sim_events"),
@@ -432,6 +494,19 @@ def bench_dualgraph_queries(repeats: int = 3) -> BenchRecord:
     return measure("dualgraph_queries", "micro", once, repeats)
 
 
+def micro_available(name: str) -> bool:
+    """Whether a microbenchmark can run here (numpy-gated entries skip)."""
+    if not getattr(MICRO_BENCHMARKS[name], "requires_numpy", False):
+        return True
+    from repro.radio.engines import numpy_available
+
+    return numpy_available()
+
+
 def run_micro_suite(repeats: int = 3) -> list[BenchRecord]:
-    """Execute every microbenchmark; returns the records in order."""
-    return [bench(repeats) for bench in MICRO_BENCHMARKS.values()]
+    """Execute every runnable microbenchmark; returns the records in order."""
+    return [
+        bench(repeats)
+        for name, bench in MICRO_BENCHMARKS.items()
+        if micro_available(name)
+    ]

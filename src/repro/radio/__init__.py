@@ -27,9 +27,20 @@ the paper's footnote 2 motivates it:
   embedded topology, after the local broadcast layer of Halldórsson,
   Holzer & Lynch.  :func:`sinr_mac_layer` plugs it under the unchanged
   :class:`RadioMACLayer`, backing the ``sinr`` experiment substrate.
+* :mod:`~repro.radio.engines` — the :data:`RECEPTION_ENGINES` registry of
+  interchangeable slot-reception implementations: ``reference`` (the
+  historical per-node loops) and ``vectorized`` (numpy-batched; identical
+  receptions, selected via ``ModelSpec.engine``).
 """
 
 from repro.radio.decay import DecaySchedule
+from repro.radio.engines import (
+    RECEPTION_ENGINES,
+    ReceptionEngine,
+    engine_names,
+    numpy_available,
+    resolve_engine,
+)
 from repro.radio.mac_adapter import EmpiricalBounds, RadioMACLayer
 from repro.radio.sinr import SINRRadioNetwork, sinr_mac_layer
 from repro.radio.slotted import SlottedRadioNetwork
@@ -41,4 +52,9 @@ __all__ = [
     "DecaySchedule",
     "RadioMACLayer",
     "EmpiricalBounds",
+    "RECEPTION_ENGINES",
+    "ReceptionEngine",
+    "engine_names",
+    "numpy_available",
+    "resolve_engine",
 ]

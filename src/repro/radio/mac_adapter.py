@@ -134,6 +134,10 @@ class RadioMACLayer:
             delivery accounting for bounded memory — size the cap well
             above the in-flight message population.  ``None`` keeps the
             exact unbounded dict.
+        engine: Reception-engine key for the default collision radio
+            (``reference``/``vectorized``/``auto``, see
+            :mod:`repro.radio.engines`); ignored when ``network`` is
+            injected (the injected network carries its own engine).
     """
 
     def __init__(
@@ -148,6 +152,7 @@ class RadioMACLayer:
         fault_engine=None,
         network=None,
         delivered_cap: int | None = None,
+        engine: str = "reference",
     ):
         if slot_duration <= 0:
             raise MACError(f"slot_duration must be positive: {slot_duration}")
@@ -165,7 +170,10 @@ class RadioMACLayer:
             network
             if network is not None
             else SlottedRadioNetwork(
-                dual, rng.child("fading"), p_unreliable_live=p_unreliable_live
+                dual,
+                rng.child("fading"),
+                p_unreliable_live=p_unreliable_live,
+                engine=engine,
             )
         )
         self.faults = fault_engine

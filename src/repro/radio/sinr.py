@@ -42,7 +42,6 @@ derived from geometry, not from the reliable/grey edge split.
 from __future__ import annotations
 
 from repro.errors import MACError
-from repro.ids import NodeId
 from repro.radio.slotted import Receptions, SlotStats, Transmissions
 from repro.sim.rng import RandomSource
 from repro.topology.dualgraph import DualGraph
@@ -68,6 +67,9 @@ class SINRRadioNetwork:
             default noise floor; must cover the reliable (unit-disk)
             radius or the MAC adapter's adaptive mode cannot terminate.
         noise: Explicit ambient noise floor; overrides ``reach``.
+        engine: Reception-engine key (``reference``/``vectorized``/``auto``,
+            see :mod:`repro.radio.engines`); all engines compute identical
+            receptions.
 
     Raises:
         MACError: Missing embedding or non-positive model constants.
@@ -82,7 +84,10 @@ class SINRRadioNetwork:
         power: float = 1.0,
         reach: float = 1.2,
         noise: float | None = None,
+        engine: str = "reference",
     ):
+        from repro.radio.engines import resolve_engine
+
         if dual.positions is None:
             raise MACError(
                 "the SINR model needs an embedded topology "
@@ -104,28 +109,13 @@ class SINRRadioNetwork:
         self.beta = beta
         self.power = power
         self.noise = noise
+        self.engine = resolve_engine(engine)
+        self._slot_pass = None  # built lazily on the first slot
         self.slot = 0
         self.stats: list[SlotStats] = []
         #: Optional :class:`~repro.faults.engine.FaultEngine` (set by the
         #: radio MAC adapter): dead nodes neither transmit nor listen.
         self.fault_engine = None
-        # Pairwise received-power table P·d^-alpha, precomputed once: the
-        # per-slot loop then only sums floats.  n is topology-sized
-        # (hundreds), so the n² table is cheap and saves a hypot+pow per
-        # (listener, transmitter) pair per slot.
-        positions = dual.positions
-        self._gain: dict[NodeId, dict[NodeId, float]] = {}
-        nodes = dual.nodes_sorted
-        for u in nodes:
-            ux, uy = positions[u]
-            row: dict[NodeId, float] = {}
-            for v in nodes:
-                if u == v:
-                    continue
-                vx, vy = positions[v]
-                dist = max(((ux - vx) ** 2 + (uy - vy) ** 2) ** 0.5, MIN_DISTANCE)
-                row[v] = power * dist**-alpha
-            self._gain[u] = row
 
     def run_slot(self, transmissions: Transmissions) -> Receptions:
         """Execute one slot and return who decoded what.
@@ -136,41 +126,9 @@ class SINRRadioNetwork:
         for sender in transmissions:
             if not self.dual.reliable_graph.has_node(sender):
                 raise MACError(f"unknown transmitter {sender}")
-        engine = self.fault_engine
-        dual = self.dual
-        beta = self.beta
-        noise = self.noise
-        gain = self._gain
-        senders = sorted(transmissions)
-        receptions: Receptions = {}
-        collisions = 0
-        for v in dual.nodes_sorted:
-            if v in transmissions:
-                continue  # transmitters cannot listen
-            if engine is not None and not engine.is_active(v):
-                continue  # dead nodes hear nothing
-            row = gain[v]
-            total = 0.0
-            for u in senders:
-                total += row[u]
-            if total <= 0.0:
-                continue
-            neighbors = dual.gprime_neighbors(v)
-            best: NodeId | None = None
-            best_gain = 0.0
-            for u in senders:
-                if u not in neighbors:
-                    continue  # reception is local broadcast over G'
-                signal = row[u]
-                if signal < beta * (noise + total - signal):
-                    continue
-                if best is None or signal > best_gain:
-                    best = u
-                    best_gain = signal
-            if best is not None:
-                receptions[v] = (best, transmissions[best])
-            elif any(u in neighbors for u in senders):
-                collisions += 1  # audible traffic, nothing decodable
+        if self._slot_pass is None:
+            self._slot_pass = self.engine.sinr_pass(self)
+        receptions, collisions = self._slot_pass(transmissions)
         self.stats.append(
             SlotStats(
                 slot=self.slot,
@@ -196,6 +154,7 @@ def sinr_mac_layer(
     power: float = 1.0,
     reach: float = 1.2,
     noise: float | None = None,
+    engine: str = "reference",
 ):
     """Build a :class:`~repro.radio.RadioMACLayer` over SINR reception.
 
@@ -216,6 +175,7 @@ def sinr_mac_layer(
         power=power,
         reach=reach,
         noise=noise,
+        engine=engine,
     )
     return RadioMACLayer(
         dual,

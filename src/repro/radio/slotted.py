@@ -51,6 +51,9 @@ class SlottedRadioNetwork:
         rng: Random stream for fading.
         p_unreliable_live: Per-slot liveness probability of each unreliable
             edge.
+        engine: Reception-engine key (``reference``/``vectorized``/``auto``,
+            see :mod:`repro.radio.engines`); all engines compute identical
+            receptions from the same stream.
     """
 
     def __init__(
@@ -58,7 +61,10 @@ class SlottedRadioNetwork:
         dual: DualGraph,
         rng: RandomSource,
         p_unreliable_live: float = 0.5,
+        engine: str = "reference",
     ):
+        from repro.radio.engines import resolve_engine
+
         if not 0.0 <= p_unreliable_live <= 1.0:
             raise MACError(
                 f"p_unreliable_live must be in [0,1]: {p_unreliable_live}"
@@ -66,6 +72,8 @@ class SlottedRadioNetwork:
         self.dual = dual
         self._rng = rng
         self.p_unreliable_live = p_unreliable_live
+        self.engine = resolve_engine(engine)
+        self._slot_pass = None  # built lazily on the first slot
         self.slot = 0
         self.stats: list[SlotStats] = []
         #: Optional :class:`~repro.faults.engine.FaultEngine` (set by the
@@ -82,33 +90,9 @@ class SlottedRadioNetwork:
         for sender in transmissions:
             if not self.dual.reliable_graph.has_node(sender):
                 raise MACError(f"unknown transmitter {sender}")
-        engine = self.fault_engine
-        dual = self.dual
-        random_f = self._rng.raw.random  # bernoulli(p) == random_f() < p
-        p_live = self.p_unreliable_live
-        receptions: Receptions = {}
-        collisions = 0
-        for v in dual.nodes_sorted:
-            if v in transmissions:
-                continue  # transmitters cannot listen
-            if engine is not None and not engine.is_active(v):
-                continue  # dead nodes hear nothing
-            live_senders = []
-            reliable_set = dual.reliable_neighbors(v)
-            for u in dual.gprime_neighbors_sorted(v):
-                if u not in transmissions:
-                    continue
-                if engine is not None:
-                    reliable = engine.is_reliable_edge(u, v)
-                else:
-                    reliable = u in reliable_set
-                if reliable or random_f() < p_live:
-                    live_senders.append(u)
-            if len(live_senders) == 1:
-                sender = live_senders[0]
-                receptions[v] = (sender, transmissions[sender])
-            elif len(live_senders) > 1:
-                collisions += 1
+        if self._slot_pass is None:
+            self._slot_pass = self.engine.slotted_pass(self)
+        receptions, collisions = self._slot_pass(transmissions)
         self.stats.append(
             SlotStats(
                 slot=self.slot,

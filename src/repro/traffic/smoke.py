@@ -50,7 +50,7 @@ def _open_spec(substrate: str, *, rate: float, count: int, seed: int, **model):
 
 def traffic_smoke(verbose: bool = False) -> None:
     """Run the traffic smoke legs; raise AssertionError on any failure."""
-    from repro.experiments.runner import run
+    from repro.experiments.runner import RunOptions, run
 
     # Leg 1: steady-state gauges exist on two arrival-capable substrates.
     for substrate, model in (
@@ -58,7 +58,7 @@ def traffic_smoke(verbose: bool = False) -> None:
         ("radio", {"max_slots": 500_000}),
     ):
         spec = _open_spec(substrate, rate=0.01, count=8, seed=11, **model)
-        result = run(spec, keep_raw=False)
+        result = run(spec, RunOptions.summary())
         missing = [g for g in STEADY_GAUGES if g not in result.metrics]
         assert not missing, f"{substrate}: missing steady gauges {missing}"
         assert result.solved, f"{substrate}: open-arrival smoke did not solve"
@@ -74,7 +74,7 @@ def traffic_smoke(verbose: bool = False) -> None:
     # Leg 2: long-horizon windowed run — observation memory is O(window).
     max_windows = 8
     spec = _open_spec("standard", rate=0.02, count=40, seed=13)
-    result = run(spec, window=50.0, max_windows=max_windows)
+    result = run(spec, RunOptions(window=50.0, max_windows=max_windows))
     assert result.raw is None
     assert result.observations == ()
     metrics = result.metrics

@@ -171,9 +171,13 @@ def test_radio_fault_flag(capsys):
     assert "fault=churn_poisson" in out
 
 
-def test_fault_flag_rejects_malformed_params():
-    with pytest.raises(SystemExit):
-        main(["bmmb", "--n", "12", "--side", "2.0", "--fault", "crash_random:oops"])
+def test_fault_flag_rejects_malformed_params(capsys):
+    status = main(
+        ["bmmb", "--n", "12", "--side", "2.0", "--fault", "crash_random:oops"]
+    )
+    assert status == 2
+    err = capsys.readouterr().err
+    assert "--fault needs key=value syntax" in err
 
 
 def test_unknown_fault_kind_is_rejected_at_parse_time():
@@ -186,12 +190,13 @@ def test_unknown_fault_kind_is_rejected_at_parse_time():
         main(["bmmb", "--n", "12", "--side", "2.0", "--fault", "nope"])
 
 
-def test_empty_fault_param_value_is_rejected():
-    with pytest.raises(SystemExit, match="param=value"):
-        main(
-            ["bmmb", "--n", "12", "--side", "2.0",
-             "--fault", "crash_random:fraction="]
-        )
+def test_empty_fault_param_value_is_rejected(capsys):
+    status = main(
+        ["bmmb", "--n", "12", "--side", "2.0",
+         "--fault", "crash_random:fraction="]
+    )
+    assert status == 2
+    assert "key=value" in capsys.readouterr().err
 
 
 def test_bad_fault_param_value_reports_cleanly_not_a_traceback(capsys):
@@ -478,3 +483,95 @@ def test_trace_check_rejects_journal_without_spec(tmp_path, capsys):
     err = capsys.readouterr().err
     assert status == 2
     assert "no embedded spec" in err
+
+
+# ----------------------------------------------------------------------
+# Shared override grammar (--param / --set / --fault / --check params)
+# ----------------------------------------------------------------------
+def test_override_grammar_parses_scalars():
+    from repro.experiments.overrides import parse_scalar
+
+    assert parse_scalar("3") == 3
+    assert parse_scalar("0.5") == 0.5
+    assert parse_scalar("true") is True
+    assert parse_scalar("False") is False
+    assert parse_scalar("contention") == "contention"
+
+
+def test_override_grammar_shares_one_error_shape():
+    from repro.errors import ExperimentError
+    from repro.experiments.overrides import parse_assignment, parse_axis
+
+    with pytest.raises(ExperimentError, match="--set needs key=value"):
+        parse_assignment("oops")
+    with pytest.raises(ExperimentError, match="--custom needs key=value"):
+        parse_assignment("oops", flag="--custom")
+    with pytest.raises(ExperimentError, match=r"--param needs path=v1,v2"):
+        parse_axis("oops")
+    with pytest.raises(ExperimentError, match=r"--param needs path=v1,v2"):
+        parse_axis("path=")
+
+
+def test_sweep_malformed_param_exits_2(capsys):
+    status = main(
+        ["sweep", "--n", "10", "--side", "2.0", "--seeds", "1",
+         "--param", "bogus"]
+    )
+    err = capsys.readouterr().err
+    assert status == 2
+    assert err.startswith("error:")
+    assert "--param needs path=v1,v2,... syntax" in err
+
+
+def test_campaign_malformed_set_exits_2(capsys):
+    status = main(["campaign", "verify", "figure1", "--set", "bogus"])
+    err = capsys.readouterr().err
+    assert status == 2
+    assert err.startswith("error:")
+    assert "--set needs key=value syntax" in err
+
+
+# ----------------------------------------------------------------------
+# Reception engines in the CLI surface
+# ----------------------------------------------------------------------
+def test_registry_lists_reception_engines(capsys):
+    status = main(["registry"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "engine" in out
+    assert "reference" in out
+    assert "vectorized" in out
+    assert "pure-python" in out
+    assert "requires=numpy" in out
+
+
+def test_info_lists_the_engine_registry(capsys):
+    status = main(["info", "--n", "10", "--side", "2.0"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "engine" in out
+
+
+def test_sweep_engine_axis_via_param(capsys):
+    from repro.radio import numpy_available
+
+    if not numpy_available():
+        pytest.skip("vectorized engine needs numpy")
+    status = main(
+        ["sweep", "--n", "12", "--side", "2.0", "--k", "2", "--seeds", "1",
+         "--substrate", "sinr",
+         "--param", "model.engine=reference,vectorized"]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "2 runs" in out
+
+
+def test_sweep_engine_on_non_radio_substrate_exits_2(capsys):
+    status = main(
+        ["sweep", "--n", "10", "--side", "2.0", "--seeds", "1",
+         "--param", "model.engine=vectorized"]
+    )
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "supports_reception_engines" in err
