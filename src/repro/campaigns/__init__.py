@@ -9,7 +9,13 @@ sweep runner, and checkpoints every completed point into a
 content-addressed, checksummed result store — so an interrupted campaign
 resumes with zero recomputation and running twice is a no-op.
 
-CLI: ``python -m repro campaign {list,run,resume,report,verify}``.
+CLI: ``python -m repro campaign {list,run,resume,report,verify,diff}``.
+
+The store speaks to byte storage through the pluggable backends in
+:mod:`repro.store`: ``ResultStore("artifacts/store")`` uses the local
+directory layout, ``ResultStore("http://host:8750")`` a shared store
+served by ``repro store serve`` — campaigns, shards, and machines can
+all share one cache.
 
 Quickstart::
 
@@ -52,6 +58,7 @@ from repro.campaigns.checks import (
     workload_k,
     y_value,
 )
+from repro.campaigns.diff import DiffReport, PointDiff, diff_campaign
 from repro.campaigns.executor import (
     CampaignPoint,
     CampaignRun,
@@ -94,6 +101,8 @@ __all__ = [
     "ChaosSpec",
     "CheckOutcome",
     "CheckSpec",
+    "DiffReport",
+    "PointDiff",
     "FabricConfig",
     "FabricEvent",
     "FabricHealth",
@@ -112,6 +121,7 @@ __all__ = [
     "build_campaign",
     "campaign_summary_rows",
     "collect_results",
+    "diff_campaign",
     "evaluate_checks",
     "evaluate_trace_checks",
     "expand_points",

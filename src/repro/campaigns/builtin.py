@@ -33,6 +33,8 @@ store keys) from the full campaign.
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -875,4 +877,181 @@ def _smoke(points: int = 6, k: int = 1, n_max: int | None = None) -> CampaignSpe
             CheckSpec(kind="solved"),
             CheckSpec(kind="upper_bound", params={"bound": "bmmb_gg"}),
         ),
+    )
+
+
+# ----------------------------------------------------------------------
+# The all_figures meta-campaign
+# ----------------------------------------------------------------------
+
+#: Separator between a source campaign's name and its sweep names inside
+#: the merged campaign.  ``:`` cannot appear in campaign or sweep names,
+#: so prefixed names never collide and scope globs stay exact.
+META_SWEEP_SEP = ":"
+
+#: Separator for figure artifact basenames (which become file names, so
+#: they avoid ``:``).
+META_FIGURE_SEP = "__"
+
+
+def _prefix_patterns(name: str, patterns: tuple[str, ...]) -> tuple[str, ...]:
+    """Scope a check's sweep globs to one source campaign's sweeps.
+
+    The campaign name is prepended literally, so a pattern matches a
+    prefixed sweep name exactly when the original pattern matched the
+    original sweep name — ``("*",)`` becomes "every sweep of *this*
+    campaign", never a cross-campaign wildcard.
+    """
+    return tuple(f"{name}{META_SWEEP_SEP}{pattern}" for pattern in patterns)
+
+
+def _prefix_campaign(name: str, campaign: CampaignSpec) -> CampaignSpec:
+    """Namespace one campaign's directives for inclusion in the merge.
+
+    Only *names and scopes* are rewritten — every sweep keeps its base
+    spec, axes, and seeds untouched, so the merged campaign expands to
+    exactly the same :class:`ExperimentSpec` points (hence the same
+    store keys) as the individual campaigns.  Running ``all_figures``
+    against a store warmed by individual campaigns is a 100% cache hit,
+    and vice versa.
+    """
+    prefix = f"{name}{META_SWEEP_SEP}"
+    sweeps = tuple(
+        dataclasses.replace(directive, name=prefix + directive.name)
+        for directive in campaign.sweeps
+    )
+    figures = tuple(
+        FigureSpec(
+            name=f"{name}{META_FIGURE_SEP}{figure.name}",
+            title=f"{campaign.title} — {figure.title}",
+            x=figure.x,
+            series=tuple(
+                SeriesSpec(
+                    sweep=prefix + series.sweep,
+                    y=series.y,
+                    label=f"{name}:{series.label}",
+                    agg=series.agg,
+                )
+                for series in figure.series
+            ),
+            bound=figure.bound,
+            xlabel=figure.xlabel,
+            ylabel=figure.ylabel,
+        )
+        for figure in campaign.figures
+    )
+    checks = tuple(
+        CheckSpec(
+            kind=check.kind,
+            sweeps=_prefix_patterns(name, check.sweeps),
+            params=check.params,
+        )
+        for check in campaign.checks
+    )
+    trace_checks = tuple(
+        CheckSpec(
+            kind=check.kind,
+            sweeps=_prefix_patterns(name, check.sweeps),
+            params=check.params,
+        )
+        for check in campaign.trace_checks
+    )
+    return CampaignSpec(
+        name=campaign.name,
+        title=campaign.title,
+        sweeps=sweeps,
+        figures=figures,
+        checks=checks,
+        trace_checks=trace_checks,
+        description=campaign.description,
+    )
+
+
+def _parse_include(include: Any) -> list[str]:
+    """``include=`` builder param → ordered campaign names."""
+    if isinstance(include, str):
+        names = [part.strip() for part in include.split(",") if part.strip()]
+    else:
+        names = [str(part) for part in include]
+    known = [n for n in list_campaigns() if n != "all_figures"]
+    unknown = sorted(set(names) - set(known))
+    if unknown:
+        raise ExperimentError(
+            f"all_figures: unknown campaign(s) {', '.join(unknown)} in "
+            f"include= (known: {', '.join(known)})"
+        )
+    if not names:
+        raise ExperimentError("all_figures: include= selected no campaigns")
+    # Registry order, deduplicated — the merge order is part of the
+    # campaign's identity, so it must not depend on how include= was
+    # spelled.
+    selected = set(names)
+    return [n for n in known if n in selected]
+
+
+@register_campaign(
+    "all_figures",
+    "Meta-campaign: every built-in campaign, one shared store, one report",
+)
+def _all_figures(
+    n_max: int | None = None,
+    seeds: int | None = None,
+    include: Any = None,
+) -> CampaignSpec:
+    """The whole paper as one campaign: every built-in merged.
+
+    Each source campaign's sweeps are renamed ``<campaign>:<sweep>`` and
+    its figures ``<campaign>__<figure>``; checks and trace checks keep
+    their scopes within their source campaign.  Because only names are
+    rewritten, the merged campaign's points are spec-for-spec (and so
+    store-key-for-store-key) the individual campaigns' points: one
+    shared store serves both, sharding and resume work unchanged, and
+    ``repro campaign run all_figures`` regenerates the full paper in a
+    single resumable command.
+
+    Args:
+        n_max: Forwarded to every builder that accepts it (ladder trim /
+            network-size cap, see the module docstring).
+        seeds: Forwarded to every builder that accepts it (replication
+            count for the seeded campaigns).
+        include: Comma-separated campaign names (or a list) to merge a
+            subset — e.g. ``--set include=figure1,smoke`` for smoke
+            lanes.  Defaults to every built-in campaign.
+    """
+    if include is None:
+        names = [n for n in list_campaigns() if n != "all_figures"]
+    else:
+        names = _parse_include(include)
+    merged_sweeps: list[SweepDirective] = []
+    merged_figures: list[FigureSpec] = []
+    merged_checks: list[CheckSpec] = []
+    merged_trace_checks: list[CheckSpec] = []
+    for name in names:
+        entry = CAMPAIGNS.get(name)
+        accepted = set(inspect.signature(entry.build).parameters)
+        params: dict[str, Any] = {}
+        if n_max is not None and "n_max" in accepted:
+            params["n_max"] = n_max
+        if seeds is not None and "seeds" in accepted:
+            params["seeds"] = seeds
+        prefixed = _prefix_campaign(name, entry.build(**params))
+        merged_sweeps.extend(prefixed.sweeps)
+        merged_figures.extend(prefixed.figures)
+        merged_checks.extend(prefixed.checks)
+        merged_trace_checks.extend(prefixed.trace_checks)
+    return CampaignSpec(
+        name="all_figures",
+        title="All figures: the full paper result set",
+        description=(
+            "Every built-in campaign merged into one resumable unit: the "
+            "paper's figures, lower bound, crossover, fault resilience, "
+            "radio and SINR contention, saturation, and the smoke ladder "
+            "share one content-addressed store and emit one combined "
+            "report.  Point specs are identical to the individual "
+            "campaigns', so warm stores are reused in both directions."
+        ),
+        sweeps=tuple(merged_sweeps),
+        figures=tuple(merged_figures),
+        checks=tuple(merged_checks),
+        trace_checks=tuple(merged_trace_checks),
     )

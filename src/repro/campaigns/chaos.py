@@ -131,22 +131,26 @@ def max_chaos_times(chaos: tuple[ChaosSpec, ...]) -> int:
     return max(retrying, default=0)
 
 
-def corrupt_store_entry(path: str, seed: int, spec_key: str) -> None:
-    """Deterministically damage a store entry file in place.
+def corrupt_store_entry(store, key: str, seed: int) -> None:
+    """Deterministically damage the summary entry for ``key``.
 
-    Overwrites a hash-chosen byte with its complement so the store's
-    payload digest check fails on the next read.  Used by the supervisor
-    after a checkpoint write when a ``store_corrupt`` directive fires.
+    Reads the entry back *through the store's backend*, flips a
+    hash-chosen byte, and writes it back the same way — so against an
+    HTTP store the corruption round-trips the wire exactly like a real
+    write (the transport digest covers the corrupt bytes, so only the
+    store's own document-level verify-read can catch it).  Used by the
+    supervisor after a checkpoint write when a ``store_corrupt``
+    directive fires.
     """
-    with open(path, "rb") as handle:
-        data = bytearray(handle.read())
-    if not data:
+    backend = store.backend
+    raw = backend.get("summary", key)
+    if not raw:
         return
-    digest = hashlib.sha256(f"chaos-corrupt/{seed}/{spec_key}".encode()).digest()
+    data = bytearray(raw)
+    digest = hashlib.sha256(f"chaos-corrupt/{seed}/{key}".encode()).digest()
     offset = int.from_bytes(digest[:8], "big") % len(data)
     data[offset] ^= 0xFF
-    with open(path, "wb") as handle:
-        handle.write(bytes(data))
+    backend.put("summary", key, bytes(data))
 
 
 def parse_chaos(text: str) -> ChaosSpec:

@@ -335,14 +335,23 @@ def collect_results(
         ``(points_by_sweep, missing)`` — the check-ready mapping over the
         points present, plus the points with no valid store entry (from
         shards that have not run, or entries that failed verification).
+
+    A journaled sweep's point also counts as missing when its summary is
+    present but its journal is not — the journal directive promised the
+    stream.  The journal probe is a backend ``head`` (a HEAD request
+    against an HTTP store), so completeness verification never downloads
+    journal bytes.
     """
+    journal_sweeps = {d.name for d in campaign.sweeps if d.journal}
     points_by_sweep: PointsBySweep = {
         directive.name: [] for directive in campaign.sweeps
     }
     missing: list[CampaignPoint] = []
     for point in expand_points(campaign):
         result = store.get(point.spec)
-        if result is None:
+        if result is None or (
+            point.sweep in journal_sweeps and not store.has_journal(point.spec)
+        ):
             missing.append(point)
         else:
             points_by_sweep[point.sweep].append(

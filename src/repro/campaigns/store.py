@@ -1,20 +1,28 @@
-"""On-disk result store: content-addressed, checksummed, atomic.
+"""Content-addressed result store: checksummed, atomic, backend-pluggable.
 
-Every completed experiment point is checkpointed as one JSON file keyed by
-the SHA-256 of its spec's canonical JSON (the spec embeds the seed, so the
-key covers it).  Properties the campaign executor relies on:
+Every completed experiment point is checkpointed as one JSON document
+keyed by the SHA-256 of its spec's canonical JSON (the spec embeds the
+seed, so the key covers it).  Properties the campaign executor relies on:
 
 * **Resumable** — a hit returns the stored summary without re-running;
   an interrupted campaign recomputes only the missing keys.
-* **Atomic** — entries are written to a temp file in the same directory
-  and ``os.replace``d into place, so a crash mid-write never leaves a
-  half-entry under the final name.
+* **Atomic** — backends write entries so a crash mid-write never leaves
+  a half-entry under the final name (the local backend uses temp file +
+  ``os.replace``; the HTTP server does the same on its own disk).
 * **Self-verifying** — each entry embeds a SHA-256 over its canonical
-  payload; a truncated, corrupted, or hand-edited file fails verification
-  and is treated as a miss (re-run), never trusted.
+  payload; a truncated, corrupted, or hand-edited entry fails
+  verification and is treated as a miss (re-run), never trusted.  The
+  HTTP backend additionally verifies a transport digest on every read.
 * **Portable** — entries store only the observable outcome (``wall_time``
   is zeroed), so stores merged from different machines or CI shards are
   byte-identical to a single-machine run.
+
+This module owns the *document* layer — encoding, checksums, spec
+round-trips.  *Where the bytes live* is a
+:class:`~repro.store.backend.StoreBackend`: a local directory (the
+historical layout, unchanged) or an ``http(s)://`` store served by
+``repro store serve``.  ``ResultStore("artifacts/store")`` and
+``ResultStore("http://host:8750")`` behave identically to callers.
 """
 
 from __future__ import annotations
@@ -22,9 +30,6 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
-import os
-import tempfile
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -33,6 +38,7 @@ from repro.experiments.runner import ExperimentResult
 from repro.experiments.specs import ExperimentSpec
 from repro.runtime.journal import Journal, dump_journal, loads_journal
 from repro.runtime.observations import Observation
+from repro.store.backend import StoreBackend, StoreIntegrityError, open_backend
 
 #: Bumped when the entry layout changes; older entries read as misses.
 #: 2: result payloads carry the ``series`` dict (per-window curves).
@@ -69,22 +75,32 @@ class StoreStats:
 
 @dataclass
 class ResultStore:
-    """A directory of checkpointed experiment results.
+    """A store of checkpointed experiment results.
 
     Args:
-        root: Store directory (created lazily on first write).
+        root: Store location — a directory path (created lazily on first
+            write), an ``http(s)://`` store URL, or an already-open
+            :class:`~repro.store.backend.StoreBackend`.
     """
 
     root: str
     stats: StoreStats = field(default_factory=StoreStats)
+    backend: StoreBackend = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.root, str):
+            self.backend = open_backend(self.root)
+        else:
+            self.backend = self.root
+            self.root = self.backend.describe()
 
     def path_for(self, key: str) -> str:
-        """Where the entry for ``key`` lives (two-level fan-out)."""
-        return os.path.join(self.root, key[:2], f"{key}.json")
+        """Where the summary entry for ``key`` lives (path or URL)."""
+        return self.backend.location("summary", key)
 
     def journal_path_for(self, key: str) -> str:
-        """Where the observation journal for ``key`` lives (same fan-out)."""
-        return os.path.join(self.root, key[:2], f"{key}.obs.jsonl.gz")
+        """Where the observation journal for ``key`` lives."""
+        return self.backend.location("journal", key)
 
     # ------------------------------------------------------------------
     # Read side
@@ -93,19 +109,26 @@ class ResultStore:
         """The stored summary for ``spec``, or ``None`` (miss/corrupt).
 
         A present-but-invalid entry — unparseable JSON, wrong format
-        version, checksum mismatch, or a stored spec that does not round-
-        trip to the requested one — counts as corrupt *and* as a miss:
-        the caller re-runs the point and the rewrite heals the store.
+        version, checksum mismatch (document-level or HTTP transport-
+        level), or a stored spec that does not round-trip to the
+        requested one — counts as corrupt *and* as a miss: the caller
+        re-runs the point and the rewrite heals the store.  An
+        *unreachable* backend raises instead — silence there would
+        silently re-run an entire cached campaign.
         """
         key = spec_key(spec)
-        path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                document = json.load(fh)
-        except FileNotFoundError:
+            data = self.backend.get("summary", key)
+        except StoreIntegrityError:
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        if data is None:
             self.stats.misses += 1
             return None
-        except (OSError, ValueError):
+        try:
+            document = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
             self.stats.misses += 1
             self.stats.corrupt += 1
             return None
@@ -142,12 +165,12 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Write side
     # ------------------------------------------------------------------
-    def put(self, result: ExperimentResult) -> str:
-        """Checkpoint ``result`` atomically; returns the entry path.
+    def encode(self, result: ExperimentResult) -> tuple[str, bytes]:
+        """The ``(key, entry bytes)`` a result checkpoints as.
 
-        The summary is stored without ``wall_time`` (see module docstring)
-        so entry bytes depend only on the spec and its deterministic
-        outcome.
+        The encoding is the byte-identity contract: every backend stores
+        exactly these bytes, so stores written through different
+        backends (or merged across machines) stay byte-for-byte equal.
         """
         key = spec_key(result.spec)
         payload = {
@@ -159,58 +182,36 @@ class ResultStore:
             "sha256": _payload_digest(payload),
             "payload": payload,
         }
-        path = self.path_for(key)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        handle, tmp_path = tempfile.mkstemp(
-            prefix=f".{key[:8]}-", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as fh:
-                json.dump(document, fh, sort_keys=True, indent=1)
-                fh.write("\n")
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        text = json.dumps(document, sort_keys=True, indent=1) + "\n"
+        return key, text.encode("utf-8")
+
+    def put(self, result: ExperimentResult) -> str:
+        """Checkpoint ``result`` atomically; returns the entry location.
+
+        The summary is stored without ``wall_time`` (see module
+        docstring) so entry bytes depend only on the spec and its
+        deterministic outcome.
+        """
+        key, data = self.encode(result)
+        location = self.backend.put("summary", key, data)
         self.stats.writes += 1
-        return path
+        return location
 
     def sweep_stale_tmp(self, max_age_seconds: float = 3600.0) -> int:
-        """Remove orphaned atomic-write temp files; returns the count.
-
-        A worker killed mid-``put`` leaves its ``.*.tmp`` file behind
-        (``os.replace`` never ran).  Such orphans are garbage — the entry
-        either landed under its final name or it didn't — but only files
-        older than ``max_age_seconds`` are swept so a concurrent writer's
-        in-flight temp file is never touched.
-        """
-        removed = 0
-        if not os.path.isdir(self.root):
-            return 0
-        cutoff = time.time() - max_age_seconds
-        for dirpath, _dirnames, filenames in os.walk(self.root):
-            for name in filenames:
-                if not (name.startswith(".") and name.endswith(".tmp")):
-                    continue
-                path = os.path.join(dirpath, name)
-                try:
-                    if os.path.getmtime(path) < cutoff:
-                        os.unlink(path)
-                        removed += 1
-                except OSError:
-                    continue
-        return removed
+        """Remove orphaned atomic-write temp files; returns the count."""
+        return self.backend.sweep_stale_tmp(max_age_seconds)
 
     # ------------------------------------------------------------------
     # Observation journals (sweeps with ``journal=True``)
     # ------------------------------------------------------------------
     def has_journal(self, spec: ExperimentSpec) -> bool:
-        """Whether a journal file exists for ``spec`` (no validation)."""
-        return os.path.exists(self.journal_path_for(spec_key(spec)))
+        """Whether a journal entry exists for ``spec`` (no download).
+
+        Goes through the backend's ``head`` — against an HTTP store this
+        is a HEAD request, so probing a journaled campaign's cache state
+        never transfers journal bytes.
+        """
+        return self.backend.head("journal", spec_key(spec))
 
     def get_journal(self, spec: ExperimentSpec) -> Journal | None:
         """The stored journal for ``spec``, or ``None`` (miss/corrupt).
@@ -220,19 +221,18 @@ class ResultStore:
         and the rewrite heals the store.
         """
         key = spec_key(spec)
-        path = self.journal_path_for(key)
         try:
-            with open(path, "rb") as fh:
-                raw = fh.read()
-        except FileNotFoundError:
-            return None
-        except OSError:
+            raw = self.backend.get("journal", key)
+        except StoreIntegrityError:
             self.stats.corrupt += 1
             return None
+        if raw is None:
+            return None
+        where = self.journal_path_for(key)
         try:
             if raw[:2] == b"\x1f\x8b":
                 raw = gzip.decompress(raw)
-            journal = loads_journal(raw.decode("utf-8"), where=path)
+            journal = loads_journal(raw.decode("utf-8"), where=where)
         except (ExperimentError, OSError, EOFError, UnicodeDecodeError):
             self.stats.corrupt += 1
             return None
@@ -257,21 +257,6 @@ class ResultStore:
             observations,
             meta={"spec": spec.to_dict(), "spec_key": key},
         )
-        path = self.journal_path_for(key)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        handle, tmp_path = tempfile.mkstemp(
-            prefix=f".{key[:8]}-", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(handle, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        location = self.backend.put("journal", key, data)
         self.stats.writes += 1
-        return path
+        return location

@@ -40,7 +40,6 @@ run — which CI checks.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import os
 import time
 from collections import deque
@@ -57,6 +56,8 @@ from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentResult, RunOptions
 from repro.experiments.specs import ExperimentSpec
 from repro.experiments.sweep import _run_with_options
+from repro.store.backend import StoreError
+from repro.store.retry import deterministic_backoff
 
 __all__ = [
     "INTERRUPT_EXIT",
@@ -247,19 +248,11 @@ class FabricOutcome:
     exhausted: str | None = None
 
 
-def backoff_delay(key: str, attempt: int, base: float) -> float:
-    """Deterministic exponential backoff for retry ``attempt`` (>= 1).
-
-    ``base * 2**(attempt-1) * (0.5 + u)`` where ``u in [0, 1)`` is hashed
-    from the spec key and attempt — jittered like production backoff, but
-    a pure function of the schedule key so reruns retry on the same
-    schedule.
-    """
-    if attempt < 1 or base <= 0:
-        return 0.0
-    digest = hashlib.sha256(f"backoff/{key}/{attempt}".encode()).digest()
-    u = int.from_bytes(digest[:8], "big") / 2**64
-    return base * 2.0 ** (attempt - 1) * (0.5 + u)
+#: Deterministic exponential backoff for retry ``attempt`` (>= 1) — the
+#: same schedule the HTTP store backend retries transport errors on
+#: (moved to :mod:`repro.store.retry`; re-exported here because it is
+#: part of this module's public fabric API).
+backoff_delay = deterministic_backoff
 
 
 def _worker_chaos(chaos: tuple[ChaosSpec, ...], key: str, attempt: int):
@@ -429,11 +422,11 @@ class _Supervisor:
         if self.store is None:
             self.results[position] = result
             return True
-        path = self.store.put(result)
+        self.store.put(result)
         key = self.keys[position]
         for spec in self.chaos:
             if spec.kind == "store_corrupt" and spec.hits(key, attempt):
-                corrupt_store_entry(path, spec.seed, key)
+                corrupt_store_entry(self.store, key, spec.seed)
                 self.health.count("corrupt_rewrites")
                 self.health.record(
                     "store_corrupt", job.label, attempt, "injected entry corruption"
@@ -466,7 +459,18 @@ class _Supervisor:
             return
         elapsed = time.monotonic() - task.started
         if status == "ok":
-            if self._checkpoint(task.position, task.attempt, payload):
+            try:
+                checkpointed = self._checkpoint(task.position, task.attempt, payload)
+            except StoreError as exc:
+                # The store backend failed (server down, transport fault).
+                # The point itself succeeded, but without a durable
+                # checkpoint it never happened — retry on the bounded
+                # backoff schedule like any transient fault, so a store
+                # that comes back mid-campaign loses nothing.
+                self.health.count("transient_errors")
+                self._requeue(task.position, task.attempt, "store_error", str(exc))
+                return
+            if checkpointed:
                 self.runtimes.append(elapsed)
                 self.health.count("completed")
             else:

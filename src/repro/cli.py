@@ -15,12 +15,19 @@ Subcommands:
   ``--param`` axes), optionally across worker processes, and print
   aggregate percentiles; ``--json`` dumps the per-run rows (with each
   run's spec) for external analysis.
-* ``campaign`` — list/run/resume/report/verify the built-in reproduction
-  campaigns (``figure1``, ``figure2_lowerbound``, ``crossover``,
-  ``fault_resilience``, ``radio_footnote2``, ``sinr_contention``,
-  ``saturation``): sharded, checkpointed sweeps that regenerate the
+* ``campaign`` — list/run/resume/report/verify/diff the built-in
+  reproduction campaigns (``figure1``, ``figure2_lowerbound``,
+  ``crossover``, ``fault_resilience``, ``radio_footnote2``,
+  ``sinr_contention``, ``saturation``, and the ``all_figures``
+  meta-campaign): sharded, checkpointed sweeps that regenerate the
   paper's figures into ``artifacts/`` and validate them with machine
-  checks.
+  checks.  ``--store`` takes a directory *or* an ``http(s)://`` store
+  URL served by ``repro store serve``, so many workers can share one
+  store across machines.
+* ``store`` — result-store backend tools: ``serve`` a store directory
+  over HTTP for distributed campaigns, ``sync`` two stores, ``verify``
+  every entry's document-level integrity, ``gc`` entries no campaign
+  claims.
 * ``trace`` — inspect persisted observation journals (see
   :mod:`repro.runtime.journal`): ``dump`` prints decoded events, ``summary``
   aggregates per journal, ``check`` re-runs trace-level checks against a
@@ -363,21 +370,34 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if journal_dir is not None:
         # Journals are named by store key so they line up with (and are
         # byte-identical to) what a journaling campaign would persist.
-        from repro.campaigns.store import spec_key
-        from repro.runtime.journal import write_journal
+        if "://" in journal_dir:
+            # A store URL: persist through the store backend (campaign
+            # layout, shared cache) instead of a flat directory.
+            from repro.campaigns.store import ResultStore
 
-        os.makedirs(journal_dir, exist_ok=True)
-        for result in sweep:
-            key = spec_key(result.spec)
-            write_journal(
-                os.path.join(journal_dir, f"{key}.obs.jsonl.gz"),
-                result.observations,
-                meta={"spec": result.spec.to_dict(), "spec_key": key},
+            journal_store = ResultStore(journal_dir)
+            for result in sweep:
+                journal_store.put_journal(result.spec, result.observations)
+            print(
+                f"wrote {len(sweep)} journals to store {journal_dir}",
+                file=sys.stderr,
             )
-        print(
-            f"wrote {len(sweep)} journals under {journal_dir}/",
-            file=sys.stderr,
-        )
+        else:
+            from repro.campaigns.store import spec_key
+            from repro.runtime.journal import write_journal
+
+            os.makedirs(journal_dir, exist_ok=True)
+            for result in sweep:
+                key = spec_key(result.spec)
+                write_journal(
+                    os.path.join(journal_dir, f"{key}.obs.jsonl.gz"),
+                    result.observations,
+                    meta={"spec": result.spec.to_dict(), "spec_key": key},
+                )
+            print(
+                f"wrote {len(sweep)} journals under {journal_dir}/",
+                file=sys.stderr,
+            )
     json_dest = args.json
     if json_dest is not None:
         payload = json.dumps(_sweep_json_payload(base, sweep), sort_keys=True)
@@ -489,6 +509,27 @@ def _verify_and_report(
     return status
 
 
+def _campaign_diff(campaigns_mod, campaign, store, args: argparse.Namespace) -> int:
+    """`campaign diff`: point-by-point store comparison, nonzero on drift."""
+    if not args.against:
+        raise SystemExit(
+            "campaign diff needs --against STORE (the store to compare "
+            "--store with)"
+        )
+    store_b = campaigns_mod.ResultStore(args.against)
+    report = campaigns_mod.diff_campaign(campaign, store, store_b)
+    print(report.describe())
+    shown = 0
+    for point in report.drifted:
+        if shown >= args.diff_limit:
+            remaining = len(report.drifted) - shown
+            print(f"... {remaining} more drifted points", file=sys.stderr)
+            break
+        print(f"DRIFT {point.describe()}", file=sys.stderr)
+        shown += 1
+    return 0 if report.ok else 1
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro import campaigns
 
@@ -499,8 +540,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         raise SystemExit(f"campaign {args.action} needs a campaign name")
     campaign = campaigns.build_campaign(args.name, **_campaign_params(args))
     store = campaigns.ResultStore(args.store)
+    if args.action == "diff":
+        return _campaign_diff(campaigns, campaign, store, args)
     if args.action in ("run", "resume"):
-        if args.action == "resume" and not os.path.isdir(args.store):
+        if args.action == "resume" and not store.backend.exists():
             raise SystemExit(
                 f"campaign resume: no store at {args.store!r} (nothing to "
                 f"resume; use `campaign run` to start one)"
@@ -570,6 +613,64 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.action == "report":
         return _verify_and_report(campaigns, campaign, store, args.artifacts)
     raise SystemExit(f"unknown campaign action {args.action!r}")
+
+
+def cmd_store_serve(args: argparse.Namespace) -> int:
+    from repro.store import serve
+
+    serve(args.root, host=args.host, port=args.port, quiet=args.quiet)
+    return 0
+
+
+def cmd_store_sync(args: argparse.Namespace) -> int:
+    from repro.store import open_backend, sync_stores
+
+    source = open_backend(args.source)
+    destination = open_backend(args.dest)
+    report = sync_stores(source, destination)
+    print(
+        f"store sync {source.describe()} -> {destination.describe()}: "
+        f"{report.describe()}"
+    )
+    return 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.store import open_backend, verify_store
+
+    backend = open_backend(args.target)
+    report = verify_store(backend, delete=args.delete)
+    print(f"store verify {backend.describe()}: {report.describe()}")
+    for problem in report.problems:
+        print(
+            f"BAD [{problem.kind}] {problem.key}: {problem.reason}",
+            file=sys.stderr,
+        )
+    # --delete heals the store (bad entries become cache misses that the
+    # next campaign run recomputes), so a healed store exits clean.
+    return 0 if not report.problems or args.delete else 1
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    from repro import campaigns
+    from repro.store import gc_store, open_backend
+
+    backend = open_backend(args.target)
+    params = _campaign_params(args)
+    keep_keys: set[str] = set()
+    for name in args.campaign:
+        campaign = campaigns.build_campaign(name, **params)
+        keep_keys |= {
+            campaigns.spec_key(point.spec)
+            for point in campaigns.expand_points(campaign)
+        }
+    report = gc_store(backend, keep_keys, dry_run=not args.apply)
+    print(
+        f"store gc {backend.describe()} "
+        f"(keeping {', '.join(args.campaign)}): {report.describe()}"
+        + ("" if args.apply else " [dry run; pass --apply to delete]")
+    )
+    return 0
 
 
 # Trace checks a plain `repro trace check` runs.  ``mac_axioms`` is
@@ -1041,9 +1142,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--journal-dir",
-        metavar="DIR",
+        metavar="DIR|URL",
         help="persist every run's observation journal under DIR, one "
-        "<store-key>.obs.jsonl.gz per run (inspect with `repro trace`)",
+        "<store-key>.obs.jsonl.gz per run (inspect with `repro trace`); "
+        "an http(s):// store URL persists through the store backend "
+        "instead (campaign layout, shared across machines)",
     )
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -1053,10 +1156,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_campaign.add_argument(
         "action",
-        choices=["list", "run", "resume", "report", "verify"],
+        choices=["list", "run", "resume", "report", "verify", "diff"],
         help="list campaigns; run/resume (checkpointed, cache-hitting) a "
         "campaign; report regenerates artifacts from the store; verify "
-        "checks completeness + validation without running",
+        "checks completeness + validation without running; diff compares "
+        "what two stores hold point by point (nonzero exit on drift)",
     )
     p_campaign.add_argument(
         "name", nargs="?", help="campaign name (see `campaign list`)"
@@ -1077,9 +1181,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--store",
         default=os.path.join("artifacts", "store"),
-        metavar="DIR",
-        help="checkpoint store directory (shared across campaigns and "
-        "shards; content-addressed by spec hash)",
+        metavar="DIR|URL",
+        help="checkpoint store: a directory, or an http(s):// store URL "
+        "served by `repro store serve` (shared across campaigns, shards, "
+        "and machines; content-addressed by spec hash; URL options: "
+        "?cache=DIR&retries=N&backoff=S&timeout=S)",
+    )
+    p_campaign.add_argument(
+        "--against",
+        metavar="DIR|URL",
+        help="(diff) the second store to compare --store with",
+    )
+    p_campaign.add_argument(
+        "--diff-limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="(diff) drifted points to print before truncating",
     )
     p_campaign.add_argument(
         "--artifacts",
@@ -1166,6 +1284,88 @@ def build_parser() -> argparse.ArgumentParser:
         "retries, timeouts, budgets, or chaos)",
     )
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_store = sub.add_parser(
+        "store",
+        help="result-store backend tools: serve a store over HTTP, sync "
+        "two stores, verify entry integrity, gc unclaimed entries",
+    )
+    store_sub = p_store.add_subparsers(dest="action", required=True)
+
+    p_serve = store_sub.add_parser(
+        "serve",
+        help="serve a store directory over HTTP (the layout stays a "
+        "plain local store: openable, rsyncable, diffable)",
+    )
+    p_serve.add_argument(
+        "--root",
+        default=os.path.join("artifacts", "store"),
+        metavar="DIR",
+        help="store directory to serve (created if missing)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+    p_serve.set_defaults(func=cmd_store_serve)
+
+    p_ssync = store_sub.add_parser(
+        "sync",
+        help="one-way sync: copy/overwrite entries so DEST covers SOURCE",
+    )
+    p_ssync.add_argument("source", metavar="SOURCE", help="store dir or URL")
+    p_ssync.add_argument("dest", metavar="DEST", help="store dir or URL")
+    p_ssync.set_defaults(func=cmd_store_sync)
+
+    p_sverify = store_sub.add_parser(
+        "verify",
+        help="document-level integrity check of every entry (checksums, "
+        "spec round-trips, journal headers)",
+    )
+    p_sverify.add_argument("target", metavar="STORE", help="store dir or URL")
+    p_sverify.add_argument(
+        "--delete",
+        action="store_true",
+        help="remove invalid entries (they become cache misses that the "
+        "next campaign run recomputes)",
+    )
+    p_sverify.set_defaults(func=cmd_store_verify)
+
+    p_sgc = store_sub.add_parser(
+        "gc",
+        help="prune entries not claimed by the named campaigns (dry run "
+        "by default)",
+    )
+    p_sgc.add_argument("target", metavar="STORE", help="store dir or URL")
+    p_sgc.add_argument(
+        "--campaign",
+        action="append",
+        required=True,
+        metavar="NAME",
+        help="campaign whose points to keep (repeatable)",
+    )
+    p_sgc.add_argument(
+        "--n-max",
+        type=int,
+        default=None,
+        help="build the keep-set campaigns with this n_max",
+    )
+    p_sgc.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="extra builder parameter for the keep-set campaigns",
+    )
+    p_sgc.add_argument(
+        "--apply", action="store_true", help="actually delete (not a dry run)"
+    )
+    p_sgc.set_defaults(func=cmd_store_gc)
 
     p_trace = sub.add_parser(
         "trace",

@@ -417,6 +417,91 @@ def bench_journal_roundtrip(repeats: int = 3) -> BenchRecord:
 
 
 # ----------------------------------------------------------------------
+# Result store backends
+# ----------------------------------------------------------------------
+@_micro("store_roundtrip")
+def bench_store_roundtrip(repeats: int = 3) -> BenchRecord:
+    """Local vs http-loopback store put/get: 48 entries of ~2 KiB each.
+
+    Measures the per-entry cost campaigns pay at every checkpoint for each
+    backend: the local backend's atomic tmp+rename writes and raw reads,
+    and the http backend's full wire path (request, transport digest
+    verification, bounded-retry bookkeeping) against an in-process
+    ``repro store serve`` instance.  The http side runs cache-less so the
+    benchmark times the network path, not the write-through cache.
+    """
+    import hashlib
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.store import HttpBackend, LocalBackend, make_server
+
+    count = 48
+    rng = random.Random(777)
+    entries = tuple(
+        (
+            hashlib.sha256(f"store-bench/{i}".encode()).hexdigest(),
+            bytes(rng.randrange(256) for _ in range(2048)),
+        )
+        for i in range(count)
+    )
+
+    def once():
+        local_root = tempfile.mkdtemp(prefix="repro-bench-local-")
+        server_root = tempfile.mkdtemp(prefix="repro-bench-server-")
+        server = make_server(server_root, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            local = LocalBackend(local_root)
+            remote = HttpBackend(
+                f"http://127.0.0.1:{server.server_address[1]}"
+            )
+
+            def put_all(backend):
+                for key, payload in entries:
+                    backend.put("summary", key, payload)
+
+            def get_all(backend):
+                total = 0
+                for key, _ in entries:
+                    data = backend.get("summary", key)
+                    assert data is not None
+                    total += len(data)
+                return total
+
+            t_local_put, _ = timed(lambda: put_all(local))
+            t_local_get, local_bytes = timed(lambda: get_all(local))
+            t_http_put, _ = timed(lambda: put_all(remote))
+            t_http_get, http_bytes = timed(lambda: get_all(remote))
+            assert local_bytes == http_bytes
+            return (
+                float(2 * count),
+                {
+                    "local_put": t_local_put,
+                    "local_get": t_local_get,
+                    "http_put": t_http_put,
+                    "http_get": t_http_get,
+                },
+                {
+                    "entries": float(count),
+                    "bytes": float(local_bytes),
+                    "http_ratio": (t_http_put + t_http_get)
+                    / max(t_local_put + t_local_get, 1e-9),
+                },
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+            shutil.rmtree(local_root, ignore_errors=True)
+            shutil.rmtree(server_root, ignore_errors=True)
+
+    return measure("store_roundtrip", "micro", once, repeats)
+
+
+# ----------------------------------------------------------------------
 # Campaign fabric
 # ----------------------------------------------------------------------
 @_micro("supervisor_overhead")

@@ -1,0 +1,64 @@
+"""Pluggable result-store backends.
+
+The campaign layer's content-addressed store
+(:class:`repro.campaigns.store.ResultStore`) speaks to byte storage
+through the :class:`~repro.store.backend.StoreBackend` protocol defined
+here.  ``local`` is the historical directory layout, byte for byte;
+``http`` speaks the minimal content-addressed protocol served by
+:mod:`repro.store.server` (``repro store serve``), with checksum
+self-verification, deterministic retry, and an optional write-through
+local cache.  :func:`open_backend` maps ``--store`` arguments (paths or
+``http(s)://`` URLs) onto backends; :mod:`repro.store.tools` holds the
+``repro store {sync,verify,gc}`` implementations.
+"""
+
+from repro.store.backend import (
+    KIND_SUFFIXES,
+    KINDS,
+    StoreBackend,
+    StoreError,
+    StoreIntegrityError,
+    StoreUnavailableError,
+    entry_filename,
+    entry_relpath,
+    open_backend,
+    parse_entry_filename,
+    valid_key,
+)
+from repro.store.http import HttpBackend
+from repro.store.local import LocalBackend
+from repro.store.retry import deterministic_backoff
+from repro.store.server import make_server, serve
+from repro.store.tools import (
+    GcReport,
+    StoreVerifyReport,
+    SyncReport,
+    gc_store,
+    sync_stores,
+    verify_store,
+)
+
+__all__ = [
+    "KINDS",
+    "KIND_SUFFIXES",
+    "GcReport",
+    "HttpBackend",
+    "LocalBackend",
+    "StoreBackend",
+    "StoreError",
+    "StoreIntegrityError",
+    "StoreUnavailableError",
+    "StoreVerifyReport",
+    "SyncReport",
+    "deterministic_backoff",
+    "entry_filename",
+    "entry_relpath",
+    "gc_store",
+    "make_server",
+    "open_backend",
+    "parse_entry_filename",
+    "serve",
+    "sync_stores",
+    "valid_key",
+    "verify_store",
+]

@@ -1,0 +1,185 @@
+"""The pluggable result-store backend protocol.
+
+A campaign's :class:`~repro.campaigns.store.ResultStore` owns *what* an
+entry means (document format, checksums, spec round-trips); a backend
+owns *where the bytes live*.  Every backend stores opaque byte blobs
+addressed by ``(kind, key)``:
+
+* ``kind`` — ``"summary"`` (the checkpointed result document) or
+  ``"journal"`` (the gzip-framed observation stream).
+* ``key`` — the SHA-256 spec key (64 hex chars); content addressing is
+  inherited from the spec hash, so equal keys imply equal intended bytes
+  and a backend may serve either copy of a replicated entry.
+
+Two backends ship: :class:`~repro.store.local.LocalBackend` (the
+historical on-disk layout, byte for byte) and
+:class:`~repro.store.http.HttpBackend` (a minimal content-addressed
+GET/PUT/HEAD protocol with checksum self-verification and deterministic
+retry, served by :mod:`repro.store.server`).  :func:`open_backend` maps a
+``--store`` argument — a directory path or an ``http(s)://`` URL — onto
+the right one, so every CLI surface that accepts a store path accepts a
+URL.
+
+Error taxonomy (all :class:`~repro.errors.ExperimentError` subclasses, so
+the CLI converts them to exit status 2 with a clean message):
+
+* :class:`StoreError` — base class for backend failures.
+* :class:`StoreIntegrityError` — the bytes read back failed checksum or
+  length self-verification.  Callers treat the entry as corrupt (a miss
+  that re-runs and heals), never trust it.
+* :class:`StoreUnavailableError` — the backend stayed unreachable after
+  its bounded retry schedule (server down, connection refused).
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.errors import ExperimentError
+
+#: Entry kinds every backend must store, with their filename suffixes
+#: (the suffixes are the historical local layout and are shared by every
+#: backend so stores stay rsync/sync-compatible).
+KIND_SUFFIXES = {
+    "summary": ".json",
+    "journal": ".obs.jsonl.gz",
+}
+
+KINDS = tuple(KIND_SUFFIXES)
+
+_HEX = set(string.hexdigits.lower())
+
+#: Length of a store key: SHA-256 hex digest of the spec's canonical JSON.
+KEY_LENGTH = 64
+
+
+class StoreError(ExperimentError):
+    """A result-store backend operation failed."""
+
+
+class StoreIntegrityError(StoreError):
+    """Bytes read from a backend failed checksum/length verification."""
+
+
+class StoreUnavailableError(StoreError):
+    """The backend stayed unreachable after its bounded retries."""
+
+
+def valid_key(key: str) -> bool:
+    """Whether ``key`` is a well-formed store key (64 lowercase hex)."""
+    return len(key) == KEY_LENGTH and set(key) <= _HEX
+
+
+def check_kind(kind: str) -> None:
+    """Reject unknown entry kinds with a clean error."""
+    if kind not in KIND_SUFFIXES:
+        raise StoreError(
+            f"unknown store entry kind {kind!r} (known: {', '.join(KINDS)})"
+        )
+
+
+def entry_filename(kind: str, key: str) -> str:
+    """The entry's file name, e.g. ``<key>.json`` / ``<key>.obs.jsonl.gz``."""
+    check_kind(kind)
+    return f"{key}{KIND_SUFFIXES[kind]}"
+
+
+def entry_relpath(kind: str, key: str) -> str:
+    """The entry's path relative to the store root (two-level fan-out)."""
+    return f"{key[:2]}/{entry_filename(kind, key)}"
+
+
+def parse_entry_filename(name: str) -> tuple[str, str] | None:
+    """Invert :func:`entry_filename`: ``(kind, key)`` or ``None``.
+
+    Journal before summary: ``.obs.jsonl.gz`` must win over a bare
+    ``.json`` suffix probe, and unknown or malformed names (tmp files,
+    stray dotfiles) parse to ``None`` instead of raising.
+    """
+    for kind in ("journal", "summary"):
+        suffix = KIND_SUFFIXES[kind]
+        if name.endswith(suffix):
+            key = name[: -len(suffix)]
+            if valid_key(key):
+                return kind, key
+            return None
+    return None
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """Byte storage addressed by ``(kind, key)``.
+
+    Implementations must make ``put`` atomic (a concurrent or crashed
+    writer never leaves a partial entry under the final name) and make
+    ``get`` self-verifying where the transport can corrupt or truncate
+    (raise :class:`StoreIntegrityError` rather than return bad bytes).
+    """
+
+    #: Scheme label for error messages (``"local"``, ``"http"``).
+    scheme: str
+
+    def describe(self) -> str:
+        """Human-readable store location (directory path or URL)."""
+        ...
+
+    def location(self, kind: str, key: str) -> str:
+        """Where the entry lives (file path or URL) — for messages/tools."""
+        ...
+
+    def get(self, kind: str, key: str) -> bytes | None:
+        """The entry's bytes, or ``None`` when absent."""
+        ...
+
+    def put(self, kind: str, key: str, data: bytes) -> str:
+        """Store ``data`` atomically; returns :meth:`location`."""
+        ...
+
+    def head(self, kind: str, key: str) -> bool:
+        """Whether the entry exists (no byte transfer)."""
+        ...
+
+    def delete(self, kind: str, key: str) -> bool:
+        """Remove the entry; ``True`` when something was deleted."""
+        ...
+
+    def list_entries(self) -> Iterator[tuple[str, str]]:
+        """Every stored ``(kind, key)``, in deterministic order."""
+        ...
+
+    def exists(self) -> bool:
+        """Whether the store is present/reachable at all."""
+        ...
+
+    def sweep_stale_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Remove orphaned atomic-write temp files; returns the count."""
+        ...
+
+
+def open_backend(target: str) -> StoreBackend:
+    """Open the backend a ``--store`` argument names.
+
+    * a plain path (or ``file://`` URL) → the local directory backend;
+    * ``http://`` / ``https://`` → the HTTP backend (URL query options:
+      ``cache=DIR`` write-through local cache, ``retries=N``,
+      ``backoff=SECONDS``, ``timeout=SECONDS``);
+    * anything else → :class:`~repro.errors.ExperimentError` naming the
+      registered backends (the CLI turns this into exit status 2).
+    """
+    from repro.store.local import LocalBackend
+
+    if "://" not in target:
+        return LocalBackend(target)
+    scheme = target.split("://", 1)[0].lower()
+    if scheme == "file":
+        return LocalBackend(target[len("file://") :])
+    if scheme in ("http", "https"):
+        from repro.store.http import HttpBackend
+
+        return HttpBackend.from_url(target)
+    raise ExperimentError(
+        f"unknown store scheme {scheme + '://'!r} in {target!r}; "
+        f"registered backends: local (a directory path or file://), "
+        f"http://, https://"
+    )

@@ -1,0 +1,287 @@
+"""The HTTP store backend: minimal content-addressed GET/PUT/HEAD.
+
+Speaks the protocol served by :mod:`repro.store.server`:
+
+* ``GET    /v1/<kind>/<key>`` — entry bytes; ``X-Repro-SHA256`` header
+  carries the transport digest, verified on read (mismatch or truncation
+  is never trusted).
+* ``PUT    /v1/<kind>/<key>`` — store bytes; the client sends the digest
+  so the server can reject a body mangled in transit.
+* ``HEAD   /v1/<kind>/<key>`` — existence probe, no byte transfer.
+* ``DELETE /v1/<kind>/<key>`` — remove an entry (tools only).
+* ``GET    /v1/list`` — JSON inventory; ``GET /v1/ping`` — liveness.
+
+Failure discipline:
+
+* **Integrity** (digest mismatch, on a complete body) raises
+  :class:`StoreIntegrityError` immediately — retrying a corrupt read
+  would just re-download the same bad bytes; the caller treats the entry
+  as corrupt and heals it by re-running.
+* **Transient** errors (connection refused/reset, timeout, truncated
+  body, HTTP 5xx) are retried on the bounded deterministic backoff
+  schedule shared with the campaign fabric
+  (:func:`repro.store.retry.deterministic_backoff`), then raise
+  :class:`StoreUnavailableError`.
+
+An optional **write-through local cache** (``cache=DIR`` in the store
+URL) makes remote campaigns resumable offline: every verified read and
+acknowledged write also lands in a :class:`LocalBackend`, and reads
+check the cache first — sound because entries are content-addressed, so
+a cached copy is as authoritative as the remote one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ExperimentError
+from repro.store.backend import (
+    StoreError,
+    StoreIntegrityError,
+    StoreUnavailableError,
+    check_kind,
+)
+from repro.store.local import LocalBackend
+from repro.store.retry import deterministic_backoff
+
+#: Transport digest header; covers exactly the bytes on the wire.
+DIGEST_HEADER = "X-Repro-SHA256"
+
+_KNOWN_OPTIONS = ("cache", "retries", "backoff", "timeout")
+
+
+class _Transient(Exception):
+    """Internal marker: this attempt failed retryably."""
+
+
+@dataclass
+class HttpBackend:
+    """Byte storage behind a ``repro store serve`` endpoint.
+
+    Args:
+        base_url: Server base URL (no trailing slash, no query).
+        cache: Optional write-through local cache backend.
+        retries: Extra attempts after the first, per operation.
+        backoff: Base backoff in seconds (0 disables sleeping, for tests).
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    base_url: str
+    cache: LocalBackend | None = None
+    retries: int = 4
+    backoff: float = 0.05
+    timeout: float = 10.0
+    scheme: str = field(default="http", repr=False)
+
+    @classmethod
+    def from_url(cls, url: str) -> HttpBackend:
+        """Build a backend from a ``--store`` URL.
+
+        Query options: ``cache=DIR`` (write-through local cache),
+        ``retries=N``, ``backoff=SECONDS``, ``timeout=SECONDS``.  Unknown
+        options are rejected rather than ignored — a typo'd ``cache``
+        would otherwise silently drop offline resumability.
+        """
+        parts = urllib.parse.urlsplit(url)
+        options = urllib.parse.parse_qs(parts.query, keep_blank_values=True)
+        unknown = sorted(set(options) - set(_KNOWN_OPTIONS))
+        if unknown:
+            raise ExperimentError(
+                f"unknown store URL option(s) {', '.join(unknown)} in {url!r} "
+                f"(known: {', '.join(_KNOWN_OPTIONS)})"
+            )
+
+        def scalar(name: str) -> str | None:
+            values = options.get(name)
+            return values[-1] if values else None
+
+        kwargs: dict = {}
+        cache_dir = scalar("cache")
+        if cache_dir:
+            kwargs["cache"] = LocalBackend(cache_dir)
+        try:
+            if scalar("retries") is not None:
+                kwargs["retries"] = int(scalar("retries"))
+            if scalar("backoff") is not None:
+                kwargs["backoff"] = float(scalar("backoff"))
+            if scalar("timeout") is not None:
+                kwargs["timeout"] = float(scalar("timeout"))
+        except ValueError as exc:
+            raise ExperimentError(f"bad store URL option in {url!r}: {exc}") from exc
+        base = urllib.parse.urlunsplit(
+            (parts.scheme, parts.netloc, parts.path.rstrip("/"), "", "")
+        )
+        backend = cls(base_url=base, **kwargs)
+        backend.scheme = parts.scheme
+        return backend
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return self.base_url
+
+    def location(self, kind: str, key: str) -> str:
+        check_kind(kind)
+        return f"{self.base_url}/v1/{kind}/{key}"
+
+    def _attempt(
+        self,
+        method: str,
+        url: str,
+        data: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request; returns ``(status, headers, body)``.
+
+        Raises ``_Transient`` for anything worth retrying.  A 404 is a
+        normal answer (absent entry), returned rather than raised.
+        """
+        request = urllib.request.Request(
+            url, data=data, headers=dict(headers or {}), method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+                info = {k.lower(): v for k, v in response.headers.items()}
+                length = info.get("content-length")
+                if method != "HEAD" and length is not None:
+                    if len(body) != int(length):
+                        raise _Transient(
+                            f"truncated body from {url}: "
+                            f"{len(body)} of {length} bytes"
+                        )
+                return response.status, info, body
+        except urllib.error.HTTPError as exc:
+            info = {k.lower(): v for k, v in exc.headers.items()} if exc.headers else {}
+            if exc.code == 404:
+                return 404, info, b""
+            if exc.code >= 500:
+                raise _Transient(f"HTTP {exc.code} from {url}") from exc
+            raise StoreError(f"store server rejected {method} {url}: HTTP {exc.code}")
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            ConnectionError,
+            TimeoutError,
+            OSError,
+        ) as exc:
+            raise _Transient(f"{type(exc).__name__}: {exc} ({method} {url})") from exc
+
+    def _request(
+        self,
+        method: str,
+        url: str,
+        schedule_key: str,
+        data: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """``_attempt`` under the bounded deterministic retry schedule."""
+        last = "unreachable"
+        for attempt in range(self.retries + 1):
+            if attempt:
+                delay = deterministic_backoff(schedule_key, attempt, self.backoff)
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                return self._attempt(method, url, data=data, headers=headers)
+            except _Transient as exc:
+                last = str(exc)
+        raise StoreUnavailableError(
+            f"store {self.base_url} unavailable after "
+            f"{self.retries + 1} attempts: {last}"
+        )
+
+    # ------------------------------------------------------------------
+    # StoreBackend protocol
+    # ------------------------------------------------------------------
+    def get(self, kind: str, key: str) -> bytes | None:
+        if self.cache is not None:
+            cached = self.cache.get(kind, key)
+            if cached is not None:
+                return cached
+        url = self.location(kind, key)
+        status, info, body = self._request("GET", url, f"{kind}/{key}")
+        if status == 404:
+            return None
+        expected = info.get(DIGEST_HEADER.lower())
+        if expected is not None:
+            actual = hashlib.sha256(body).hexdigest()
+            if actual != expected:
+                raise StoreIntegrityError(
+                    f"checksum mismatch reading {url}: "
+                    f"got {actual[:12]}…, server declared {expected[:12]}…"
+                )
+        if self.cache is not None:
+            self.cache.put(kind, key, body)
+        return body
+
+    def put(self, kind: str, key: str, data: bytes) -> str:
+        url = self.location(kind, key)
+        digest = hashlib.sha256(data).hexdigest()
+        self._request(
+            "PUT",
+            url,
+            f"{kind}/{key}",
+            data=data,
+            headers={
+                DIGEST_HEADER: digest,
+                "Content-Type": "application/octet-stream",
+            },
+        )
+        if self.cache is not None:
+            self.cache.put(kind, key, data)
+        return url
+
+    def head(self, kind: str, key: str) -> bool:
+        if self.cache is not None and self.cache.head(kind, key):
+            return True
+        url = self.location(kind, key)
+        status, _info, _body = self._request("HEAD", url, f"{kind}/{key}")
+        return status != 404
+
+    def delete(self, kind: str, key: str) -> bool:
+        if self.cache is not None:
+            self.cache.delete(kind, key)
+        url = self.location(kind, key)
+        status, _info, _body = self._request("DELETE", url, f"{kind}/{key}")
+        return status != 404
+
+    def list_entries(self) -> Iterator[tuple[str, str]]:
+        status, _info, body = self._request("GET", f"{self.base_url}/v1/list", "list")
+        if status == 404:
+            raise StoreError(f"store server at {self.base_url} has no /v1/list")
+        try:
+            inventory = json.loads(body.decode("utf-8"))
+            entries = [
+                (str(entry["kind"]), str(entry["key"]))
+                for entry in inventory["entries"]
+            ]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise StoreError(
+                f"malformed /v1/list reply from {self.base_url}: {exc}"
+            ) from exc
+        return iter(entries)
+
+    def exists(self) -> bool:
+        try:
+            status, _info, _body = self._request(
+                "GET", f"{self.base_url}/v1/ping", "ping"
+            )
+        except StoreUnavailableError:
+            return False
+        return status != 404
+
+    def sweep_stale_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Temp-file hygiene is the server's (single writer's) concern."""
+        if self.cache is not None:
+            return self.cache.sweep_stale_tmp(max_age_seconds)
+        return 0

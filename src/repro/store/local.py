@@ -1,0 +1,115 @@
+"""The local directory store backend — the historical layout, verbatim.
+
+Entries live at ``root/<key[:2]>/<key><suffix>`` with the same two-level
+fan-out, atomic ``mkstemp`` + ``os.replace`` writes, and temp-file naming
+(``.{key[:8]}-*.tmp``) the pre-backend ResultStore used, so existing
+stores open unchanged and golden store entries keep their bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.store.backend import (
+    entry_relpath,
+    parse_entry_filename,
+)
+
+
+@dataclass
+class LocalBackend:
+    """Byte storage in a local directory (created lazily on first write)."""
+
+    root: str
+    scheme: str = "local"
+
+    def describe(self) -> str:
+        return self.root
+
+    def location(self, kind: str, key: str) -> str:
+        return os.path.join(self.root, *entry_relpath(kind, key).split("/"))
+
+    def get(self, kind: str, key: str) -> bytes | None:
+        try:
+            with open(self.location(kind, key), "rb") as fh:
+                return fh.read()
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+
+    def put(self, kind: str, key: str, data: bytes) -> str:
+        path = self.location(kind, key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle, tmp_path = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(handle, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def head(self, kind: str, key: str) -> bool:
+        return os.path.exists(self.location(kind, key))
+
+    def delete(self, kind: str, key: str) -> bool:
+        try:
+            os.unlink(self.location(kind, key))
+        except (FileNotFoundError, NotADirectoryError):
+            return False
+        return True
+
+    def list_entries(self) -> Iterator[tuple[str, str]]:
+        """Every stored ``(kind, key)``, sorted by key then kind."""
+        found = []
+        if not os.path.isdir(self.root):
+            return iter(())
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                parsed = parse_entry_filename(name)
+                if parsed is None:
+                    continue
+                kind, key = parsed
+                if dirpath == os.path.join(self.root, key[:2]):
+                    found.append((key, kind))
+        return iter((kind, key) for key, kind in sorted(found))
+
+    def exists(self) -> bool:
+        return os.path.isdir(self.root)
+
+    def sweep_stale_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Remove orphaned atomic-write temp files; returns the count.
+
+        A writer killed mid-``put`` leaves its ``.*.tmp`` file behind
+        (``os.replace`` never ran).  Such orphans are garbage — the entry
+        either landed under its final name or it didn't — but only files
+        older than ``max_age_seconds`` are swept so a concurrent writer's
+        in-flight temp file is never touched.
+        """
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        cutoff = time.time() - max_age_seconds
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not (name.startswith(".") and name.endswith(".tmp")):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if os.path.getmtime(path) < cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    continue
+        return removed

@@ -1,0 +1,27 @@
+"""Deterministic retry/backoff shared by the fabric and store backends.
+
+One backoff discipline serves both the campaign supervisor (worker
+retries) and the HTTP store backend (transient transport errors): an
+exponential schedule whose jitter is *hashed from the schedule key*, so
+re-running the same campaign retries on exactly the same schedule —
+byte-identical runs stay byte-identical even through retries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def deterministic_backoff(key: str, attempt: int, base: float) -> float:
+    """Deterministic exponential backoff for retry ``attempt`` (>= 1).
+
+    ``base * 2**(attempt-1) * (0.5 + u)`` where ``u in [0, 1)`` is hashed
+    from the schedule key and attempt — jittered like production backoff,
+    but a pure function of its inputs so reruns retry on the same
+    schedule.
+    """
+    if attempt < 1 or base <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"backoff/{key}/{attempt}".encode()).digest()
+    u = int.from_bytes(digest[:8], "big") / 2**64
+    return base * 2.0 ** (attempt - 1) * (0.5 + u)

@@ -269,6 +269,155 @@ def test_campaign_shard_error_names_the_valid_range(tmp_path, capsys):
 
 
 # ----------------------------------------------------------------------
+# Store backends, campaign diff, store tools (PR: pluggable backends)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def served_store(tmp_path):
+    """An in-process ``repro store serve`` over tmp_path/served."""
+    import threading
+
+    from repro.store import make_server
+
+    root = tmp_path / "served"
+    server = make_server(str(root), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}", root
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def test_campaign_unknown_store_scheme_is_a_clean_error(capsys):
+    status = main(["campaign", "run", "smoke", "--store", "s3://bucket/x"])
+    err = capsys.readouterr().err
+    assert status == 2
+    assert "unknown store scheme 's3://'" in err
+    assert "registered backends" in err
+    assert "http://" in err
+
+
+def test_campaign_diff_requires_against(tmp_path):
+    with pytest.raises(SystemExit, match="--against"):
+        main(
+            [
+                "campaign", "diff", "smoke",
+                "--store", str(tmp_path / "store"),
+            ]
+        )
+
+
+def test_campaign_over_http_store_diffs_clean_against_local(
+    served_store, tmp_path, capsys
+):
+    url, served_root = served_store
+    local = [
+        "campaign", "run", "smoke",
+        "--store", str(tmp_path / "local" / "store"),
+        "--artifacts", str(tmp_path / "local" / "artifacts"),
+    ]
+    remote = [
+        "campaign", "run", "smoke",
+        "--store", url,
+        "--artifacts", str(tmp_path / "remote" / "artifacts"),
+    ]
+    assert main(local) == 0
+    assert main(remote) == 0
+    capsys.readouterr()
+    # Re-running against the shared server is a pure cache replay.
+    assert main(remote) == 0
+    assert "cache hit 100.0%" in capsys.readouterr().out
+    diff = [
+        "campaign", "diff", "smoke",
+        "--store", str(tmp_path / "local" / "store"),
+        "--against", url,
+    ]
+    assert main(diff) == 0
+    out = capsys.readouterr().out
+    assert "zero drift" in out
+    # Remove one served entry: the same diff now reports drift, nonzero.
+    from repro.store import LocalBackend
+
+    kind, key = next(iter(LocalBackend(str(served_root)).list_entries()))
+    LocalBackend(str(served_root)).delete(kind, key)
+    assert main(diff) == 1
+    captured = capsys.readouterr()
+    assert "DRIFT" in captured.err
+    assert "missing_b" in captured.out
+
+
+def test_store_cli_sync_verify_gc(tmp_path, capsys):
+    store = tmp_path / "store"
+    mirror = tmp_path / "mirror"
+    assert main(_smoke_args(tmp_path, ".", "--no-report")) == 0
+    capsys.readouterr()
+    assert main(["store", "sync", str(store), str(mirror)]) == 0
+    assert "copied" in capsys.readouterr().out
+    assert main(["store", "verify", str(mirror)]) == 0
+    assert "bad 0" in capsys.readouterr().out
+    # Flip a byte: verify flags it; --delete heals; verify is clean again.
+    entry = next(mirror.rglob("*.json"))
+    data = bytearray(entry.read_bytes())
+    data[10] ^= 0xFF
+    entry.write_bytes(bytes(data))
+    assert main(["store", "verify", str(mirror)]) == 1
+    capsys.readouterr()
+    assert main(["store", "verify", str(mirror), "--delete"]) == 0
+    assert "deleted 1" in capsys.readouterr().out
+    assert main(["store", "verify", str(mirror)]) == 0
+    capsys.readouterr()
+    # gc: everything present is claimed by smoke, so nothing to remove.
+    gc = ["store", "gc", str(store), "--campaign", "smoke"]
+    assert main(gc) == 0
+    assert "would remove 0" in capsys.readouterr().out
+    assert main([*gc, "--apply"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "verify", "smoke", "--store", str(store)]) == 0
+
+
+def test_sweep_journal_dir_accepts_store_url(served_store, capsys):
+    url, served_root = served_store
+    status = main(
+        [
+            "sweep", "--n", "8", "--side", "2.0", "--k", "2",
+            "--seeds", "1", "--journal-dir", url,
+        ]
+    )
+    captured = capsys.readouterr()
+    assert status == 0
+    assert f"journals to store {url}" in captured.err
+    assert list(served_root.rglob("*.obs.jsonl.gz"))
+
+
+def test_all_figures_cli_reuses_member_campaign_cache(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert (
+        main(
+            [
+                "campaign", "run", "smoke",
+                "--store", store,
+                "--artifacts", str(tmp_path / "a1"),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    status = main(
+        [
+            "campaign", "run", "all_figures",
+            "--set", "include=smoke",
+            "--store", store,
+            "--artifacts", str(tmp_path / "a2"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "cache hit 100.0%" in out
+
+
+# ----------------------------------------------------------------------
 # Graceful Ctrl-C (SIGINT-injecting subprocess)
 # ----------------------------------------------------------------------
 def test_campaign_run_sigint_checkpoints_then_resumes(tmp_path):
